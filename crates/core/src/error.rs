@@ -1,0 +1,39 @@
+use std::fmt;
+
+/// Errors raised when constructing geometry types from invalid inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A trajectory needs at least two st-points to define a segment.
+    TooFewPoints {
+        /// Number of points that were supplied.
+        got: usize,
+    },
+    /// Timestamps must be non-decreasing along a trajectory.
+    NonMonotonicTime {
+        /// Index of the first offending point.
+        index: usize,
+    },
+    /// A coordinate or timestamp was NaN or infinite.
+    NotFinite {
+        /// Index of the offending point.
+        index: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::TooFewPoints { got } => {
+                write!(f, "trajectory needs at least 2 st-points, got {got}")
+            }
+            CoreError::NonMonotonicTime { index } => {
+                write!(f, "timestamp at index {index} is earlier than its predecessor")
+            }
+            CoreError::NotFinite { index } => {
+                write!(f, "coordinate or timestamp at index {index} is not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

@@ -1,0 +1,68 @@
+use crate::Point;
+use serde::{Deserialize, Serialize};
+
+/// A spatio-temporal point (Definition 1): a spatial location plus the
+/// timestamp at which it was recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StPoint {
+    /// Spatial location.
+    pub p: Point,
+    /// Timestamp (seconds, arbitrary epoch).
+    pub t: f64,
+}
+
+impl StPoint {
+    /// Creates an st-point from coordinates and a timestamp.
+    #[inline]
+    pub const fn new(x: f64, y: f64, t: f64) -> Self {
+        StPoint {
+            p: Point::new(x, y),
+            t,
+        }
+    }
+
+    /// Creates an st-point from a [`Point`] and a timestamp.
+    #[inline]
+    pub const fn at(p: Point, t: f64) -> Self {
+        StPoint { p, t }
+    }
+
+    /// Spatial Euclidean distance to another st-point (timestamps ignored, as
+    /// in the paper's `dist`).
+    #[inline]
+    pub fn dist(&self, other: StPoint) -> f64 {
+        self.p.dist(other.p)
+    }
+
+    /// `true` when coordinates and timestamp are all finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.p.is_finite() && self.t.is_finite()
+    }
+}
+
+impl From<(f64, f64, f64)> for StPoint {
+    fn from((x, y, t): (f64, f64, f64)) -> Self {
+        StPoint::new(x, y, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn distance_ignores_time() {
+        let a = StPoint::new(0.0, 0.0, 0.0);
+        let b = StPoint::new(3.0, 4.0, 1000.0);
+        assert!(approx_eq(a.dist(b), 5.0));
+    }
+
+    #[test]
+    fn tuple_conversion() {
+        let s: StPoint = (1.0, 2.0, 3.0).into();
+        assert_eq!(s.p, Point::new(1.0, 2.0));
+        assert!(approx_eq(s.t, 3.0));
+    }
+}

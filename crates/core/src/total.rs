@@ -1,0 +1,62 @@
+use std::cmp::Ordering;
+
+/// A total-order wrapper around `f64` for use as priority-queue keys and sort
+/// keys.
+///
+/// NaN values sort *greater* than everything else so that a corrupted
+/// distance can never masquerade as the best candidate; all other values
+/// follow the usual numeric order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TotalF64(pub f64);
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.0.is_nan(), other.0.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => self.0.partial_cmp(&other.0).expect("both finite-or-inf"),
+        }
+    }
+}
+
+impl From<f64> for TotalF64 {
+    fn from(v: f64) -> Self {
+        TotalF64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_ordinary_values() {
+        assert!(TotalF64(1.0) < TotalF64(2.0));
+        assert!(TotalF64(-1.0) < TotalF64(0.0));
+        assert_eq!(TotalF64(3.5), TotalF64(3.5));
+    }
+
+    #[test]
+    fn nan_sorts_last() {
+        assert!(TotalF64(f64::NAN) > TotalF64(f64::INFINITY));
+        assert_eq!(TotalF64(f64::NAN).cmp(&TotalF64(f64::NAN)), Ordering::Equal);
+    }
+
+    #[test]
+    fn usable_as_sort_key() {
+        let mut v = vec![TotalF64(3.0), TotalF64(f64::NAN), TotalF64(1.0)];
+        v.sort();
+        assert_eq!(v[0], TotalF64(1.0));
+        assert_eq!(v[1], TotalF64(3.0));
+        assert!(v[2].0.is_nan());
+    }
+}

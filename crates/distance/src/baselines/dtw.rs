@@ -1,0 +1,93 @@
+//! Dynamic Time Warping (Yi, Jagadish & Faloutsos, ICDE 1998).
+//!
+//! Classic many-to-one point alignment: local time shifts are absorbed by
+//! allowing a sampled point to match several points of the other
+//! trajectory, but — as Sec. II of the EDwP paper argues — only *sampled*
+//! points participate, so inconsistent sampling rates still distort the
+//! distance.
+
+use crate::matrix::Matrix;
+use crate::TrajDistance;
+use traj_core::Trajectory;
+
+/// DTW distance with Euclidean local cost. `O(n·m)`.
+pub fn dtw(a: &Trajectory, b: &Trajectory) -> f64 {
+    let pa = a.points();
+    let pb = b.points();
+    let (n, m) = (pa.len(), pb.len());
+    let mut dp = Matrix::filled(n + 1, m + 1, f64::INFINITY);
+    dp.set(0, 0, 0.0);
+    for i in 1..=n {
+        for j in 1..=m {
+            let cost = pa[i - 1].dist(pb[j - 1]);
+            let best = dp
+                .get(i - 1, j - 1)
+                .min(dp.get(i - 1, j))
+                .min(dp.get(i, j - 1));
+            dp.set(i, j, cost + best);
+        }
+    }
+    dp.get(n, m)
+}
+
+/// [`TrajDistance`] wrapper for [`dtw`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DtwDistance;
+
+impl TrajDistance for DtwDistance {
+    fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        dtw(a, b)
+    }
+    fn name(&self) -> &'static str {
+        "DTW"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_core::approx_eq;
+
+    fn t(pts: &[(f64, f64)]) -> Trajectory {
+        Trajectory::from_xy(pts)
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let a = t(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        assert!(approx_eq(dtw(&a, &a), 0.0));
+    }
+
+    #[test]
+    fn handles_local_time_shift() {
+        // Same spatial points, one trajectory lingers: DTW should still be 0
+        // because repeated points map many-to-one.
+        let a = t(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = t(&[(0.0, 0.0), (1.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        assert!(approx_eq(dtw(&a, &b), 0.0));
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = t(&[(0.0, 0.0), (3.0, 1.0), (5.0, 2.0)]);
+        let b = t(&[(1.0, 1.0), (4.0, 2.0)]);
+        assert!(approx_eq(dtw(&a, &b), dtw(&b, &a)));
+    }
+
+    #[test]
+    fn penalises_extra_sampling_density() {
+        // The weakness EDwP fixes: a densified identical path gets a
+        // non-zero DTW unless the extra points coincide with samples.
+        let sparse = t(&[(0.0, 0.0), (10.0, 0.0)]);
+        let dense = t(&[(0.0, 0.0), (3.0, 0.0), (7.0, 0.0), (10.0, 0.0)]);
+        assert!(dtw(&sparse, &dense) > 0.0);
+    }
+
+    #[test]
+    fn simple_hand_computed_value() {
+        let a = t(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = t(&[(0.0, 1.0), (1.0, 1.0)]);
+        // Diagonal alignment: 1 + 1 = 2.
+        assert!(approx_eq(dtw(&a, &b), 2.0));
+    }
+}

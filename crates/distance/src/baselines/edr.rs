@@ -1,0 +1,118 @@
+//! Edit Distance on Real sequence (Chen, Özsu & Oria, SIGMOD 2005).
+//!
+//! An edit distance where substituting two points costs 0 if they *match*
+//! (each spatial coordinate within `ε`) and 1 otherwise; insertions and
+//! deletions cost 1. This is the paper's main representative baseline —
+//! Figs. 1(b), 1(c) and Sec. II are built around its failure modes.
+
+use crate::matrix::Matrix;
+use crate::TrajDistance;
+use traj_core::{StPoint, Trajectory};
+
+/// `true` when two points match under EDR/LCSS-style per-dimension `ε`.
+#[inline]
+fn matches(a: StPoint, b: StPoint, eps: f64) -> bool {
+    (a.p.x - b.p.x).abs() <= eps && (a.p.y - b.p.y).abs() <= eps
+}
+
+/// EDR distance with matching threshold `eps`. `O(n·m)`; the result is an
+/// integer-valued edit count returned as `f64`.
+pub fn edr(a: &Trajectory, b: &Trajectory, eps: f64) -> f64 {
+    let pa = a.points();
+    let pb = b.points();
+    let (n, m) = (pa.len(), pb.len());
+    let mut dp = Matrix::filled(n + 1, m + 1, 0.0);
+    for i in 0..=n {
+        dp.set(i, 0, i as f64);
+    }
+    for j in 0..=m {
+        dp.set(0, j, j as f64);
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let subcost = if matches(pa[i - 1], pb[j - 1], eps) {
+                0.0
+            } else {
+                1.0
+            };
+            let v = (dp.get(i - 1, j - 1) + subcost)
+                .min(dp.get(i - 1, j) + 1.0)
+                .min(dp.get(i, j - 1) + 1.0);
+            dp.set(i, j, v);
+        }
+    }
+    dp.get(n, m)
+}
+
+/// [`TrajDistance`] wrapper for [`edr`].
+#[derive(Debug, Clone, Copy)]
+pub struct EdrDistance {
+    /// Spatial matching threshold `ε`.
+    pub eps: f64,
+}
+
+impl EdrDistance {
+    /// EDR with matching threshold `eps`.
+    pub fn new(eps: f64) -> Self {
+        EdrDistance { eps }
+    }
+}
+
+impl TrajDistance for EdrDistance {
+    fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        edr(a, b, self.eps)
+    }
+    fn name(&self) -> &'static str {
+        "EDR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_core::approx_eq;
+
+    fn t(pts: &[(f64, f64)]) -> Trajectory {
+        Trajectory::from_xy(pts)
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let a = t(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        assert!(approx_eq(edr(&a, &a, 1.0), 0.0));
+    }
+
+    #[test]
+    fn completely_different_costs_max_length() {
+        let a = t(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = t(&[(50.0, 50.0), (51.0, 50.0)]);
+        assert!(approx_eq(edr(&a, &b, 1.0), 2.0));
+    }
+
+    #[test]
+    fn fig_1b_intra_trajectory_blindspot() {
+        // Fig. 1(b): four of five points coincide (densely sampled region)
+        // while the trajectories diverge elsewhere; EDR reports only 1.
+        let t1 = t(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (100.0, 0.0)]);
+        let t2 = t(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (100.0, 80.0)]);
+        assert!(approx_eq(edr(&t1, &t2, 2.0), 1.0));
+    }
+
+    #[test]
+    fn fig_1c_threshold_cliff() {
+        // Fig. 1(c)-style phase shift: same line, alternating samples.
+        // Under a small eps nothing matches; under a slightly larger eps
+        // everything does.
+        let t1 = t(&[(0.0, 0.0), (0.0, 4.0), (0.0, 8.0)]);
+        let t2 = t(&[(0.0, 2.0), (0.0, 6.0), (0.0, 10.0)]);
+        assert!(approx_eq(edr(&t1, &t2, 1.9), 3.0));
+        assert!(approx_eq(edr(&t1, &t2, 2.0), 0.0));
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = t(&[(0.0, 0.0), (2.0, 0.0), (4.0, 0.0)]);
+        let b = t(&[(1.0, 1.0), (3.0, 1.0)]);
+        assert!(approx_eq(edr(&a, &b, 1.5), edr(&b, &a, 1.5)));
+    }
+}

@@ -1,0 +1,123 @@
+//! Longest Common Sub-Sequence similarity (Vlachos, Gunopoulos & Kollios,
+//! ICDE 2002).
+//!
+//! Two st-points *match* when each spatial coordinate differs by less than
+//! the threshold `ε` (and, optionally, their indices differ by at most the
+//! warping window `δ`). The LCSS length counts the best monotone matching;
+//! the derived distance is `1 − LCSS/min(n, m)`.
+
+use crate::matrix::Matrix;
+use crate::TrajDistance;
+use traj_core::Trajectory;
+
+/// LCSS match count under spatial threshold `eps` and optional index
+/// window `delta` (`None` = unconstrained).
+pub fn lcss(a: &Trajectory, b: &Trajectory, eps: f64, delta: Option<usize>) -> usize {
+    let pa = a.points();
+    let pb = b.points();
+    let (n, m) = (pa.len(), pb.len());
+    let mut dp = Matrix::filled(n + 1, m + 1, 0.0);
+    for i in 1..=n {
+        for j in 1..=m {
+            let within_window = match delta {
+                Some(d) => i.abs_diff(j) <= d,
+                None => true,
+            };
+            let matched = within_window
+                && (pa[i - 1].p.x - pb[j - 1].p.x).abs() < eps
+                && (pa[i - 1].p.y - pb[j - 1].p.y).abs() < eps;
+            let v = if matched {
+                dp.get(i - 1, j - 1) + 1.0
+            } else {
+                dp.get(i - 1, j).max(dp.get(i, j - 1))
+            };
+            dp.set(i, j, v);
+        }
+    }
+    dp.get(n, m) as usize
+}
+
+/// LCSS-derived distance in `[0, 1]`: `1 − LCSS/min(n, m)`.
+pub fn lcss_distance(a: &Trajectory, b: &Trajectory, eps: f64, delta: Option<usize>) -> f64 {
+    let denom = a.num_points().min(b.num_points()) as f64;
+    1.0 - lcss(a, b, eps, delta) as f64 / denom
+}
+
+/// [`TrajDistance`] wrapper for [`lcss_distance`].
+#[derive(Debug, Clone, Copy)]
+pub struct LcssDistance {
+    /// Spatial matching threshold `ε`.
+    pub eps: f64,
+    /// Optional warping window `δ` on index differences.
+    pub delta: Option<usize>,
+}
+
+impl LcssDistance {
+    /// LCSS with threshold `eps` and no warping window.
+    pub fn new(eps: f64) -> Self {
+        LcssDistance { eps, delta: None }
+    }
+}
+
+impl TrajDistance for LcssDistance {
+    fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        lcss_distance(a, b, self.eps, self.delta)
+    }
+    fn name(&self) -> &'static str {
+        "LCSS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_core::approx_eq;
+
+    fn t(pts: &[(f64, f64)]) -> Trajectory {
+        Trajectory::from_xy(pts)
+    }
+
+    #[test]
+    fn identical_matches_everything() {
+        let a = t(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        assert_eq!(lcss(&a, &a, 0.5, None), 3);
+        assert!(approx_eq(lcss_distance(&a, &a, 0.5, None), 0.0));
+    }
+
+    #[test]
+    fn disjoint_matches_nothing() {
+        let a = t(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = t(&[(100.0, 0.0), (101.0, 0.0)]);
+        assert_eq!(lcss(&a, &b, 0.5, None), 0);
+        assert!(approx_eq(lcss_distance(&a, &b, 0.5, None), 1.0));
+    }
+
+    #[test]
+    fn threshold_sensitivity_from_fig_1c() {
+        // The Sec. II "threshold dependency" observation: with offset 2.5
+        // between matched coordinates, eps=2 matches nothing and eps=3
+        // matches everything.
+        let a = t(&[(0.0, 0.0), (0.0, 10.0)]);
+        let b = t(&[(2.5, 0.0), (2.5, 10.0)]);
+        assert_eq!(lcss(&a, &b, 2.0, None), 0);
+        assert_eq!(lcss(&a, &b, 3.0, None), 2);
+    }
+
+    #[test]
+    fn window_restricts_matching() {
+        let a = t(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        // b reversed in index positions relative to a's matches.
+        let b = t(&[(3.0, 0.0), (9.0, 9.0), (9.0, 9.0), (0.0, 0.0)]);
+        assert_eq!(lcss(&a, &b, 0.5, None), 1);
+        assert_eq!(lcss(&a, &b, 0.5, Some(0)), 0);
+    }
+
+    #[test]
+    fn per_dimension_threshold_not_euclidean() {
+        // Points differing by (1.9, 1.9) match at eps=2 even though the
+        // Euclidean distance exceeds 2 — LCSS thresholds per dimension.
+        let a = t(&[(0.0, 0.0), (5.0, 5.0)]);
+        let b = t(&[(1.9, 1.9), (6.9, 6.9)]);
+        assert_eq!(lcss(&a, &b, 2.0, None), 2);
+    }
+}

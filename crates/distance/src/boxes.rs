@@ -1,0 +1,488 @@
+//! Trajectory box sequences (tBoxSeq, Definitions 4–5) and the generalised
+//! `EDwP_sub` between a trajectory and a tBoxSeq (Sec. IV-B).
+//!
+//! A [`BoxSeq`] summarises a *set* of whole trajectories as an ordered
+//! sequence of spatio-temporal boxes. It is built incrementally: the first
+//! trajectory contributes one (degenerate) box per segment; every further
+//! trajectory is aligned against the running sequence with
+//! [`align_boxes`] — the box-mode `EDwP_sub` dynamic program with
+//! traceback — and one st-box is emitted per replace operation, exactly as
+//! described under "Constructing tBoxSeqs".
+//!
+//! [`edwp_sub_boxes`] is the value-only variant used as the TrajTree lower
+//! bound (Theorem 2): `EDwP_sub(Q, tBoxSeq(S)) ≤ EDwP(Q, T) ∀ T ∈ S`.
+//!
+//! # Lower-bound posture
+//!
+//! Replacement costs use point-to-box distances (never larger than the
+//! distance to any enclosed trajectory point) and the paper's
+//! `Coverage(T.e, B.b) = length(e) + b.minL`. When a box is consumed by
+//! several query segments (the box-split `ins(B, T)` edit), the `minL` term
+//! is charged only on the step that advances past the box — charging it on
+//! every stay-step can exceed the coverage of the corresponding true
+//! alignment, which would break admissibility. See `DESIGN.md` §5.
+
+use crate::matrix::Matrix;
+use traj_core::{Segment, StBox, StPoint, Trajectory};
+
+/// A trajectory box sequence (tBoxSeq, Definition 5): an ordered sequence
+/// of [`StBox`]es summarising a set of trajectories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxSeq {
+    boxes: Vec<StBox>,
+}
+
+/// One replace operation recovered from the box-mode alignment traceback:
+/// the piece of the trajectory (a straight sub-segment) that was matched to
+/// the box at `box_idx`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepOp {
+    /// Index of the matched box in the [`BoxSeq`].
+    pub box_idx: usize,
+    /// Matched piece of the trajectory.
+    pub piece: Segment,
+}
+
+/// The full result of aligning a trajectory against a [`BoxSeq`]: the
+/// `EDwP_sub` cost and the sequence of replace operations.
+#[derive(Debug, Clone)]
+pub struct BoxAlignment {
+    /// Alignment cost (identical to [`edwp_sub_boxes`]).
+    pub cost: f64,
+    /// Replace operations in trajectory order.
+    pub ops: Vec<RepOp>,
+}
+
+impl BoxSeq {
+    /// `createTBoxSeq(T)`: one tight box per segment of `t`.
+    pub fn from_trajectory(t: &Trajectory) -> Self {
+        BoxSeq {
+            boxes: t.segments().map(|e| StBox::from_segment(&e)).collect(),
+        }
+    }
+
+    /// Builds a tBoxSeq over a set of trajectories with the paper's
+    /// iterative procedure: seed with the first, then merge each remaining
+    /// trajectory via its alignment. `max_boxes` optionally coalesces the
+    /// sequence to bound its length (`None` leaves it unbounded).
+    pub fn from_trajectories<'a, I>(mut trajs: I, max_boxes: Option<usize>) -> Option<Self>
+    where
+        I: Iterator<Item = &'a Trajectory>,
+    {
+        let first = trajs.next()?;
+        let mut seq = BoxSeq::from_trajectory(first);
+        seq.coalesce(max_boxes);
+        for t in trajs {
+            seq = seq.merge_trajectory(t);
+            seq.coalesce(max_boxes);
+        }
+        Some(seq)
+    }
+
+    /// The boxes in sequence order.
+    #[inline]
+    pub fn boxes(&self) -> &[StBox] {
+        &self.boxes
+    }
+
+    /// Number of boxes (`|B|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// `true` when the sequence has no boxes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// `Vol(B)`: the sum of box volumes (Definition 5).
+    pub fn volume(&self) -> f64 {
+        self.boxes.iter().map(|b| b.volume()).sum()
+    }
+
+    /// `createTBoxSeq(T, B)`: merges trajectory `t` into this sequence.
+    /// The `EDwP_sub` alignment is computed, one st-box is created per
+    /// replace operation (the union of the consumed box and the matched
+    /// trajectory piece), and skipped prefix/suffix boxes are kept as-is.
+    pub fn merge_trajectory(&self, t: &Trajectory) -> BoxSeq {
+        let alignment = align_boxes(t, self);
+        let mut out = Vec::with_capacity(self.boxes.len() + alignment.ops.len());
+        let first_used = alignment.ops.iter().map(|o| o.box_idx).min();
+        let last_used = alignment.ops.iter().map(|o| o.box_idx).max();
+        let (first_used, last_used) = match (first_used, last_used) {
+            (Some(f), Some(l)) => (f, l),
+            _ => return self.clone(), // no ops: nothing aligned, keep as-is
+        };
+        out.extend_from_slice(&self.boxes[..first_used]);
+        for op in &alignment.ops {
+            let mut merged = self.boxes[op.box_idx];
+            merged.expand_to_segment(&op.piece);
+            out.push(merged);
+        }
+        out.extend_from_slice(&self.boxes[last_used + 1..]);
+        BoxSeq { boxes: out }
+    }
+
+    /// The growth in total volume that merging `t` would cause — the
+    /// insertion criterion of Alg. 1 (line 11).
+    pub fn merge_volume_delta(&self, t: &Trajectory) -> f64 {
+        self.merge_trajectory(t).volume() - self.volume()
+    }
+
+    /// Greedily unions adjacent boxes until at most `max` remain, choosing
+    /// at each step the neighbouring pair whose union grows total volume
+    /// least. Keeps tBoxSeqs bounded as more trajectories merge in (the
+    /// paper leaves this engineering concern open).
+    pub fn coalesce(&mut self, max: Option<usize>) {
+        let Some(max) = max else { return };
+        let max = max.max(1);
+        while self.boxes.len() > max {
+            let mut best = (0usize, f64::INFINITY);
+            for i in 0..self.boxes.len() - 1 {
+                let grown = self.boxes[i].union(&self.boxes[i + 1]).volume()
+                    - self.boxes[i].volume()
+                    - self.boxes[i + 1].volume();
+                if grown < best.1 {
+                    best = (i, grown);
+                }
+            }
+            let merged = self.boxes[best.0].union(&self.boxes[best.0 + 1]);
+            self.boxes[best.0] = merged;
+            self.boxes.remove(best.0 + 1);
+        }
+    }
+}
+
+/// DP state kinds for the box-mode alignment.
+const AT_SAMPLE: usize = 0;
+const INTERP: usize = 1;
+
+/// Index into flattened `(j, k)` matrices.
+#[inline]
+fn col(j: usize, k: usize) -> usize {
+    j * 2 + k
+}
+
+/// The anchor st-point of state `(i, j, INTERP)`: the point on segment `i`
+/// of `t` closest to box `j - 1` (the last consumed box).
+fn interp_anchor(t: &Trajectory, boxes: &[StBox], i: usize, j: usize) -> StPoint {
+    let seg = t.segment(i);
+    let (param, _) = boxes[j - 1].closest_param_on_segment(&seg);
+    seg.point_at(param)
+}
+
+/// Value-only `EDwP_sub(t, B)` between a trajectory and a box sequence —
+/// the TrajTree lower bound. Runs in `O(|t| · |B|)`.
+pub fn edwp_sub_boxes(t: &Trajectory, seq: &BoxSeq) -> f64 {
+    run_box_dp(t, seq, None)
+}
+
+/// `EDwP_sub(t, B)` with traceback: returns the cost and the replace
+/// operations of an optimal alignment.
+pub fn align_boxes(t: &Trajectory, seq: &BoxSeq) -> BoxAlignment {
+    let mut trace = TraceTable::new(t.num_points(), seq.len());
+    let cost = run_box_dp(t, seq, Some(&mut trace));
+    let ops = trace.reconstruct(t, seq);
+    BoxAlignment { cost, ops }
+}
+
+/// Encodes the DP op that produced a state, for traceback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    None,
+    Start,
+    /// rep: consume segment `i` (from its anchor) and box `j`.
+    Rep,
+    /// ins into `t`: consume box `j` against a split piece of segment `i`.
+    InsT,
+    /// ins into the box sequence: consume segment `i`, stay on box `j`.
+    InsB,
+}
+
+struct TraceTable {
+    cols: usize,
+    /// Per state: (op, predecessor i, predecessor j, predecessor k).
+    from: Vec<(Op, u32, u32, u8)>,
+    /// Terminal state chosen by the DP (set by `run_box_dp`).
+    terminal: (usize, usize, usize),
+}
+
+impl TraceTable {
+    fn new(n: usize, kboxes: usize) -> Self {
+        let cols = (kboxes + 1) * 2;
+        TraceTable {
+            cols,
+            from: vec![(Op::None, 0, 0, 0); n * cols],
+            terminal: (0, 0, AT_SAMPLE),
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, j: usize, k: usize, v: (Op, u32, u32, u8)) {
+        self.from[i * self.cols + col(j, k)] = v;
+    }
+
+    #[inline]
+    fn get(&self, i: usize, j: usize, k: usize) -> (Op, u32, u32, u8) {
+        self.from[i * self.cols + col(j, k)]
+    }
+
+    /// Walks parents back from the best terminal state (recorded by
+    /// `run_box_dp`), emitting the rep pieces in forward order.
+    fn reconstruct(&self, t: &Trajectory, seq: &BoxSeq) -> Vec<RepOp> {
+        let (mut i, mut j, mut k) = self.terminal;
+        let mut ops_rev = Vec::new();
+        loop {
+            let (op, pi, pj, pk) = self.get(i, j, k);
+            match op {
+                Op::Start | Op::None => break,
+                Op::Rep | Op::InsB => {
+                    // Piece: from predecessor anchor to p[i] (i advanced).
+                    let (pi_, pj_, pk_) = (pi as usize, pj as usize, pk as usize);
+                    let from_pt = anchor_point(t, seq, pi_, pj_, pk_);
+                    let to_pt = t.points()[i];
+                    ops_rev.push(RepOp {
+                        box_idx: if op == Op::Rep { j - 1 } else { j },
+                        piece: Segment::new(from_pt, to_pt),
+                    });
+                    i = pi_;
+                    j = pj_;
+                    k = pk_;
+                }
+                Op::InsT => {
+                    let (pi_, pj_, pk_) = (pi as usize, pj as usize, pk as usize);
+                    let from_pt = anchor_point(t, seq, pi_, pj_, pk_);
+                    let to_pt = anchor_point(t, seq, i, j, k);
+                    ops_rev.push(RepOp {
+                        box_idx: j - 1,
+                        piece: Segment::new(from_pt, to_pt),
+                    });
+                    i = pi_;
+                    j = pj_;
+                    k = pk_;
+                }
+            }
+        }
+        ops_rev.reverse();
+        ops_rev
+    }
+}
+
+/// The anchor st-point of a DP state.
+fn anchor_point(t: &Trajectory, seq: &BoxSeq, i: usize, j: usize, k: usize) -> StPoint {
+    if k == AT_SAMPLE {
+        t.points()[i]
+    } else {
+        interp_anchor(t, seq.boxes(), i, j)
+    }
+}
+
+/// Shared box-mode DP; fills `trace` when provided.
+fn run_box_dp(t: &Trajectory, seq: &BoxSeq, mut trace: Option<&mut TraceTable>) -> f64 {
+    let n = t.num_points();
+    let kboxes = seq.len();
+    if kboxes == 0 {
+        return f64::INFINITY;
+    }
+    let boxes = seq.boxes();
+    let p = t.points();
+    let inf = f64::INFINITY;
+    // Full table (traceback needs it); j ∈ [0, kboxes], k ∈ {AT_SAMPLE, INTERP}.
+    let cols = (kboxes + 1) * 2;
+    let mut dp = Matrix::filled(n, cols, inf);
+    for j in 0..kboxes {
+        dp.set(0, col(j, AT_SAMPLE), 0.0);
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.set(0, j, AT_SAMPLE, (Op::Start, 0, 0, 0));
+        }
+    }
+
+    for i in 0..n {
+        let has_seg = i + 1 < n;
+        for j in 0..=kboxes {
+            for k in [AT_SAMPLE, INTERP] {
+                let base = dp.get(i, col(j, k));
+                if !base.is_finite() {
+                    continue;
+                }
+                if j >= kboxes || !has_seg {
+                    continue; // terminal or dead-end state
+                }
+                let a = anchor_point(t, seq, i, j, k);
+                let b = &boxes[j];
+                let e1 = p[i + 1];
+                let bd_a = b.dist_to_point(a.p);
+                let bd_e1 = b.dist_to_point(e1.p);
+                // rep: consume segment i and box j.
+                let rep = (bd_a + bd_e1) * (a.dist(e1) + b.min_len);
+                if dp.relax(i + 1, col(j + 1, AT_SAMPLE), base + rep) {
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.set(i + 1, j + 1, AT_SAMPLE, (Op::Rep, i as u32, j as u32, k as u8));
+                    }
+                }
+                // ins into t: split segment i at its closest point to box
+                // j; consume the box against the split piece.
+                let pi_pt = interp_anchor(t, boxes, i, j + 1);
+                let bd_pi = b.dist_to_point(pi_pt.p);
+                let ins_t = (bd_a + bd_pi) * (a.dist(pi_pt) + b.min_len);
+                if dp.relax(i, col(j + 1, INTERP), base + ins_t) {
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.set(i, j + 1, INTERP, (Op::InsT, i as u32, j as u32, k as u8));
+                    }
+                }
+                // ins into B: consume segment i, stay on box j. The minL
+                // coverage term is charged only on advancing steps (see
+                // module docs).
+                let ins_b = (bd_a + bd_e1) * a.dist(e1);
+                if dp.relax(i + 1, col(j, AT_SAMPLE), base + ins_b) {
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.set(i + 1, j, AT_SAMPLE, (Op::InsB, i as u32, j as u32, k as u8));
+                    }
+                }
+            }
+        }
+    }
+
+    // Terminal: `t` consumed (row n-1), any box progress, any anchor kind.
+    let mut best = inf;
+    let mut best_state = (n - 1, 0, AT_SAMPLE);
+    for j in 0..=kboxes {
+        for k in [AT_SAMPLE, INTERP] {
+            let v = dp.get(n - 1, col(j, k));
+            if v < best {
+                best = v;
+                best_state = (n - 1, j, k);
+            }
+        }
+    }
+    if let Some(tr) = trace {
+        tr.terminal = best_state;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edwp;
+    use traj_core::approx_eq;
+
+    fn t(pts: &[(f64, f64)]) -> Trajectory {
+        Trajectory::from_xy(pts)
+    }
+
+    #[test]
+    fn from_trajectory_one_box_per_segment() {
+        let a = t(&[(0.0, 0.0), (2.0, 2.0), (4.0, 0.0)]);
+        let seq = BoxSeq::from_trajectory(&a);
+        assert_eq!(seq.len(), 2);
+        assert!(seq.boxes()[0].contains_point(traj_core::Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn own_boxseq_has_zero_distance() {
+        let a = t(&[(0.0, 0.0), (2.0, 2.0), (4.0, 0.0), (7.0, 1.0)]);
+        let seq = BoxSeq::from_trajectory(&a);
+        let d = edwp_sub_boxes(&a, &seq);
+        assert!(approx_eq(d, 0.0), "got {d}");
+    }
+
+    #[test]
+    fn lower_bounds_member_trajectories() {
+        // Theorem 2 on a concrete pair.
+        let t1 = t(&[(0.0, 0.0), (0.0, 8.0), (8.0, 8.0)]);
+        let t2 = t(&[(2.0, 0.0), (2.0, 7.0), (7.0, 7.0)]);
+        let seq = BoxSeq::from_trajectories([&t1, &t2].into_iter(), None).unwrap();
+        let q = t(&[(1.0, 1.0), (1.0, 6.0), (6.0, 6.0)]);
+        let lb = edwp_sub_boxes(&q, &seq);
+        assert!(lb <= edwp(&q, &t1) + 1e-9, "lb {lb} > {}", edwp(&q, &t1));
+        assert!(lb <= edwp(&q, &t2) + 1e-9, "lb {lb} > {}", edwp(&q, &t2));
+    }
+
+    #[test]
+    fn alignment_cost_matches_value_only_dp() {
+        let t1 = t(&[(0.0, 0.0), (0.0, 8.0), (8.0, 8.0)]);
+        let t2 = t(&[(2.0, 0.0), (2.0, 7.0), (7.0, 7.0)]);
+        let seq = BoxSeq::from_trajectory(&t1);
+        let al = align_boxes(&t2, &seq);
+        assert!(approx_eq(al.cost, edwp_sub_boxes(&t2, &seq)));
+        assert!(!al.ops.is_empty());
+        // Ops must be monotone in box index and cover t2 from start to end.
+        for w in al.ops.windows(2) {
+            assert!(w[0].box_idx <= w[1].box_idx);
+        }
+        let first = al.ops.first().unwrap();
+        let last = al.ops.last().unwrap();
+        assert!(approx_eq(first.piece.a.dist(t2.first()), 0.0));
+        assert!(approx_eq(last.piece.b.dist(t2.last()), 0.0));
+    }
+
+    #[test]
+    fn merge_expands_boxes_to_cover_new_trajectory() {
+        let t1 = t(&[(0.0, 0.0), (0.0, 8.0), (8.0, 8.0)]);
+        let t2 = t(&[(2.0, 0.0), (2.0, 7.0), (7.0, 7.0)]);
+        let seq = BoxSeq::from_trajectory(&t1).merge_trajectory(&t2);
+        // Every point of both trajectories must be inside some box.
+        for tr in [&t1, &t2] {
+            for s in tr.points() {
+                assert!(
+                    seq.boxes().iter().any(|b| b.contains_point(s.p)),
+                    "point {:?} not covered",
+                    s.p
+                );
+            }
+        }
+        // And the merged volume is at least the original.
+        assert!(seq.volume() >= BoxSeq::from_trajectory(&t1).volume() - 1e-9);
+    }
+
+    #[test]
+    fn merge_keeps_sequence_order() {
+        let t1 = t(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (30.0, 0.0)]);
+        let t2 = t(&[(0.0, 1.0), (15.0, 1.0), (30.0, 1.0)]);
+        let seq = BoxSeq::from_trajectory(&t1).merge_trajectory(&t2);
+        // Box x-extents should be (weakly) ordered left to right.
+        for w in seq.boxes().windows(2) {
+            assert!(w[0].lo.x <= w[1].hi.x + 1e-9);
+        }
+    }
+
+    #[test]
+    fn coalesce_caps_length() {
+        let t1 = t(&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (2.0, 0.0),
+            (3.0, 0.0),
+            (4.0, 0.0),
+            (5.0, 0.0),
+        ]);
+        let mut seq = BoxSeq::from_trajectory(&t1);
+        assert_eq!(seq.len(), 5);
+        seq.coalesce(Some(2));
+        assert_eq!(seq.len(), 2);
+        // Coverage preserved.
+        for s in t1.points() {
+            assert!(seq.boxes().iter().any(|b| b.contains_point(s.p)));
+        }
+    }
+
+    #[test]
+    fn empty_boxseq_is_infinitely_far() {
+        let q = t(&[(0.0, 0.0), (1.0, 0.0)]);
+        let seq = BoxSeq { boxes: vec![] };
+        assert!(edwp_sub_boxes(&q, &seq).is_infinite());
+    }
+
+    #[test]
+    fn query_inside_boxes_costs_nothing() {
+        // A query fully inside a fat box sequence must have lower bound 0.
+        let t1 = t(&[(0.0, 0.0), (10.0, 10.0)]);
+        let t2 = t(&[(10.0, 0.0), (0.0, 10.0)]);
+        let seq = BoxSeq::from_trajectories([&t1, &t2].into_iter(), None).unwrap();
+        let q = t(&[(4.0, 5.0), (5.0, 5.0), (6.0, 5.0)]);
+        assert!(approx_eq(edwp_sub_boxes(&q, &seq), 0.0));
+    }
+}

@@ -1,0 +1,182 @@
+//! Recursion-faithful reference implementation of EDwP.
+//!
+//! This follows the paper's three-way recursion *literally*: `ins` really
+//! mutates a copy of the trajectory by inserting the projected point, and
+//! the recursion then re-examines the modified heads. It exists purely to
+//! cross-validate the production dynamic program on small inputs (property
+//! tests); its cost is exponential without memoisation and it caps
+//! consecutive `ins` operations at two (one per side) — additional
+//! same-side splits are provably no-ops because the projection of the same
+//! target onto the shortened head is the split point itself.
+//!
+//! Do not use this for anything but testing; [`super::edwp`] is the
+//! production implementation.
+
+use std::collections::HashMap;
+use traj_core::{Segment, StPoint, Trajectory};
+
+/// Last edit applied, used to cap unproductive `ins` chains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum LastOp {
+    /// A replacement (or nothing yet); any edit may follow.
+    Rep,
+    /// `ins` into the first trajectory; another `ins` into it is forbidden.
+    Ins1,
+    /// `ins` into the second trajectory; another `ins` into it is forbidden.
+    Ins2,
+}
+
+type Memo = HashMap<(Vec<(u64, u64)>, Vec<(u64, u64)>, LastOp, u8, usize), f64>;
+
+fn key_of(pts: &[StPoint]) -> Vec<(u64, u64)> {
+    pts.iter()
+        .map(|s| (s.p.x.to_bits(), s.p.y.to_bits()))
+        .collect()
+}
+
+/// Reference EDwP via the paper's recursion. Only suitable for trajectories
+/// with a handful of points.
+pub fn edwp_reference(t1: &Trajectory, t2: &Trajectory) -> f64 {
+    let mut memo = Memo::new();
+    // An `ins` on each side followed by a `rep` leaves both segment counts
+    // unchanged, so the literal recursion admits unbounded refinement
+    // chains (they converge geometrically in cost but never terminate).
+    // Beyond this generous depth only `rep` is allowed, which bounds the
+    // recursion while keeping every edit sequence of practical length.
+    let depth_cap = 4 * (t1.num_points() + t2.num_points()) + 32;
+    rec(
+        t1.points().to_vec(),
+        t2.points().to_vec(),
+        LastOp::Rep,
+        0,
+        depth_cap,
+        &mut memo,
+    )
+}
+
+fn rec(
+    a: Vec<StPoint>,
+    b: Vec<StPoint>,
+    last: LastOp,
+    consec_ins: u8,
+    depth: usize,
+    memo: &mut Memo,
+) -> f64 {
+    // |T| here is the segment count: points - 1.
+    let na = a.len().saturating_sub(1);
+    let nb = b.len().saturating_sub(1);
+    if na == 0 && nb == 0 {
+        return 0.0;
+    }
+    if na == 0 || nb == 0 {
+        return f64::INFINITY;
+    }
+    let k = (key_of(&a), key_of(&b), last, consec_ins, depth);
+    if let Some(&v) = memo.get(&k) {
+        return v;
+    }
+
+    let mut best = f64::INFINITY;
+
+    // Option 1: rep(T1.e1, T2.e1) × Coverage, then recurse on the rests.
+    {
+        let rep = a[0].dist(b[0]) + a[1].dist(b[1]);
+        let coverage = a[0].dist(a[1]) + b[0].dist(b[1]);
+        let rest = rec(
+            a[1..].to_vec(),
+            b[1..].to_vec(),
+            LastOp::Rep,
+            0,
+            depth.saturating_sub(1),
+            memo,
+        );
+        best = best.min(rep * coverage + rest);
+    }
+
+    // Option 2: EDwP(ins(T1, T2), T2) — split T1.e1 at the projection of
+    // T2.e1.s2.
+    if depth > 0 && last != LastOp::Ins1 && consec_ins < 2 {
+        let head = Segment::new(a[0], a[1]);
+        let proj = head.project(b[1].p);
+        let mut a2 = Vec::with_capacity(a.len() + 1);
+        a2.push(a[0]);
+        a2.push(proj.point);
+        a2.extend_from_slice(&a[1..]);
+        best = best.min(rec(
+            a2,
+            b.clone(),
+            LastOp::Ins1,
+            consec_ins + 1,
+            depth - 1,
+            memo,
+        ));
+    }
+
+    // Option 3: EDwP(T1, ins(T2, T1)) — symmetric.
+    if depth > 0 && last != LastOp::Ins2 && consec_ins < 2 {
+        let head = Segment::new(b[0], b[1]);
+        let proj = head.project(a[1].p);
+        let mut b2 = Vec::with_capacity(b.len() + 1);
+        b2.push(b[0]);
+        b2.push(proj.point);
+        b2.extend_from_slice(&b[1..]);
+        best = best.min(rec(
+            a.clone(),
+            b2,
+            LastOp::Ins2,
+            consec_ins + 1,
+            depth - 1,
+            memo,
+        ));
+    }
+
+    memo.insert(k, best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edwp;
+    use traj_core::approx_eq;
+
+    fn t(pts: &[(f64, f64)]) -> Trajectory {
+        Trajectory::from_xy(pts)
+    }
+
+    #[test]
+    fn appendix_a_values_match() {
+        let t1 = t(&[(0.0, 0.0), (0.0, 1.0)]);
+        let t2 = t(&[(0.0, 0.0), (0.0, 1.0), (0.0, 2.0)]);
+        let t3 = t(&[(0.0, 0.0), (0.0, 1.0), (0.0, 2.0), (0.0, 3.0)]);
+        assert!(approx_eq(edwp_reference(&t1, &t2), 1.0));
+        assert!(approx_eq(edwp_reference(&t2, &t3), 1.0));
+        assert!(approx_eq(edwp_reference(&t1, &t3), 4.0));
+    }
+
+    #[test]
+    fn agrees_with_dp_on_small_cases() {
+        let cases = [
+            (
+                t(&[(0.0, 0.0), (3.0, 0.0), (3.0, 3.0)]),
+                t(&[(0.0, 1.0), (3.0, 1.0), (4.0, 3.0)]),
+            ),
+            (
+                t(&[(0.0, 0.0), (10.0, 0.0)]),
+                t(&[(0.0, 1.0), (4.0, 1.0), (6.0, 1.0), (10.0, 1.0)]),
+            ),
+            (
+                t(&[(2.0, 0.0), (2.0, 7.0), (7.0, 7.0)]),
+                t(&[(0.0, 0.0), (0.0, 8.0), (8.0, 8.0)]),
+            ),
+        ];
+        for (a, b) in &cases {
+            let r = edwp_reference(a, b);
+            let d = edwp(a, b);
+            assert!(
+                (r - d).abs() <= 1e-6 * (1.0 + r.abs()),
+                "reference {r} vs dp {d}"
+            );
+        }
+    }
+}

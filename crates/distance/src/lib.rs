@@ -1,0 +1,65 @@
+//! # traj-dist
+//!
+//! Trajectory distance functions for the EDwP / TrajTree reproduction
+//! (Ranu et al., ICDE 2015).
+//!
+//! The centrepiece is [`edwp`] — *Edit Distance with Projections* — together
+//! with its length-normalised variant [`edwp_avg`] (Eq. 4, used throughout
+//! the paper's experiments) and the sub-trajectory variant [`edwp_sub`]
+//! (Sec. IV-B) that also powers the TrajTree lower bounds via
+//! [`boxes::edwp_sub_boxes`].
+//!
+//! The `baselines` module reimplements every comparison technique of the
+//! paper: DTW, LCSS, ERP, EDR, DISSIM and MA, all behind the common
+//! [`TrajDistance`] trait so the experiment harness can sweep over them.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod boxes;
+mod edwp;
+mod matrix;
+
+pub use boxes::{BoxAlignment, BoxSeq, RepOp};
+pub use edwp::reference::edwp_reference;
+pub use edwp::sub::edwp_sub;
+pub use edwp::{edwp, edwp_avg};
+
+use traj_core::Trajectory;
+
+/// A symmetric (or in EDwP's case, symmetric-by-construction) trajectory
+/// distance function, the unit of comparison in the paper's experiments.
+pub trait TrajDistance: Send + Sync {
+    /// Distance between two trajectories; smaller means more similar.
+    fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64;
+
+    /// Short display name used in experiment tables (e.g. `"EDwP"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Length-normalised EDwP (Eq. 4) — the configuration used in all of the
+/// paper's experiments ("We use the length normalized EDwP defined in Eq. 4").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdwpDistance;
+
+impl TrajDistance for EdwpDistance {
+    fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        edwp_avg(a, b)
+    }
+    fn name(&self) -> &'static str {
+        "EDwP"
+    }
+}
+
+/// Raw (cumulative, un-normalised) EDwP.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdwpRawDistance;
+
+impl TrajDistance for EdwpRawDistance {
+    fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        edwp(a, b)
+    }
+    fn name(&self) -> &'static str {
+        "EDwP-raw"
+    }
+}

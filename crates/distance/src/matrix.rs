@@ -1,0 +1,61 @@
+/// A dense row-major `rows × cols` matrix of `f64`, used by the dynamic
+/// programs in this crate.
+#[derive(Debug, Clone)]
+pub(crate) struct Matrix {
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix filled with `fill`.
+    pub fn filled(rows: usize, cols: usize, fill: f64) -> Self {
+        Matrix {
+            cols,
+            data: vec![fill; rows * cols],
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Lowers the cell to `v` if `v` is smaller (relaxation step).
+    #[inline]
+    pub fn relax(&mut self, r: usize, c: usize, v: f64) -> bool {
+        let cell = &mut self.data[r * self.cols + c];
+        if v < *cell {
+            *cell = v;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = Matrix::filled(3, 4, f64::INFINITY);
+        assert_eq!(m.get(2, 3), f64::INFINITY);
+        m.set(2, 3, 1.5);
+        assert_eq!(m.get(2, 3), 1.5);
+        assert_eq!(m.get(0, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn relax_only_lowers() {
+        let mut m = Matrix::filled(1, 1, 5.0);
+        assert!(m.relax(0, 0, 3.0));
+        assert!(!m.relax(0, 0, 4.0));
+        assert_eq!(m.get(0, 0), 3.0);
+    }
+}
