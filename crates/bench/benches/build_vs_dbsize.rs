@@ -1,4 +1,18 @@
-use criterion::{criterion_group, criterion_main, Criterion};
-fn noop(_c: &mut Criterion) {}
-criterion_group!(benches, noop);
+//! TrajTree bulk-load cost as the database grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use traj_bench::{make_index, make_store};
+
+fn build_vs_dbsize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_vs_dbsize");
+    for size in [50usize, 200, 500] {
+        let store = make_store(size);
+        group.bench_with_input(BenchmarkId::new("bulk_load", size), &store, |b, store| {
+            b.iter(|| black_box(make_index(store)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, build_vs_dbsize);
 criterion_main!(benches);

@@ -1,4 +1,46 @@
-use criterion::{criterion_group, criterion_main, Criterion};
-fn noop(_c: &mut Criterion) {}
-criterion_group!(benches, noop);
+//! Distance-kernel microbenchmarks: the EDwP dynamic program at several
+//! trajectory sizes, and the box bounds that let the index avoid it.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use traj_bench::{make_queries, make_store};
+use traj_dist::{edwp, edwp_lower_bound_boxes, edwp_lower_bound_trajectory, BoxSeq};
+use traj_gen::TrajGen;
+
+fn edwp_scaling(c: &mut Criterion) {
+    let mut g = TrajGen::new(5);
+    let mut group = c.benchmark_group("edwp");
+    for n in [8usize, 16, 32] {
+        let a = g.random_walk(n);
+        let b = g.random_walk(n);
+        group.bench_with_input(BenchmarkId::new("full_dp", n), &(a, b), |bench, (a, b)| {
+            bench.iter(|| black_box(edwp(a, b)));
+        });
+    }
+    group.finish();
+}
+
+fn bounds_vs_full(c: &mut Criterion) {
+    let store = make_store(50);
+    let queries = make_queries(&store, 4);
+    let member = store.get(0);
+    let seq = {
+        let mut s = BoxSeq::from_trajectory(member);
+        s.coalesce(Some(12));
+        s
+    };
+    let q = &queries[0];
+    let mut group = c.benchmark_group("bounds");
+    group.bench_function("edwp_lower_bound_boxes", |b| {
+        b.iter(|| black_box(edwp_lower_bound_boxes(q, &seq)));
+    });
+    group.bench_function("edwp_lower_bound_trajectory", |b| {
+        b.iter(|| black_box(edwp_lower_bound_trajectory(q, member)));
+    });
+    group.bench_function("edwp_full", |b| {
+        b.iter(|| black_box(edwp(q, member)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, edwp_scaling, bounds_vs_full);
 criterion_main!(benches);

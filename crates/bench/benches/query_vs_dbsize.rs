@@ -1,4 +1,30 @@
-use criterion::{criterion_group, criterion_main, Criterion};
-fn noop(_c: &mut Criterion) {}
-criterion_group!(benches, noop);
+//! k-NN query latency (k = 10) as the database grows: with pruning the
+//! curve should grow sublinearly on clustered data, unlike a linear scan.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use traj_bench::{make_index, make_queries, make_store};
+
+fn query_vs_dbsize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_vs_dbsize");
+    for size in [100usize, 300, 900] {
+        let store = make_store(size);
+        let tree = make_index(&store);
+        let queries = make_queries(&store, 8);
+        group.bench_with_input(
+            BenchmarkId::new("knn_k10", size),
+            &(store, tree, queries),
+            |b, (store, tree, queries)| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    black_box(tree.knn(store, q, 10))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, query_vs_dbsize);
 criterion_main!(benches);

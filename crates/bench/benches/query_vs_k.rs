@@ -1,4 +1,26 @@
-use criterion::{criterion_group, criterion_main, Criterion};
-fn noop(_c: &mut Criterion) {}
-criterion_group!(benches, noop);
+//! k-NN query latency on a fixed database as `k` grows: larger k weakens
+//! the pruning threshold, so latency should rise smoothly with k.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use traj_bench::{make_index, make_queries, make_store};
+
+fn query_vs_k(c: &mut Criterion) {
+    let store = make_store(400);
+    let tree = make_index(&store);
+    let queries = make_queries(&store, 8);
+    let mut group = c.benchmark_group("query_vs_k");
+    for k in [1usize, 5, 10, 25] {
+        group.bench_with_input(BenchmarkId::new("knn", k), &k, |b, &k| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(tree.knn(&store, q, k))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, query_vs_k);
 criterion_main!(benches);

@@ -1,1 +1,67 @@
-//! placeholder
+//! # traj-bench
+//!
+//! Shared fixtures for the criterion benchmarks: deterministic clustered
+//! databases and query workloads, so `build_vs_dbsize`, `query_vs_dbsize`,
+//! `query_vs_k` and `distance_ops` all measure the same data shapes and
+//! successive runs are comparable (`target/bench-results/*.json`).
+
+#![warn(missing_docs)]
+
+use traj_core::Trajectory;
+use traj_gen::{GenConfig, TrajGen};
+use traj_index::{TrajStore, TrajTree};
+
+/// Fixed seed for every benchmark fixture.
+pub const BENCH_SEED: u64 = 0xBE9C;
+
+/// A deterministic clustered database of `size` trajectories of 6–16
+/// samples each.
+pub fn make_store(size: usize) -> TrajStore {
+    let mut g = TrajGen::with_config(
+        BENCH_SEED,
+        GenConfig {
+            area: 1000.0,
+            clusters: 8,
+            cluster_spread: 10.0,
+            step: 4.0,
+            ..GenConfig::default()
+        },
+    );
+    TrajStore::from(g.database(size, 6, 16))
+}
+
+/// A bulk-loaded index over [`make_store`]'s output.
+pub fn make_index(store: &TrajStore) -> TrajTree {
+    TrajTree::build(store)
+}
+
+/// Deterministic query workload: distorted copies of database members
+/// (resampled to 50%, noise σ 1.0), the realistic "same trip, different
+/// sampling rate" lookup.
+pub fn make_queries(store: &TrajStore, count: usize) -> Vec<Trajectory> {
+    let mut g = TrajGen::new(BENCH_SEED ^ 0xFF);
+    (0..count)
+        .map(|i| {
+            let target = ((i * 31 + 7) % store.len()) as u32;
+            let resampled = g.resample(store.get(target), 0.5);
+            g.perturb(&resampled, 1.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = make_store(40);
+        let b = make_store(40);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.get(17), b.get(17));
+        let qa = make_queries(&a, 3);
+        let qb = make_queries(&b, 3);
+        assert_eq!(qa, qb);
+        assert_eq!(make_index(&a).len(), 40);
+    }
+}

@@ -27,7 +27,10 @@ impl fmt::Display for CoreError {
                 write!(f, "trajectory needs at least 2 st-points, got {got}")
             }
             CoreError::NonMonotonicTime { index } => {
-                write!(f, "timestamp at index {index} is earlier than its predecessor")
+                write!(
+                    f,
+                    "timestamp at index {index} is earlier than its predecessor"
+                )
             }
             CoreError::NotFinite { index } => {
                 write!(f, "coordinate or timestamp at index {index} is not finite")

@@ -288,7 +288,10 @@ mod tests {
         let (ta, tb, d) = a.closest_params(&b);
         assert!(approx_eq(ta, 1.0));
         assert!(approx_eq(tb, 0.0));
-        assert!(approx_eq(d, Point::new(1.0, 0.0).dist(Point::new(3.0, 1.0))));
+        assert!(approx_eq(
+            d,
+            Point::new(1.0, 0.0).dist(Point::new(3.0, 1.0))
+        ));
     }
 
     #[test]

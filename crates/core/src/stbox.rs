@@ -85,7 +85,10 @@ impl StBox {
     /// `p^{ins(b, s)}` of Sec. IV-A. Equals `q` itself when `q` is inside.
     #[inline]
     pub fn closest_point(&self, q: Point) -> Point {
-        Point::new(q.x.clamp(self.lo.x, self.hi.x), q.y.clamp(self.lo.y, self.hi.y))
+        Point::new(
+            q.x.clamp(self.lo.x, self.hi.x),
+            q.y.clamp(self.lo.y, self.hi.y),
+        )
     }
 
     /// Generalised `dist(s, b)`: the minimum distance from `q` to any point

@@ -53,7 +53,7 @@ mod tests {
 
     #[test]
     fn usable_as_sort_key() {
-        let mut v = vec![TotalF64(3.0), TotalF64(f64::NAN), TotalF64(1.0)];
+        let mut v = [TotalF64(3.0), TotalF64(f64::NAN), TotalF64(1.0)];
         v.sort();
         assert_eq!(v[0], TotalF64(1.0));
         assert_eq!(v[1], TotalF64(3.0));

@@ -115,7 +115,10 @@ impl Trajectory {
     /// (`T[a, .., b]` in the paper's notation, 0-based). Panics unless
     /// `a < b < num_points`.
     pub fn sub_trajectory(&self, a: usize, b: usize) -> Trajectory {
-        assert!(a < b && b < self.points.len(), "invalid sub-trajectory range");
+        assert!(
+            a < b && b < self.points.len(),
+            "invalid sub-trajectory range"
+        );
         Trajectory {
             points: self.points[a..=b].to_vec(),
         }
@@ -187,7 +190,10 @@ mod tests {
             Trajectory::new(vec![StPoint::new(0.0, 0.0, 0.0)]),
             Err(CoreError::TooFewPoints { got: 1 })
         );
-        assert_eq!(Trajectory::new(vec![]), Err(CoreError::TooFewPoints { got: 0 }));
+        assert_eq!(
+            Trajectory::new(vec![]),
+            Err(CoreError::TooFewPoints { got: 0 })
+        );
     }
 
     #[test]

@@ -94,7 +94,13 @@ mod tests {
         // Fig. 1(b): four of five points coincide (densely sampled region)
         // while the trajectories diverge elsewhere; EDR reports only 1.
         let t1 = t(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (100.0, 0.0)]);
-        let t2 = t(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (100.0, 80.0)]);
+        let t2 = t(&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (2.0, 0.0),
+            (3.0, 0.0),
+            (100.0, 80.0),
+        ]);
         assert!(approx_eq(edr(&t1, &t2, 2.0), 1.0));
     }
 

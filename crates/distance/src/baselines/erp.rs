@@ -92,6 +92,9 @@ mod tests {
     fn symmetric() {
         let a = t(&[(0.0, 0.0), (5.0, 5.0)]);
         let b = t(&[(1.0, 0.0), (4.0, 4.0), (6.0, 6.0)]);
-        assert!(approx_eq(erp(&a, &b, Point::ORIGIN), erp(&b, &a, Point::ORIGIN)));
+        assert!(approx_eq(
+            erp(&a, &b, Point::ORIGIN),
+            erp(&b, &a, Point::ORIGIN)
+        ));
     }
 }

@@ -9,8 +9,8 @@
 //! traceback — and one st-box is emitted per replace operation, exactly as
 //! described under "Constructing tBoxSeqs".
 //!
-//! [`edwp_sub_boxes`] is the value-only variant used as the TrajTree lower
-//! bound (Theorem 2): `EDwP_sub(Q, tBoxSeq(S)) ≤ EDwP(Q, T) ∀ T ∈ S`.
+//! [`edwp_sub_boxes`] is the value-only variant of the alignment cost; the
+//! TrajTree index prunes with [`edwp_lower_bound_boxes`] instead.
 //!
 //! # Lower-bound posture
 //!
@@ -21,6 +21,17 @@
 //! is charged only on the step that advances past the box — charging it on
 //! every stay-step can exceed the coverage of the corresponding true
 //! alignment, which would break admissibility. See `DESIGN.md` §5.
+//!
+//! Even so, [`edwp_sub_boxes`] is only *approximately* admissible: its
+//! interpolated DP anchors are canonical (the point of a segment closest to
+//! the last consumed box), and once boxes are coarsened by
+//! [`BoxSeq::coalesce`] those anchors can drift far enough from the true
+//! optimum's split points that the DP value exceeds `EDwP(Q, T)` for a
+//! summarised member `T` (property testing observed >40% overshoot on
+//! aggressively coalesced sequences). Exact index pruning therefore uses
+//! the strictly admissible relaxation [`edwp_lower_bound_boxes`];
+//! `edwp_sub_boxes` remains the construction-time alignment cost for
+//! [`BoxSeq::merge_trajectory`], where admissibility is irrelevant.
 
 use crate::matrix::Matrix;
 use traj_core::{Segment, StBox, StPoint, Trajectory};
@@ -103,23 +114,46 @@ impl BoxSeq {
     }
 
     /// `createTBoxSeq(T, B)`: merges trajectory `t` into this sequence.
-    /// The `EDwP_sub` alignment is computed, one st-box is created per
-    /// replace operation (the union of the consumed box and the matched
-    /// trajectory piece), and skipped prefix/suffix boxes are kept as-is.
+    /// The `EDwP_sub` alignment is computed and each *consumed* box is
+    /// grown to the union of itself and every trajectory piece matched to
+    /// it; skipped prefix/suffix boxes are kept as-is.
+    ///
+    /// One output box is emitted per consumed input box — never one per
+    /// replace operation. Duplicating a box once per operation would force
+    /// previously merged trajectories to pay extra `ins` edits to traverse
+    /// the copies, which can push the sequence's `EDwP_sub` above the true
+    /// `EDwP` of a member and break the Theorem 2 lower bound (observed as
+    /// large admissibility violations in the property tests).
     pub fn merge_trajectory(&self, t: &Trajectory) -> BoxSeq {
         let alignment = align_boxes(t, self);
-        let mut out = Vec::with_capacity(self.boxes.len() + alignment.ops.len());
         let first_used = alignment.ops.iter().map(|o| o.box_idx).min();
         let last_used = alignment.ops.iter().map(|o| o.box_idx).max();
         let (first_used, last_used) = match (first_used, last_used) {
             (Some(f), Some(l)) => (f, l),
             _ => return self.clone(), // no ops: nothing aligned, keep as-is
         };
+        let mut out = Vec::with_capacity(self.boxes.len());
         out.extend_from_slice(&self.boxes[..first_used]);
+        let mut current: Option<(usize, StBox)> = None;
         for op in &alignment.ops {
-            let mut merged = self.boxes[op.box_idx];
-            merged.expand_to_segment(&op.piece);
-            out.push(merged);
+            match &mut current {
+                Some((idx, grown)) if *idx == op.box_idx => grown.expand_to_segment(&op.piece),
+                _ => {
+                    if let Some((idx, grown)) = current.take() {
+                        out.push(grown);
+                        // Preserve any in-range boxes the alignment stepped
+                        // past without recording an op (defensive: advances
+                        // are one box at a time, so this is normally empty).
+                        out.extend_from_slice(&self.boxes[idx + 1..op.box_idx]);
+                    }
+                    let mut grown = self.boxes[op.box_idx];
+                    grown.expand_to_segment(&op.piece);
+                    current = Some((op.box_idx, grown));
+                }
+            }
+        }
+        if let Some((_, grown)) = current {
+            out.push(grown);
         }
         out.extend_from_slice(&self.boxes[last_used + 1..]);
         BoxSeq { boxes: out }
@@ -153,6 +187,57 @@ impl BoxSeq {
             self.boxes.remove(best.0 + 1);
         }
     }
+}
+
+/// Provably admissible lower bound on `EDwP(t, T)` for every trajectory `T`
+/// summarised by `seq` — the bound that drives TrajTree's exact k-NN search.
+///
+/// Derivation (a relaxation of the Theorem 2 construction): every replace
+/// operation in an optimal EDwP alignment costs
+/// `(dist(a, b) + dist(e1, e2)) · (len(q_piece) + len(t_piece))` where `b`
+/// and `e2` lie on `T`, and `T`'s polyline is contained in the union of
+/// `seq`'s boxes (the coverage invariant maintained by
+/// [`BoxSeq::merge_trajectory`] and [`BoxSeq::coalesce`]). Both distance
+/// terms are therefore at least the minimum distance from the query piece's
+/// segment to the nearest box, and the query pieces of each segment tile its
+/// length, giving `EDwP(t, T) ≥ Σ_i 2 · len(e_i) · min_b dist(e_i, b)`.
+///
+/// Unlike [`edwp_sub_boxes`] — whose canonical interpolated anchors can
+/// overshoot the true optimum and break admissibility once boxes are
+/// coarsened — this bound never exceeds the true distance, so best-first
+/// search pruned with it stays exact. It is correspondingly looser when the
+/// query runs close to the boxes, which only costs extra refinement work.
+pub fn edwp_lower_bound_boxes(t: &Trajectory, seq: &BoxSeq) -> f64 {
+    if seq.is_empty() {
+        return f64::INFINITY;
+    }
+    t.segments()
+        .map(|e| {
+            let d = seq
+                .boxes()
+                .iter()
+                .map(|b| b.closest_param_on_segment(&e).1)
+                .fold(f64::INFINITY, f64::min);
+            2.0 * d * e.length()
+        })
+        .sum()
+}
+
+/// The trajectory-to-trajectory analogue of [`edwp_lower_bound_boxes`]:
+/// `EDwP(t, s) ≥ Σ_i 2 · len(e_i) · dist(e_i, s)` with exact
+/// segment-to-polyline distances instead of box distances. Tighter than the
+/// box bound (boxes enclose the segments they summarise), and used to
+/// refine leaf candidates before paying for a full EDwP evaluation.
+pub fn edwp_lower_bound_trajectory(t: &Trajectory, s: &Trajectory) -> f64 {
+    t.segments()
+        .map(|e| {
+            let d = s
+                .segments()
+                .map(|f| e.closest_params(&f).2)
+                .fold(f64::INFINITY, f64::min);
+            2.0 * d * e.length()
+        })
+        .sum()
 }
 
 /// DP state kinds for the box-mode alignment.
@@ -319,7 +404,12 @@ fn run_box_dp(t: &Trajectory, seq: &BoxSeq, mut trace: Option<&mut TraceTable>) 
                 let rep = (bd_a + bd_e1) * (a.dist(e1) + b.min_len);
                 if dp.relax(i + 1, col(j + 1, AT_SAMPLE), base + rep) {
                     if let Some(tr) = trace.as_deref_mut() {
-                        tr.set(i + 1, j + 1, AT_SAMPLE, (Op::Rep, i as u32, j as u32, k as u8));
+                        tr.set(
+                            i + 1,
+                            j + 1,
+                            AT_SAMPLE,
+                            (Op::Rep, i as u32, j as u32, k as u8),
+                        );
                     }
                 }
                 // ins into t: split segment i at its closest point to box
@@ -474,6 +564,46 @@ mod tests {
         let q = t(&[(0.0, 0.0), (1.0, 0.0)]);
         let seq = BoxSeq { boxes: vec![] };
         assert!(edwp_sub_boxes(&q, &seq).is_infinite());
+    }
+
+    #[test]
+    fn lower_bound_boxes_is_admissible_on_members() {
+        let t1 = t(&[(0.0, 0.0), (0.0, 8.0), (8.0, 8.0)]);
+        let t2 = t(&[(2.0, 0.0), (2.0, 7.0), (7.0, 7.0)]);
+        let mut seq = BoxSeq::from_trajectories([&t1, &t2].into_iter(), None).unwrap();
+        seq.coalesce(Some(2));
+        let q = t(&[(1.0, 1.0), (1.0, 6.0), (6.0, 6.0)]);
+        let lb = edwp_lower_bound_boxes(&q, &seq);
+        assert!(lb <= edwp(&q, &t1) + 1e-9);
+        assert!(lb <= edwp(&q, &t2) + 1e-9);
+    }
+
+    #[test]
+    fn lower_bound_boxes_is_positive_when_far() {
+        let far = t(&[(100.0, 100.0), (110.0, 100.0)]);
+        let seq = BoxSeq::from_trajectory(&t(&[(0.0, 0.0), (10.0, 0.0)]));
+        // Separation ≥ ~134, query length 10: bound ≥ 2 · 10 · 134.
+        let lb = edwp_lower_bound_boxes(&far, &seq);
+        assert!(lb > 2.0 * 10.0 * 130.0, "lb too weak: {lb}");
+        assert!(lb <= edwp(&far, &t(&[(0.0, 0.0), (10.0, 0.0)])) + 1e-9);
+    }
+
+    #[test]
+    fn lower_bound_trajectory_tighter_than_boxes() {
+        let q = t(&[(5.0, 5.0), (9.0, 9.0)]);
+        let s = t(&[(0.0, 0.0), (1.0, 4.0), (4.0, 1.0)]);
+        let via_boxes = edwp_lower_bound_boxes(&q, &BoxSeq::from_trajectory(&s));
+        let via_polyline = edwp_lower_bound_trajectory(&q, &s);
+        assert!(via_boxes <= via_polyline + 1e-9);
+        assert!(via_polyline <= edwp(&q, &s) + 1e-9);
+    }
+
+    #[test]
+    fn lower_bound_zero_for_own_boxes() {
+        let a = t(&[(0.0, 0.0), (2.0, 2.0), (4.0, 0.0)]);
+        let seq = BoxSeq::from_trajectory(&a);
+        assert!(approx_eq(edwp_lower_bound_boxes(&a, &seq), 0.0));
+        assert!(approx_eq(edwp_lower_bound_trajectory(&a, &a), 0.0));
     }
 
     #[test]

@@ -189,8 +189,7 @@ pub(crate) fn run_dp(t1: &Trajectory, t2: &Trajectory, mode: DpMode) -> f64 {
                     if !matches!(k, Kind::Ii1 | Kind::Ii2) {
                         for kk in [Kind::Ii1, Kind::Ii2] {
                             let (pi1, pi2) = anchors(t1, t2, i, j, kk);
-                            let cost =
-                                (a.dist(b) + pi1.dist(pi2)) * (a.dist(pi1) + b.dist(pi2));
+                            let cost = (a.dist(b) + pi1.dist(pi2)) * (a.dist(pi1) + b.dist(pi2));
                             relax(&mut cur[j], kk, base + cost);
                         }
                     }
@@ -201,9 +200,7 @@ pub(crate) fn run_dp(t1: &Trajectory, t2: &Trajectory, mode: DpMode) -> f64 {
                     let cost = base + (a.dist(b) + a.dist(e2)) * b.dist(e2);
                     match k {
                         // Sample anchor stays a sample anchor.
-                        Kind::Bb | Kind::Bi | Kind::BiL => {
-                            relax(&mut cur[j + 1], Kind::Bb, cost)
-                        }
+                        Kind::Bb | Kind::Bi | Kind::BiL => relax(&mut cur[j + 1], Kind::Bb, cost),
                         // proj(q_j) held while j advances → lag anchor.
                         Kind::Ib => relax(&mut cur[j + 1], Kind::IbL, cost),
                         // π1 = proj(q_{j+1}) is exactly Ib's anchor at j+1.

@@ -88,7 +88,10 @@ mod tests {
         let t2 = Trajectory::from_xyt(&[(2.0, 0.0, 0.0), (2.0, 7.0, 14.0), (7.0, 7.0, 30.0)]);
         let d12 = edwp_sub(&t1, &t2);
         let d21 = edwp_sub(&t2, &t1);
-        assert!(d21 < d12, "expected EDwP_sub(T2,T1) < EDwP_sub(T1,T2): {d21} vs {d12}");
+        assert!(
+            d21 < d12,
+            "expected EDwP_sub(T2,T1) < EDwP_sub(T1,T2): {d21} vs {d12}"
+        );
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! The centrepiece is [`edwp`] — *Edit Distance with Projections* — together
 //! with its length-normalised variant [`edwp_avg`] (Eq. 4, used throughout
 //! the paper's experiments) and the sub-trajectory variant [`edwp_sub`]
-//! (Sec. IV-B) that also powers the TrajTree lower bounds via
-//! [`boxes::edwp_sub_boxes`].
+//! (Sec. IV-B). The `boxes` module provides tBoxSeq summaries
+//! ([`BoxSeq`]), their construction-time alignment ([`edwp_sub_boxes`]),
+//! and the admissible pruning bounds the TrajTree index searches with
+//! ([`edwp_lower_bound_boxes`], [`edwp_lower_bound_trajectory`]).
 //!
 //! The `baselines` module reimplements every comparison technique of the
 //! paper: DTW, LCSS, ERP, EDR, DISSIM and MA, all behind the common
@@ -20,7 +22,10 @@ pub mod boxes;
 mod edwp;
 mod matrix;
 
-pub use boxes::{BoxAlignment, BoxSeq, RepOp};
+pub use boxes::{
+    edwp_lower_bound_boxes, edwp_lower_bound_trajectory, edwp_sub_boxes, BoxAlignment, BoxSeq,
+    RepOp,
+};
 pub use edwp::reference::edwp_reference;
 pub use edwp::sub::edwp_sub;
 pub use edwp::{edwp, edwp_avg};

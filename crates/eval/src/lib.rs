@@ -1,1 +1,136 @@
-//! placeholder
+//! # traj-eval
+//!
+//! Retrieval-quality and pruning metrics for trajectory k-NN experiments,
+//! mirroring the measurements of the paper's experimental section
+//! (precision of retrieved neighbour sets, rank of a known relevant
+//! trajectory, and the fraction of the database an index avoids scoring).
+
+#![warn(missing_docs)]
+
+use traj_index::{KnnStats, Neighbor, TrajId};
+
+/// Fraction of `retrieved` ids that appear in `relevant` (precision@k for
+/// `k = retrieved.len()`). Returns 0 for an empty retrieval.
+pub fn precision(retrieved: &[TrajId], relevant: &[TrajId]) -> f64 {
+    if retrieved.is_empty() {
+        return 0.0;
+    }
+    let hits = retrieved.iter().filter(|id| relevant.contains(id)).count();
+    hits as f64 / retrieved.len() as f64
+}
+
+/// Fraction of `relevant` ids that appear in `retrieved` (recall@k).
+/// Returns 0 when there are no relevant ids.
+pub fn recall(retrieved: &[TrajId], relevant: &[TrajId]) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = relevant.iter().filter(|id| retrieved.contains(id)).count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Reciprocal rank of `target` in a ranked retrieval (1 for first place,
+/// 1/2 for second, …; 0 when absent).
+pub fn reciprocal_rank(retrieved: &[TrajId], target: TrajId) -> f64 {
+    retrieved
+        .iter()
+        .position(|&id| id == target)
+        .map_or(0.0, |pos| 1.0 / (pos + 1) as f64)
+}
+
+/// The ids of a neighbour list, in rank order.
+pub fn ids_of(neighbors: &[Neighbor]) -> Vec<TrajId> {
+    neighbors.iter().map(|n| n.id).collect()
+}
+
+/// Aggregates [`KnnStats`] over many queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PruningSummary {
+    /// Number of queries aggregated.
+    pub queries: usize,
+    /// Mean full-EDwP evaluations per query.
+    pub mean_edwp_evaluations: f64,
+    /// Mean fraction of the database pruned before the EDwP stage.
+    pub mean_pruning_ratio: f64,
+    /// Database size (of the last aggregated query).
+    pub db_size: usize,
+}
+
+impl PruningSummary {
+    /// Summarises a batch of per-query stats.
+    pub fn from_stats(stats: &[KnnStats]) -> Self {
+        if stats.is_empty() {
+            return PruningSummary::default();
+        }
+        let n = stats.len() as f64;
+        PruningSummary {
+            queries: stats.len(),
+            mean_edwp_evaluations: stats.iter().map(|s| s.edwp_evaluations as f64).sum::<f64>() / n,
+            mean_pruning_ratio: stats.iter().map(|s| s.pruning_ratio()).sum::<f64>() / n,
+            db_size: stats.last().map_or(0, |s| s.db_size),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_core::approx_eq;
+
+    #[test]
+    fn precision_and_recall() {
+        let retrieved = [1u32, 2, 3, 4];
+        let relevant = [2u32, 4, 9];
+        assert!(approx_eq(precision(&retrieved, &relevant), 0.5));
+        assert!(approx_eq(recall(&retrieved, &relevant), 2.0 / 3.0));
+        assert!(approx_eq(precision(&[], &relevant), 0.0));
+        assert!(approx_eq(recall(&retrieved, &[]), 0.0));
+    }
+
+    #[test]
+    fn reciprocal_rank_positions() {
+        let retrieved = [7u32, 3, 5];
+        assert!(approx_eq(reciprocal_rank(&retrieved, 7), 1.0));
+        assert!(approx_eq(reciprocal_rank(&retrieved, 5), 1.0 / 3.0));
+        assert!(approx_eq(reciprocal_rank(&retrieved, 99), 0.0));
+    }
+
+    #[test]
+    fn pruning_summary_averages() {
+        let stats = [
+            KnnStats {
+                db_size: 100,
+                nodes_visited: 4,
+                bound_evaluations: 20,
+                edwp_evaluations: 10,
+            },
+            KnnStats {
+                db_size: 100,
+                nodes_visited: 6,
+                bound_evaluations: 30,
+                edwp_evaluations: 30,
+            },
+        ];
+        let s = PruningSummary::from_stats(&stats);
+        assert_eq!(s.queries, 2);
+        assert!(approx_eq(s.mean_edwp_evaluations, 20.0));
+        assert!(approx_eq(s.mean_pruning_ratio, (0.9 + 0.7) / 2.0));
+        assert_eq!(s.db_size, 100);
+        assert_eq!(PruningSummary::from_stats(&[]), PruningSummary::default());
+    }
+
+    #[test]
+    fn ids_of_extracts_rank_order() {
+        let ns = [
+            Neighbor {
+                id: 9,
+                distance: 0.5,
+            },
+            Neighbor {
+                id: 2,
+                distance: 1.5,
+            },
+        ];
+        assert_eq!(ids_of(&ns), vec![9, 2]);
+    }
+}

@@ -1,1 +1,134 @@
-//! placeholder
+//! # traj-experiments
+//!
+//! End-to-end experiment harness tying together [`traj_gen`] (synthetic
+//! data), [`traj_index`] (TrajTree search) and [`traj_eval`] (metrics).
+//! The experiments mirror the questions of the paper's Sec. VI at reduced
+//! scale: does the index stay exact, how much of the database does it
+//! prune, and does EDwP retrieve the original trajectory from a distorted
+//! (resampled, noisy) query?
+
+#![warn(missing_docs)]
+
+use traj_eval::{ids_of, reciprocal_rank, PruningSummary};
+use traj_gen::{GenConfig, TrajGen};
+use traj_index::{brute_force_knn, KnnStats, TrajStore, TrajTree};
+
+/// Parameters of one k-NN experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Number of database trajectories.
+    pub db_size: usize,
+    /// Neighbours requested per query.
+    pub k: usize,
+    /// Number of queries issued.
+    pub queries: usize,
+    /// RNG seed for data generation.
+    pub seed: u64,
+    /// Probability of keeping each interior sample when distorting a
+    /// member into a query (1.0 disables resampling).
+    pub resample_keep: f64,
+    /// Spatial noise σ applied to query samples (0.0 disables noise).
+    pub noise_sigma: f64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            db_size: 200,
+            k: 5,
+            queries: 20,
+            seed: 42,
+            resample_keep: 0.5,
+            noise_sigma: 0.3,
+        }
+    }
+}
+
+/// Outcome of [`knn_experiment`].
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// The configuration that produced this report.
+    pub config: ExperimentConfig,
+    /// Pruning aggregates over all queries.
+    pub pruning: PruningSummary,
+    /// Fraction of queries whose index result matched brute force exactly.
+    pub exactness: f64,
+    /// Mean reciprocal rank of each query's original trajectory in the
+    /// retrieved list (1.0 = always first).
+    pub mean_reciprocal_rank: f64,
+    /// Index height.
+    pub tree_height: usize,
+    /// Index node count.
+    pub tree_nodes: usize,
+}
+
+/// Runs the standard experiment: build a clustered database, index it,
+/// issue distorted member queries, and compare the index against a linear
+/// scan on every query.
+pub fn knn_experiment(config: ExperimentConfig) -> ExperimentReport {
+    let mut g = TrajGen::with_config(
+        config.seed,
+        GenConfig {
+            area: 400.0,
+            clusters: 6,
+            cluster_spread: 5.0,
+            ..GenConfig::default()
+        },
+    );
+    let store = TrajStore::from(g.database(config.db_size, 5, 14));
+    let tree = TrajTree::build(&store);
+
+    let mut all_stats: Vec<KnnStats> = Vec::with_capacity(config.queries);
+    let mut exact = 0usize;
+    let mut mrr_sum = 0.0;
+    for q in 0..config.queries {
+        // Query = a distorted copy of a database member.
+        let target = ((q * 37 + 11) % store.len()) as u32;
+        let original = store.get(target).clone();
+        let resampled = g.resample(&original, config.resample_keep);
+        let query = if config.noise_sigma > 0.0 {
+            g.perturb(&resampled, config.noise_sigma)
+        } else {
+            resampled
+        };
+
+        let (got, stats) = tree.knn(&store, &query, config.k);
+        let want = brute_force_knn(&store, &query, config.k);
+        if got == want {
+            exact += 1;
+        }
+        mrr_sum += reciprocal_rank(&ids_of(&got), target);
+        all_stats.push(stats);
+    }
+
+    ExperimentReport {
+        config: config.clone(),
+        pruning: PruningSummary::from_stats(&all_stats),
+        exactness: exact as f64 / config.queries.max(1) as f64,
+        mean_reciprocal_rank: mrr_sum / config.queries.max(1) as f64,
+        tree_height: tree.height(),
+        tree_nodes: tree.node_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_is_exact_and_prunes() {
+        let report = knn_experiment(ExperimentConfig {
+            db_size: 120,
+            queries: 8,
+            ..ExperimentConfig::default()
+        });
+        assert_eq!(report.exactness, 1.0, "index diverged from brute force");
+        assert!(
+            report.pruning.mean_edwp_evaluations < 120.0,
+            "no pruning at all: {}",
+            report.pruning.mean_edwp_evaluations
+        );
+        assert!(report.mean_reciprocal_rank > 0.5);
+        assert!(report.tree_height >= 2);
+    }
+}

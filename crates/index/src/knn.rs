@@ -1,0 +1,342 @@
+//! Exact best-first k-NN search over a [`TrajTree`].
+//!
+//! The search is the incremental nearest-neighbour algorithm of Hjaltason &
+//! Samet driven by the paper's Theorem 2 box bounds: a min-priority queue
+//! holds tree nodes keyed by the admissible lower bound
+//! [`traj_dist::edwp_lower_bound_boxes`] of their (coarsened) tBoxSeq
+//! summaries. Popping an internal node refines it into its children;
+//! popping a leaf refines each member into a per-trajectory candidate keyed
+//! by the tighter polyline bound [`traj_dist::edwp_lower_bound_trajectory`];
+//! popping a candidate finally pays for one full EDwP evaluation. Search
+//! stops once no queued bound can beat the current k-th best distance, so
+//! far-away subtrees never reach the EDwP stage at all.
+//!
+//! Exactness: every queue key is a true lower bound of the EDwP distance of
+//! every trajectory below the entry (keys are additionally clamped to be
+//! monotone along refinement paths), so when the queue's minimum exceeds
+//! the k-th best exact distance, no unexplored trajectory can belong to the
+//! answer. Ties on distance are broken by ascending id, matching
+//! [`brute_force_knn`] exactly.
+
+use crate::store::{TrajId, TrajStore};
+use crate::tree::{Node, TrajTree};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use traj_core::{TotalF64, Trajectory};
+use traj_dist::{edwp, edwp_lower_bound_boxes, edwp_lower_bound_trajectory};
+
+/// One k-NN answer: a trajectory id and its exact (raw, cumulative) EDwP
+/// distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Id of the matched trajectory.
+    pub id: TrajId,
+    /// Exact `edwp(query, trajectory)` distance.
+    pub distance: f64,
+}
+
+/// Work counters of one k-NN search, for pruning-effectiveness reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KnnStats {
+    /// Database size at query time.
+    pub db_size: usize,
+    /// Tree nodes (internal + leaf) popped and refined.
+    pub nodes_visited: usize,
+    /// Lower-bound evaluations (node summaries + per-trajectory bounds).
+    pub bound_evaluations: usize,
+    /// Full EDwP dynamic programs evaluated — the expensive operation a
+    /// linear scan performs `db_size` times.
+    pub edwp_evaluations: usize,
+}
+
+impl KnnStats {
+    /// Fraction of the database whose full EDwP evaluation was avoided
+    /// (0 for an empty database).
+    pub fn pruning_ratio(&self) -> f64 {
+        if self.db_size == 0 {
+            0.0
+        } else {
+            1.0 - self.edwp_evaluations as f64 / self.db_size as f64
+        }
+    }
+}
+
+/// Priority-queue entry: a subtree or a single trajectory, keyed by an
+/// admissible lower bound. `seq` makes the ordering total and deterministic.
+struct QueueEntry<'a> {
+    key: TotalF64,
+    seq: u64,
+    item: QueueItem<'a>,
+}
+
+enum QueueItem<'a> {
+    Node(&'a Node),
+    Traj(TrajId),
+}
+
+impl PartialEq for QueueEntry<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for QueueEntry<'_> {}
+impl PartialOrd for QueueEntry<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the smallest key.
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl TrajTree {
+    /// The `k` indexed trajectories closest to `query` under raw EDwP,
+    /// sorted by ascending `(distance, id)`, together with work counters.
+    ///
+    /// `store` must be the store this tree indexes, with every one of its
+    /// trajectories inserted (a store id never indexed — e.g. added to the
+    /// store after the last [`TrajTree::insert`] — is invisible to the
+    /// search). Under that precondition, results are exactly those of
+    /// [`brute_force_knn`] — same ids, same distances, same order — but
+    /// computed with full EDwP evaluations on only the candidates whose
+    /// lower bounds could not rule them out.
+    pub fn knn(
+        &self,
+        store: &TrajStore,
+        query: &Trajectory,
+        k: usize,
+    ) -> (Vec<Neighbor>, KnnStats) {
+        let mut stats = KnnStats {
+            db_size: self.len(),
+            ..KnnStats::default()
+        };
+        let k = k.min(self.len());
+        let Some(root) = self.root.as_ref() else {
+            return (Vec::new(), stats);
+        };
+        if k == 0 {
+            return (Vec::new(), stats);
+        }
+
+        fn push<'a>(
+            queue: &mut BinaryHeap<QueueEntry<'a>>,
+            seq: &mut u64,
+            key: f64,
+            item: QueueItem<'a>,
+        ) {
+            queue.push(QueueEntry {
+                key: TotalF64(key),
+                seq: *seq,
+                item,
+            });
+            *seq += 1;
+        }
+        let mut queue: BinaryHeap<QueueEntry<'_>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        stats.bound_evaluations += 1;
+        let root_key = edwp_lower_bound_boxes(query, root.summary());
+        push(&mut queue, &mut seq, root_key, QueueItem::Node(root));
+
+        // Current top-k as a max-heap on (distance, id): the root is the
+        // incumbent to beat, and (d, id) ordering reproduces brute-force
+        // tie-breaking.
+        let mut best: BinaryHeap<(TotalF64, TrajId)> = BinaryHeap::new();
+
+        while let Some(entry) = queue.pop() {
+            if best.len() == k {
+                let worst = best.peek().expect("k > 0").0 .0;
+                // Keep expanding ties (<=): an equal-bound candidate can
+                // still win on id order; strictly worse keys cannot.
+                if entry.key.0 > worst {
+                    break;
+                }
+            }
+            match entry.item {
+                QueueItem::Node(node) => {
+                    stats.nodes_visited += 1;
+                    match node {
+                        Node::Internal { children, .. } => {
+                            for child in children {
+                                stats.bound_evaluations += 1;
+                                let lb = edwp_lower_bound_boxes(query, child.summary());
+                                // Clamp to the parent key: both are valid
+                                // bounds, and monotone keys keep the
+                                // traversal order stable.
+                                push(
+                                    &mut queue,
+                                    &mut seq,
+                                    lb.max(entry.key.0),
+                                    QueueItem::Node(child),
+                                );
+                            }
+                        }
+                        Node::Leaf { ids, .. } => {
+                            for &id in ids {
+                                stats.bound_evaluations += 1;
+                                // Tighter per-trajectory refinement: exact
+                                // segment-to-polyline distances instead of
+                                // box distances.
+                                let lb = edwp_lower_bound_trajectory(query, store.get(id));
+                                push(
+                                    &mut queue,
+                                    &mut seq,
+                                    lb.max(entry.key.0),
+                                    QueueItem::Traj(id),
+                                );
+                            }
+                        }
+                    }
+                }
+                QueueItem::Traj(id) => {
+                    stats.edwp_evaluations += 1;
+                    let d = edwp(query, store.get(id));
+                    let cand = (TotalF64(d), id);
+                    if best.len() < k {
+                        best.push(cand);
+                    } else if cand < *best.peek().expect("k > 0") {
+                        best.pop();
+                        best.push(cand);
+                    }
+                }
+            }
+        }
+
+        let mut results: Vec<Neighbor> = best
+            .into_iter()
+            .map(|(d, id)| Neighbor { id, distance: d.0 })
+            .collect();
+        results.sort_by_key(|n| (TotalF64(n.distance), n.id));
+        (results, stats)
+    }
+}
+
+/// Reference linear scan: evaluates EDwP against every stored trajectory
+/// and returns the top `k` by ascending `(distance, id)`.
+pub fn brute_force_knn(store: &TrajStore, query: &Trajectory, k: usize) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = store
+        .iter()
+        .map(|(id, t)| Neighbor {
+            id,
+            distance: edwp(query, t),
+        })
+        .collect();
+    all.sort_by_key(|n| (TotalF64(n.distance), n.id));
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TrajTreeConfig;
+    use traj_core::Trajectory;
+
+    fn clustered_store() -> TrajStore {
+        // Four tight clusters far apart; 20 trajectories each.
+        let mut store = TrajStore::new();
+        for (cx, cy) in [(0.0, 0.0), (1000.0, 0.0), (0.0, 1000.0), (1000.0, 1000.0)] {
+            for i in 0..20 {
+                let off = i as f64 * 0.5;
+                store.insert(Trajectory::from_xy(&[
+                    (cx + off, cy),
+                    (cx + off + 2.0, cy + 2.0),
+                    (cx + off + 4.0, cy),
+                ]));
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn knn_matches_brute_force_on_clustered_db() {
+        let store = clustered_store();
+        let tree = TrajTree::build(&store);
+        let query = Trajectory::from_xy(&[(3.0, 0.5), (5.0, 2.0), (7.0, 0.5)]);
+        for k in [1, 5, 10] {
+            let (got, stats) = tree.knn(&store, &query, k);
+            let want = brute_force_knn(&store, &query, k);
+            assert_eq!(got, want, "k={k}");
+            assert_eq!(stats.db_size, 80);
+        }
+    }
+
+    #[test]
+    fn knn_prunes_far_clusters() {
+        let store = clustered_store();
+        let tree = TrajTree::build(&store);
+        let query = Trajectory::from_xy(&[(3.0, 0.5), (5.0, 2.0), (7.0, 0.5)]);
+        let (_, stats) = tree.knn(&store, &query, 5);
+        // Three of the four clusters are ~1000 away; their subtrees must be
+        // pruned before any full EDwP evaluation.
+        assert!(
+            stats.edwp_evaluations <= store.len() / 2,
+            "no pruning: {} of {} evaluated",
+            stats.edwp_evaluations,
+            store.len()
+        );
+        assert!(stats.pruning_ratio() > 0.4);
+    }
+
+    #[test]
+    fn knn_on_empty_and_oversized_k() {
+        let store = TrajStore::new();
+        let tree = TrajTree::build(&store);
+        let query = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 1.0)]);
+        let (res, _) = tree.knn(&store, &query, 3);
+        assert!(res.is_empty());
+
+        let mut store = TrajStore::new();
+        store.insert(Trajectory::from_xy(&[(0.0, 0.0), (1.0, 0.0)]));
+        store.insert(Trajectory::from_xy(&[(0.0, 5.0), (1.0, 5.0)]));
+        let tree = TrajTree::build(&store);
+        let (res, _) = tree.knn(&store, &query, 10);
+        assert_eq!(res.len(), 2);
+        assert_eq!(res, brute_force_knn(&store, &query, 10));
+    }
+
+    #[test]
+    fn knn_zero_k_returns_nothing() {
+        let mut store = TrajStore::new();
+        store.insert(Trajectory::from_xy(&[(0.0, 0.0), (1.0, 0.0)]));
+        let tree = TrajTree::build(&store);
+        let query = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 0.0)]);
+        let (res, stats) = tree.knn(&store, &query, 0);
+        assert!(res.is_empty());
+        assert_eq!(stats.edwp_evaluations, 0);
+    }
+
+    #[test]
+    fn knn_after_incremental_inserts_matches_brute_force() {
+        let store = clustered_store();
+        let mut tree = TrajTree::bulk_load(
+            &TrajStore::new(),
+            TrajTreeConfig {
+                leaf_capacity: 4,
+                fanout: 4,
+                ..TrajTreeConfig::default()
+            },
+        );
+        for id in store.ids() {
+            tree.insert(&store, id);
+        }
+        let query = Trajectory::from_xy(&[(998.0, 999.0), (1002.0, 1001.0)]);
+        let (got, _) = tree.knn(&store, &query, 7);
+        assert_eq!(got, brute_force_knn(&store, &query, 7));
+    }
+
+    #[test]
+    fn exact_self_match_comes_first() {
+        let store = clustered_store();
+        let tree = TrajTree::build(&store);
+        let member = store.get(13).clone();
+        let (res, _) = tree.knn(&store, &member, 1);
+        assert_eq!(res[0].id, 13);
+        assert!(res[0].distance <= 1e-9);
+    }
+}

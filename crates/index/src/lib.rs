@@ -1,1 +1,39 @@
-//! placeholder
+//! # traj-index
+//!
+//! TrajTree (Sec. V of Ranu et al., ICDE 2015): a hierarchical index over a
+//! trajectory database supporting **exact** k-nearest-neighbour search
+//! under EDwP while evaluating the full distance on only a fraction of the
+//! database.
+//!
+//! Architecture:
+//!
+//! * [`TrajStore`] owns the trajectories and issues dense [`TrajId`]s; the
+//!   tree stores ids only.
+//! * [`TrajTree`] is a height-balanced hierarchy. Every node carries a
+//!   coarsened [`traj_dist::BoxSeq`] (tBoxSeq) summarising exactly the
+//!   trajectories of its subtree; leaves hold member ids. Trees are built
+//!   by Sort-Tile-Recursive bulk-loading ([`TrajTree::bulk_load`]) and
+//!   support incremental [`TrajTree::insert`] with the paper's
+//!   least-volume-growth descent and node splitting.
+//! * [`TrajTree::knn`] runs best-first search pruned by the admissible
+//!   Theorem 2 relaxation [`traj_dist::edwp_lower_bound_boxes`], refining
+//!   node bounds into per-trajectory polyline bounds
+//!   ([`traj_dist::edwp_lower_bound_trajectory`]) into exact EDwP
+//!   evaluations. [`brute_force_knn`] is the linear-scan reference; the
+//!   two agree exactly (verified by property tests in `tests/`).
+//!
+//! Distances are **raw** (cumulative) EDwP: raw EDwP admits box lower
+//! bounds directly (Theorem 2), whereas the length-normalised variant's
+//! denominator depends on the candidate. Length-normalised rankings can be
+//! recovered by dividing reported distances by
+//! `length(query) + length(candidate)`.
+
+#![warn(missing_docs)]
+
+mod knn;
+mod store;
+mod tree;
+
+pub use knn::{brute_force_knn, KnnStats, Neighbor};
+pub use store::{TrajId, TrajStore};
+pub use tree::{TrajTree, TrajTreeConfig};

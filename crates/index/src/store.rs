@@ -1,0 +1,99 @@
+use traj_core::Trajectory;
+
+/// Identifier of a trajectory inside a [`TrajStore`]; dense, starting at 0.
+pub type TrajId = u32;
+
+/// Append-only owner of the trajectory database. The [`crate::TrajTree`]
+/// index stores only [`TrajId`]s and borrows the store during construction
+/// and search, so multiple indexes (or index generations) can share one
+/// store without copying trajectories.
+#[derive(Debug, Clone, Default)]
+pub struct TrajStore {
+    trajs: Vec<Trajectory>,
+}
+
+impl TrajStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        TrajStore::default()
+    }
+
+    /// Adds a trajectory and returns its id.
+    pub fn insert(&mut self, t: Trajectory) -> TrajId {
+        let id = self.trajs.len() as TrajId;
+        self.trajs.push(t);
+        id
+    }
+
+    /// The trajectory with the given id.
+    ///
+    /// # Panics
+    /// Panics when `id` was not issued by this store.
+    #[inline]
+    pub fn get(&self, id: TrajId) -> &Trajectory {
+        &self.trajs[id as usize]
+    }
+
+    /// The trajectory with the given id, or `None` for foreign ids.
+    #[inline]
+    pub fn try_get(&self, id: TrajId) -> Option<&Trajectory> {
+        self.trajs.get(id as usize)
+    }
+
+    /// Number of stored trajectories.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.trajs.len()
+    }
+
+    /// `true` when the store holds no trajectories.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.trajs.is_empty()
+    }
+
+    /// All ids in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = TrajId> + '_ {
+        (0..self.trajs.len()).map(|i| i as TrajId)
+    }
+
+    /// All `(id, trajectory)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (TrajId, &Trajectory)> {
+        self.trajs.iter().enumerate().map(|(i, t)| (i as TrajId, t))
+    }
+}
+
+impl From<Vec<Trajectory>> for TrajStore {
+    fn from(trajs: Vec<Trajectory>) -> Self {
+        TrajStore { trajs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(y: f64) -> Trajectory {
+        Trajectory::from_xy(&[(0.0, y), (1.0, y)])
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut store = TrajStore::new();
+        assert!(store.is_empty());
+        let a = store.insert(traj(0.0));
+        let b = store.insert(traj(1.0));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(b).first().p.y, 1.0);
+        assert!(store.try_get(2).is_none());
+        assert_eq!(store.ids().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn from_vec_preserves_order() {
+        let store = TrajStore::from(vec![traj(5.0), traj(7.0)]);
+        let ys: Vec<f64> = store.iter().map(|(_, t)| t.first().p.y).collect();
+        assert_eq!(ys, vec![5.0, 7.0]);
+    }
+}

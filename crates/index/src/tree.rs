@@ -1,0 +1,537 @@
+use crate::store::{TrajId, TrajStore};
+use traj_core::{Point, StBox, TotalF64, Trajectory};
+use traj_dist::BoxSeq;
+
+/// Tuning parameters of a [`TrajTree`].
+#[derive(Debug, Clone)]
+pub struct TrajTreeConfig {
+    /// Maximum trajectories per leaf before it splits.
+    pub leaf_capacity: usize,
+    /// Maximum children per internal node before it splits.
+    pub fanout: usize,
+    /// Box budget for leaf summaries (coarsening cap of the tBoxSeq).
+    pub leaf_boxes: usize,
+    /// Box budget for internal-node summaries; coarser than leaves because
+    /// internal nodes summarise many more trajectories.
+    pub internal_boxes: usize,
+}
+
+impl Default for TrajTreeConfig {
+    fn default() -> Self {
+        TrajTreeConfig {
+            leaf_capacity: 8,
+            fanout: 8,
+            leaf_boxes: 24,
+            internal_boxes: 12,
+        }
+    }
+}
+
+/// A TrajTree node (Sec. V): internal nodes summarise the trajectories of
+/// their subtree with a coarsened tBoxSeq; leaves hold trajectory ids.
+#[derive(Debug, Clone)]
+pub(crate) enum Node {
+    Leaf {
+        ids: Vec<TrajId>,
+        summary: BoxSeq,
+    },
+    Internal {
+        children: Vec<Node>,
+        summary: BoxSeq,
+    },
+}
+
+impl Node {
+    pub(crate) fn summary(&self) -> &BoxSeq {
+        match self {
+            Node::Leaf { summary, .. } | Node::Internal { summary, .. } => summary,
+        }
+    }
+
+    fn collect_ids(&self, out: &mut Vec<TrajId>) {
+        match self {
+            Node::Leaf { ids, .. } => out.extend_from_slice(ids),
+            Node::Internal { children, .. } => {
+                for c in children {
+                    c.collect_ids(out);
+                }
+            }
+        }
+    }
+
+    fn height(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { children, .. } => {
+                1 + children.iter().map(Node::height).max().unwrap_or(0)
+            }
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { children, .. } => {
+                1 + children.iter().map(Node::node_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Centre of the summary's overall bounding box, used as the node's
+    /// sort key during bulk-loading and splits.
+    fn center(&self) -> Point {
+        boxseq_bbox(self.summary()).center()
+    }
+}
+
+/// The TrajTree index (Sec. V): a height-balanced hierarchy of tBoxSeq
+/// summaries over a [`TrajStore`], supporting bulk-loading, incremental
+/// insertion and exact best-first k-NN search (see [`TrajTree::knn`]).
+///
+/// Every node's summary is built over exactly the set of trajectories in
+/// its subtree, so the admissible bound
+/// [`traj_dist::edwp_lower_bound_boxes`] applies to each of them
+/// (Theorem 2), which is what makes pruned search exact.
+#[derive(Debug, Clone)]
+pub struct TrajTree {
+    pub(crate) root: Option<Node>,
+    config: TrajTreeConfig,
+    len: usize,
+}
+
+impl TrajTree {
+    /// Bulk-loads an index over every trajectory in `store` using a
+    /// Sort-Tile-Recursive packing: trajectories are tiled by centroid into
+    /// full leaves, and parent levels are packed the same way until a
+    /// single root remains.
+    pub fn bulk_load(store: &TrajStore, config: TrajTreeConfig) -> Self {
+        let mut items: Vec<(TrajId, Point)> =
+            store.iter().map(|(id, t)| (id, centroid(t))).collect();
+        if items.is_empty() {
+            return TrajTree {
+                root: None,
+                config,
+                len: 0,
+            };
+        }
+        let len = items.len();
+        let mut nodes: Vec<Node> = str_tiles(&mut items, config.leaf_capacity)
+            .into_iter()
+            .map(|group| make_leaf(store, &group, &config))
+            .collect();
+        while nodes.len() > 1 {
+            let mut reps: Vec<(usize, Point)> = nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (i, n.center()))
+                .collect();
+            let tiles = str_tiles(&mut reps, config.fanout);
+            // Drain `nodes` into parents without cloning subtrees.
+            let mut slots: Vec<Option<Node>> = nodes.into_iter().map(Some).collect();
+            nodes = tiles
+                .into_iter()
+                .map(|tile| {
+                    let children: Vec<Node> = tile
+                        .iter()
+                        .map(|&i| slots[i].take().expect("each node tiled once"))
+                        .collect();
+                    make_internal(store, children, &config)
+                })
+                .collect();
+        }
+        TrajTree {
+            root: nodes.pop(),
+            config,
+            len,
+        }
+    }
+
+    /// Bulk-loads with the default configuration.
+    pub fn build(store: &TrajStore) -> Self {
+        TrajTree::bulk_load(store, TrajTreeConfig::default())
+    }
+
+    /// Inserts the already-stored trajectory `id` (Alg. 1): descends along
+    /// the child whose summary grows least in volume, merges the trajectory
+    /// into each summary on the path, and splits nodes that overflow.
+    ///
+    /// # Panics
+    /// Panics when `id` is not present in `store`.
+    pub fn insert(&mut self, store: &TrajStore, id: TrajId) {
+        let t = store.get(id);
+        self.len += 1;
+        match self.root.take() {
+            None => {
+                self.root = Some(make_leaf(store, &[id], &self.config));
+            }
+            Some(mut root) => {
+                if let Some(sibling) = insert_rec(&mut root, store, id, t, &self.config, None) {
+                    let children = vec![root, sibling];
+                    self.root = Some(make_internal(store, children, &self.config));
+                } else {
+                    self.root = Some(root);
+                }
+            }
+        }
+    }
+
+    /// Number of indexed trajectories.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no trajectories are indexed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (0 when empty; a lone leaf has height 1).
+    pub fn height(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::height)
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::node_count)
+    }
+
+    /// The configuration the tree was built with.
+    pub fn config(&self) -> &TrajTreeConfig {
+        &self.config
+    }
+
+    /// All indexed ids (unsorted tree order).
+    pub fn ids(&self) -> Vec<TrajId> {
+        let mut out = Vec::with_capacity(self.len);
+        if let Some(root) = &self.root {
+            root.collect_ids(&mut out);
+        }
+        out
+    }
+}
+
+/// Mean position of a trajectory's sample points.
+fn centroid(t: &Trajectory) -> Point {
+    let n = t.num_points() as f64;
+    let (sx, sy) = t
+        .points()
+        .iter()
+        .fold((0.0, 0.0), |(x, y), s| (x + s.p.x, y + s.p.y));
+    Point::new(sx / n, sy / n)
+}
+
+/// Sort-Tile-Recursive grouping: sorts by x, slices into vertical strips of
+/// roughly `sqrt(n / cap)` columns, sorts each strip by y and chunks it
+/// into groups of at most `cap`. Returns the groups' payloads.
+fn str_tiles<T: Copy>(items: &mut [(T, Point)], cap: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let cap = cap.max(1);
+    let num_groups = n.div_ceil(cap);
+    let num_strips = (num_groups as f64).sqrt().ceil() as usize;
+    let strip_len = n.div_ceil(num_strips.max(1));
+    items.sort_by_key(|(_, p)| (TotalF64(p.x), TotalF64(p.y)));
+    let mut out = Vec::with_capacity(num_groups);
+    for strip in items.chunks_mut(strip_len.max(1)) {
+        strip.sort_by_key(|(_, p)| (TotalF64(p.y), TotalF64(p.x)));
+        for group in strip.chunks(cap) {
+            out.push(group.iter().map(|&(id, _)| id).collect());
+        }
+    }
+    out
+}
+
+/// Builds a leaf over `ids` with a coalesced summary over all members.
+fn make_leaf(store: &TrajStore, ids: &[TrajId], config: &TrajTreeConfig) -> Node {
+    let summary = summary_over(store, ids, config.leaf_boxes);
+    Node::Leaf {
+        ids: ids.to_vec(),
+        summary,
+    }
+}
+
+/// Builds an internal node over `children`, summarising every descendant
+/// trajectory with a coarse tBoxSeq.
+fn make_internal(store: &TrajStore, children: Vec<Node>, config: &TrajTreeConfig) -> Node {
+    let mut ids = Vec::new();
+    for c in &children {
+        c.collect_ids(&mut ids);
+    }
+    let summary = summary_over(store, &ids, config.internal_boxes);
+    Node::Internal { children, summary }
+}
+
+/// The coalesced tBoxSeq over a set of member trajectories.
+fn summary_over(store: &TrajStore, ids: &[TrajId], max_boxes: usize) -> BoxSeq {
+    BoxSeq::from_trajectories(ids.iter().map(|&id| store.get(id)), Some(max_boxes))
+        .expect("summaries are built over at least one trajectory")
+}
+
+/// Recursive insertion; returns a split-off sibling when `node` overflowed.
+///
+/// `premerged` is this node's summary already merged with `t` (uncoalesced),
+/// when the parent computed it while choosing the descent child — the choice
+/// runs the merge DP on every child, so passing the winner's result down
+/// saves one full `O(|t|·|B|)` alignment per level.
+fn insert_rec(
+    node: &mut Node,
+    store: &TrajStore,
+    id: TrajId,
+    t: &Trajectory,
+    config: &TrajTreeConfig,
+    premerged: Option<BoxSeq>,
+) -> Option<Node> {
+    match node {
+        Node::Leaf { ids, summary } => {
+            let mut merged = premerged.unwrap_or_else(|| summary.merge_trajectory(t));
+            merged.coalesce(Some(config.leaf_boxes));
+            *summary = merged;
+            ids.push(id);
+            (ids.len() > config.leaf_capacity).then(|| split_leaf(ids, summary, store, config))
+        }
+        Node::Internal { children, summary } => {
+            let mut merged = premerged.unwrap_or_else(|| summary.merge_trajectory(t));
+            merged.coalesce(Some(config.internal_boxes));
+            *summary = merged;
+            // Alg. 1 line 11: follow the child whose tBoxSeq grows least.
+            let (best, child_merged) = children
+                .iter()
+                .map(|c| c.summary().merge_trajectory(t))
+                .enumerate()
+                .min_by_key(|(i, m)| TotalF64(m.volume() - children[*i].summary().volume()))
+                .expect("internal nodes always have children");
+            if let Some(sibling) = insert_rec(
+                &mut children[best],
+                store,
+                id,
+                t,
+                config,
+                Some(child_merged),
+            ) {
+                children.push(sibling);
+                if children.len() > config.fanout {
+                    return Some(split_internal(children, summary, store, config));
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Splits an overflowing leaf in half along the dominant axis of its member
+/// centroids; rebuilds both summaries. Returns the new sibling.
+fn split_leaf(
+    ids: &mut Vec<TrajId>,
+    summary: &mut BoxSeq,
+    store: &TrajStore,
+    config: &TrajTreeConfig,
+) -> Node {
+    let mut items: Vec<(TrajId, Point)> = ids
+        .iter()
+        .map(|&id| (id, centroid(store.get(id))))
+        .collect();
+    sort_along_dominant_axis(&mut items);
+    let half = items.len() / 2;
+    let keep: Vec<TrajId> = items[..half].iter().map(|&(id, _)| id).collect();
+    let give: Vec<TrajId> = items[half..].iter().map(|&(id, _)| id).collect();
+    let sibling = make_leaf(store, &give, config);
+    if let Node::Leaf {
+        ids: new_ids,
+        summary: new_summary,
+    } = make_leaf(store, &keep, config)
+    {
+        *ids = new_ids;
+        *summary = new_summary;
+    }
+    sibling
+}
+
+/// Splits an overflowing internal node in half along the dominant axis of
+/// its child centres; rebuilds both summaries. Returns the new sibling.
+fn split_internal(
+    children: &mut Vec<Node>,
+    summary: &mut BoxSeq,
+    store: &TrajStore,
+    config: &TrajTreeConfig,
+) -> Node {
+    let mut items: Vec<(usize, Point)> = children
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, c.center()))
+        .collect();
+    sort_along_dominant_axis(&mut items);
+    let half = items.len() / 2;
+    let give_idx: Vec<usize> = items[half..].iter().map(|&(i, _)| i).collect();
+    let mut slots: Vec<Option<Node>> = std::mem::take(children).into_iter().map(Some).collect();
+    let give: Vec<Node> = give_idx
+        .iter()
+        .map(|&i| slots[i].take().expect("child moved once"))
+        .collect();
+    let keep: Vec<Node> = slots.into_iter().flatten().collect();
+    let kept = make_internal(store, keep, config);
+    let sibling = make_internal(store, give, config);
+    if let Node::Internal {
+        children: new_children,
+        summary: new_summary,
+    } = kept
+    {
+        *children = new_children;
+        *summary = new_summary;
+    }
+    sibling
+}
+
+/// Sorts `(payload, point)` pairs along whichever axis has the larger
+/// spread, breaking ties by the other axis.
+fn sort_along_dominant_axis<T>(items: &mut [(T, Point)]) {
+    let (mut lo, mut hi) = (
+        Point::new(f64::INFINITY, f64::INFINITY),
+        Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+    );
+    for (_, p) in items.iter() {
+        lo = Point::new(lo.x.min(p.x), lo.y.min(p.y));
+        hi = Point::new(hi.x.max(p.x), hi.y.max(p.y));
+    }
+    if hi.x - lo.x >= hi.y - lo.y {
+        items.sort_by_key(|(_, p)| (TotalF64(p.x), TotalF64(p.y)));
+    } else {
+        items.sort_by_key(|(_, p)| (TotalF64(p.y), TotalF64(p.x)));
+    }
+}
+
+/// Re-exported for summary statistics: the overall bounding box of a
+/// node-summary tBoxSeq.
+pub(crate) fn boxseq_bbox(seq: &BoxSeq) -> StBox {
+    let boxes = seq.boxes();
+    let mut bb = boxes[0];
+    for b in &boxes[1..] {
+        bb = bb.union(b);
+    }
+    bb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_core::approx_eq;
+
+    fn store_of(n: usize) -> TrajStore {
+        // n parallel short trajectories spread along x.
+        let mut store = TrajStore::new();
+        for i in 0..n {
+            let x = i as f64 * 3.0;
+            store.insert(Trajectory::from_xy(&[
+                (x, 0.0),
+                (x + 1.0, 1.0),
+                (x + 2.0, 0.0),
+            ]));
+        }
+        store
+    }
+
+    #[test]
+    fn bulk_load_indexes_every_id() {
+        let store = store_of(50);
+        let tree = TrajTree::build(&store);
+        assert_eq!(tree.len(), 50);
+        let mut ids = tree.ids();
+        ids.sort_unstable();
+        assert_eq!(ids, store.ids().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bulk_load_respects_leaf_capacity_and_fanout() {
+        let store = store_of(100);
+        let config = TrajTreeConfig {
+            leaf_capacity: 4,
+            fanout: 4,
+            ..TrajTreeConfig::default()
+        };
+        let tree = TrajTree::bulk_load(&store, config);
+        fn check(node: &Node, config: &TrajTreeConfig) {
+            match node {
+                Node::Leaf { ids, summary } => {
+                    assert!(ids.len() <= config.leaf_capacity);
+                    assert!(summary.len() <= config.leaf_boxes);
+                }
+                Node::Internal { children, summary } => {
+                    assert!(children.len() <= config.fanout);
+                    assert!(summary.len() <= config.internal_boxes);
+                    for c in children {
+                        check(c, config);
+                    }
+                }
+            }
+        }
+        check(tree.root.as_ref().unwrap(), tree.config());
+        assert!(tree.height() >= 3, "height {}", tree.height());
+    }
+
+    #[test]
+    fn empty_store_builds_empty_tree() {
+        let tree = TrajTree::build(&TrajStore::new());
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 0);
+        assert_eq!(tree.node_count(), 0);
+    }
+
+    #[test]
+    fn insert_grows_tree_and_splits() {
+        let store = store_of(40);
+        let mut tree = TrajTree::bulk_load(
+            &TrajStore::new(),
+            TrajTreeConfig {
+                leaf_capacity: 4,
+                fanout: 4,
+                ..TrajTreeConfig::default()
+            },
+        );
+        for id in store.ids() {
+            tree.insert(&store, id);
+        }
+        assert_eq!(tree.len(), 40);
+        let mut ids = tree.ids();
+        ids.sort_unstable();
+        assert_eq!(ids, store.ids().collect::<Vec<_>>());
+        assert!(tree.height() >= 2);
+    }
+
+    #[test]
+    fn summaries_cover_members_after_inserts() {
+        let store = store_of(30);
+        let mut tree = TrajTree::bulk_load(
+            &TrajStore::new(),
+            TrajTreeConfig {
+                leaf_capacity: 3,
+                fanout: 3,
+                ..TrajTreeConfig::default()
+            },
+        );
+        for id in store.ids() {
+            tree.insert(&store, id);
+        }
+        // The admissible bound must be (near) zero for members against the
+        // summary of every node on their path; check at the root.
+        let root = tree.root.as_ref().unwrap();
+        for (_, t) in store.iter() {
+            let lb = traj_dist::edwp_lower_bound_boxes(t, root.summary());
+            assert!(
+                approx_eq(lb.max(0.0), 0.0),
+                "member has nonzero root bound {lb}"
+            );
+        }
+    }
+
+    #[test]
+    fn str_tiles_partitions_exactly() {
+        let mut items: Vec<(u32, Point)> = (0..37)
+            .map(|i| (i, Point::new((i % 7) as f64, (i / 7) as f64)))
+            .collect();
+        let tiles = str_tiles(&mut items, 5);
+        let mut seen: Vec<u32> = tiles.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..37).collect::<Vec<_>>());
+        assert!(tiles.iter().all(|t| t.len() <= 5));
+    }
+}

@@ -1,0 +1,191 @@
+//! The TrajTree correctness contract: k-NN search over the index returns
+//! *exactly* the brute-force EDwP top-k — same ids, same distances, same
+//! order — on randomized databases, across k values, index configurations
+//! and construction paths (bulk-load vs incremental insert), while
+//! evaluating full EDwP on at most (and on clustered data far fewer than)
+//! `db_size` candidates.
+
+use proptest::prelude::*;
+use traj_core::{StPoint, Trajectory};
+use traj_gen::{GenConfig, TrajGen};
+use traj_index::{brute_force_knn, TrajStore, TrajTree, TrajTreeConfig};
+
+/// A uniformly random trajectory in a 100×100 region.
+fn trajectory(min_pts: usize, max_pts: usize) -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), min_pts..=max_pts).prop_map(|pts| {
+        Trajectory::new(
+            pts.iter()
+                .enumerate()
+                .map(|(i, &(x, y))| StPoint::new(x, y, i as f64))
+                .collect(),
+        )
+        .expect("valid by construction")
+    })
+}
+
+/// A clustered database from the deterministic generator, so that index
+/// pruning has spatial structure to exploit.
+fn clustered_db(size: usize, seed: u64) -> Vec<Trajectory> {
+    let mut g = TrajGen::with_config(
+        seed,
+        GenConfig {
+            area: 400.0,
+            clusters: 5,
+            cluster_spread: 4.0,
+            ..GenConfig::default()
+        },
+    );
+    g.database(size, 4, 10)
+}
+
+fn assert_knn_exact(store: &TrajStore, tree: &TrajTree, query: &Trajectory) {
+    for k in [1usize, 5, 10] {
+        let (got, stats) = tree.knn(store, query, k);
+        let want = brute_force_knn(store, query, k);
+        assert_eq!(
+            got.len(),
+            want.len(),
+            "k={k}: result size {} vs brute force {}",
+            got.len(),
+            want.len()
+        );
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.id, w.id, "k={k}: ids diverge: {got:?} vs {want:?}");
+            assert_eq!(
+                g.distance, w.distance,
+                "k={k}: distances diverge for id {}",
+                g.id
+            );
+        }
+        assert!(
+            stats.edwp_evaluations <= stats.db_size,
+            "k={k}: more EDwP evaluations ({}) than a linear scan ({})",
+            stats.edwp_evaluations,
+            stats.db_size
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn knn_matches_brute_force_on_uniform_dbs(
+        db in prop::collection::vec(trajectory(2, 8), 20..101),
+        query in trajectory(2, 8),
+    ) {
+        let store = TrajStore::from(db);
+        let tree = TrajTree::build(&store);
+        assert_knn_exact(&store, &tree, &query);
+        prop_assert!(true);
+    }
+
+    #[test]
+    fn knn_matches_brute_force_on_clustered_dbs(
+        size in 20usize..101,
+        seed in 0u64..1000,
+        query in trajectory(2, 8),
+    ) {
+        let store = TrajStore::from(clustered_db(size, seed));
+        let tree = TrajTree::build(&store);
+        assert_knn_exact(&store, &tree, &query);
+        prop_assert!(true);
+    }
+
+    #[test]
+    fn knn_matches_brute_force_with_small_node_capacities(
+        db in prop::collection::vec(trajectory(2, 6), 20..61),
+        query in trajectory(2, 6),
+    ) {
+        let store = TrajStore::from(db);
+        let tree = TrajTree::bulk_load(
+            &store,
+            TrajTreeConfig {
+                leaf_capacity: 3,
+                fanout: 3,
+                leaf_boxes: 6,
+                internal_boxes: 4,
+            },
+        );
+        assert_knn_exact(&store, &tree, &query);
+        prop_assert!(true);
+    }
+
+    #[test]
+    fn knn_matches_brute_force_after_incremental_inserts(
+        db in prop::collection::vec(trajectory(2, 6), 20..51),
+        extra in prop::collection::vec(trajectory(2, 6), 5..16),
+        query in trajectory(2, 6),
+    ) {
+        // Half the database arrives via bulk-load, half via insert.
+        let mut store = TrajStore::from(db);
+        let mut tree = TrajTree::bulk_load(
+            &store,
+            TrajTreeConfig {
+                leaf_capacity: 4,
+                fanout: 4,
+                ..TrajTreeConfig::default()
+            },
+        );
+        for t in extra {
+            let id = store.insert(t);
+            tree.insert(&store, id);
+        }
+        assert_eq!(tree.len(), store.len());
+        assert_knn_exact(&store, &tree, &query);
+        prop_assert!(true);
+    }
+}
+
+/// Deterministic pruning check: on a clustered database the index must
+/// evaluate full EDwP on strictly fewer candidates than a linear scan.
+#[test]
+fn clustered_queries_prune_most_of_the_database() {
+    let store = TrajStore::from(clustered_db(120, 7));
+    let tree = TrajTree::build(&store);
+    let mut g = TrajGen::with_config(
+        99,
+        GenConfig {
+            area: 400.0,
+            clusters: 5,
+            cluster_spread: 4.0,
+            ..GenConfig::default()
+        },
+    );
+    let mut total_evals = 0usize;
+    let mut queries = 0usize;
+    for _ in 0..10 {
+        let query = g.random_walk(8);
+        let (got, stats) = tree.knn(&store, &query, 5);
+        assert_eq!(got, brute_force_knn(&store, &query, 5));
+        total_evals += stats.edwp_evaluations;
+        queries += 1;
+    }
+    let avg = total_evals as f64 / queries as f64;
+    assert!(
+        avg < store.len() as f64 * 0.6,
+        "weak pruning: {avg:.1} EDwP evaluations per query on a {}-trajectory database",
+        store.len()
+    );
+}
+
+/// Querying with an exact member must return that member first at distance
+/// zero, and a resampled/noisy variant of a member must still retrieve it.
+#[test]
+fn variant_queries_retrieve_their_original() {
+    let store = TrajStore::from(clustered_db(80, 21));
+    let tree = TrajTree::build(&store);
+    let mut g = TrajGen::new(5);
+    let mut hits = 0usize;
+    for id in [3u32, 17, 42, 65] {
+        let original = store.get(id).clone();
+        let resampled = g.resample(&original, 0.5);
+        let variant = g.perturb(&resampled, 0.2);
+        let (res, _) = tree.knn(&store, &variant, 1);
+        assert_eq!(res, brute_force_knn(&store, &variant, 1));
+        if res[0].id == id {
+            hits += 1;
+        }
+    }
+    assert!(hits >= 3, "only {hits}/4 variants retrieved their original");
+}

@@ -1,1 +1,97 @@
-fn main() {}
+//! Taxi-style k-NN workload: a fleet of vehicles repeats a handful of
+//! "routes" with per-trip noise and wildly different GPS sampling rates;
+//! the index must retrieve trips of the same route for a new trip, exactly
+//! and without scanning the fleet.
+//!
+//! Run with: `cargo run --release --example taxi_knn`
+
+use trajrep::eval::PruningSummary;
+use trajrep::{brute_force_knn, GenConfig, TrajGen, TrajStore, TrajTree, Trajectory};
+
+/// One canonical route per (start cluster, heading); trips are noisy,
+/// resampled copies.
+fn make_fleet(gen: &mut TrajGen, routes: usize, trips_per_route: usize) -> (TrajStore, Vec<usize>) {
+    let mut store = TrajStore::new();
+    let mut route_of = Vec::new();
+    let canonical: Vec<Trajectory> = (0..routes).map(|_| gen.random_walk(24)).collect();
+    for (r, base) in canonical.iter().enumerate() {
+        for trip_no in 0..trips_per_route {
+            // Each trip records the same route at a different sampling
+            // rate (keep 30–80% of the samples) with GPS noise.
+            let keep = 0.3 + 0.5 * (trip_no as f64 * 0.37).fract();
+            let resampled = gen.resample(base, keep);
+            let trip = gen.perturb(&resampled, 0.8);
+            store.insert(trip);
+            route_of.push(r);
+        }
+    }
+    (store, route_of)
+}
+
+fn main() {
+    let mut gen = TrajGen::with_config(
+        7,
+        GenConfig {
+            area: 2000.0,
+            clusters: 8,
+            cluster_spread: 15.0,
+            step: 12.0,
+            ..GenConfig::default()
+        },
+    );
+    let routes = 12;
+    let trips = 25;
+    let (store, route_of) = make_fleet(&mut gen, routes, trips);
+    println!(
+        "fleet: {} trips over {} routes ({} trajectories indexed)",
+        store.len(),
+        routes,
+        store.len()
+    );
+    let tree = TrajTree::build(&store);
+    println!(
+        "index: height {}, {} nodes",
+        tree.height(),
+        tree.node_count()
+    );
+
+    // New trips: fresh distortions of members; their top-k should be
+    // dominated by trips of the same route.
+    let k = 5;
+    let mut stats_all = Vec::new();
+    let mut same_route_hits = 0usize;
+    let mut checked = 0usize;
+    for probe in [3u32, 57, 120, 199, 260] {
+        let base = store.get(probe).clone();
+        let resampled = gen.resample(&base, 0.4);
+        let query = gen.perturb(&resampled, 1.0);
+        let (got, stats) = tree.knn(&store, &query, k);
+        assert_eq!(
+            got,
+            brute_force_knn(&store, &query, k),
+            "exactness violated"
+        );
+        let query_route = route_of[probe as usize];
+        let same = got
+            .iter()
+            .filter(|n| route_of[n.id as usize] == query_route)
+            .count();
+        same_route_hits += same;
+        checked += k;
+        println!(
+            "probe trip {probe:>3} (route {query_route:>2}): {same}/{k} neighbours on the same \
+             route, {} EDwP evals",
+            stats.edwp_evaluations
+        );
+        stats_all.push(stats);
+    }
+
+    let summary = PruningSummary::from_stats(&stats_all);
+    println!("\nroute purity: {same_route_hits}/{checked} neighbours shared the query's route");
+    println!(
+        "pruning:      {:.1} EDwP evaluations per query on a {}-trip fleet ({:.0}% pruned)",
+        summary.mean_edwp_evaluations,
+        summary.db_size,
+        summary.mean_pruning_ratio * 100.0
+    );
+}

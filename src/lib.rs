@@ -1,1 +1,59 @@
-//! placeholder
+//! # trajrep
+//!
+//! Facade crate for the EDwP + TrajTree reproduction (Ranu et al.,
+//! *Indexing and Matching Trajectories under Inconsistent Sampling Rates*,
+//! ICDE 2015). Re-exports the pieces most applications need:
+//!
+//! * geometry: [`Point`], [`StPoint`], [`Segment`], [`StBox`],
+//!   [`Trajectory`];
+//! * distances: [`edwp`], [`edwp_avg`], [`edwp_sub`], the [`TrajDistance`]
+//!   trait and the paper's baselines in [`baselines`];
+//! * indexing: [`TrajStore`], [`TrajTree`], [`TrajTreeConfig`],
+//!   [`brute_force_knn`];
+//! * data generation: [`TrajGen`], [`GenConfig`];
+//! * evaluation: metric helpers under [`eval`] and the experiment harness
+//!   under [`experiments`].
+//!
+//! See `examples/quickstart.rs` for the end-to-end flow: generate → index →
+//! query → inspect pruning statistics.
+
+#![warn(missing_docs)]
+
+pub use traj_core::{
+    approx_eq, CoreError, Point, Segment, StBox, StPoint, TotalF64, Trajectory, EPSILON,
+};
+pub use traj_dist::{
+    baselines, edwp, edwp_avg, edwp_lower_bound_boxes, edwp_lower_bound_trajectory, edwp_sub,
+    BoxSeq, EdwpDistance, EdwpRawDistance, TrajDistance,
+};
+pub use traj_gen::{GenConfig, TrajGen};
+pub use traj_index::{
+    brute_force_knn, KnnStats, Neighbor, TrajId, TrajStore, TrajTree, TrajTreeConfig,
+};
+
+/// Metric helpers (precision, recall, reciprocal rank, pruning summaries).
+pub mod eval {
+    pub use traj_eval::*;
+}
+
+/// End-to-end experiment harness over generator + index + metrics.
+pub mod experiments {
+    pub use traj_experiments::*;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_smoke_end_to_end() {
+        let mut g = TrajGen::new(1);
+        let store = TrajStore::from(g.database(30, 4, 8));
+        let tree = TrajTree::build(&store);
+        let query = g.random_walk(6);
+        let (res, stats) = tree.knn(&store, &query, 3);
+        assert_eq!(res, brute_force_knn(&store, &query, 3));
+        assert_eq!(stats.db_size, 30);
+        assert!(edwp(&query, &query) <= EPSILON);
+    }
+}

@@ -1,0 +1,334 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate reimplements
+//! the small slice of criterion's API the workspace benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a simple calibrated wall-clock loop (no statistics, no
+//! outlier analysis). Results are printed to stdout and appended as JSON to
+//! `target/bench-results/<bench-binary>.json` so longitudinal `BENCH_*.json`
+//! trajectories can be assembled by tooling. Passing `--test` (as
+//! `cargo test --benches` does) runs each routine once without timing.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque identity function preventing the optimizer from deleting a
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: a function name plus a displayable parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `"<name>/<parameter>"`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone (rendered as the parameter).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// One measured benchmark, as recorded in the JSON output.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    name: String,
+    mean_ns: f64,
+    iters: u64,
+}
+
+/// Runs one benchmark routine via [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    quick: bool,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first calibrating an iteration count targeting
+    /// roughly 100 ms of total measurement.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.quick {
+            black_box(routine());
+            self.mean_ns = 0.0;
+            self.iters = 1;
+            return;
+        }
+        // Warm-up and calibration.
+        let start = Instant::now();
+        black_box(routine());
+        let single = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(100);
+        let iters = (target.as_nanos() / single.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    quick: bool,
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments. Timed measurement runs
+    /// only under `cargo bench`, which passes `--bench` to `harness = false`
+    /// binaries; any other invocation (`cargo test --benches` passes no
+    /// such flag) gets quick mode — one untimed iteration per routine.
+    /// All other flags and filter strings are ignored.
+    pub fn from_args() -> Self {
+        Criterion {
+            quick: !std::env::args().any(|a| a == "--bench"),
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            quick: self.quick,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        self.record(id.to_string(), &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    fn record(&mut self, name: String, b: &Bencher) {
+        if b.iters > 0 && !self.quick {
+            println!(
+                "bench: {name:<40} {:>14.1} ns/iter ({} iters)",
+                b.mean_ns, b.iters
+            );
+        }
+        self.results.push(BenchResult {
+            name,
+            mean_ns: b.mean_ns,
+            iters: b.iters,
+        });
+    }
+
+    /// Writes collected results as JSON under the workspace's
+    /// `target/bench-results/` and prints the output path. Called by
+    /// [`criterion_main!`].
+    pub fn final_summary(&self) {
+        if self.quick || self.results.is_empty() {
+            return;
+        }
+        let bin = std::env::args()
+            .next()
+            .as_deref()
+            .and_then(|p| {
+                std::path::Path::new(p)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+            })
+            .unwrap_or_else(|| "bench".to_string());
+        // Strip the `-<hash>` suffix cargo appends to bench binaries.
+        let stem = match bin.rsplit_once('-') {
+            Some((head, tail))
+                if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) =>
+            {
+                head.to_string()
+            }
+            _ => bin,
+        };
+        let dir = target_dir().join("bench-results");
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("{stem}.json"));
+        let mut body = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let sep = if i + 1 == self.results.len() { "" } else { "," };
+            body.push_str(&format!(
+                "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}{sep}\n",
+                r.name.replace('"', "'"),
+                r.mean_ns,
+                r.iters
+            ));
+        }
+        body.push_str("]\n");
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = f.write_all(body.as_bytes());
+            println!("bench results written to {}", path.display());
+        }
+    }
+}
+
+/// The workspace `target` directory. Cargo runs bench binaries with the
+/// *package* directory as CWD, so a relative `target/` would land inside the
+/// bench crate; honour `CARGO_TARGET_DIR` when set, otherwise climb from the
+/// running binary's path (`…/target/release/deps/bench-…`) to the `target`
+/// component, falling back to CWD-relative `target`.
+fn target_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return std::path::PathBuf::from(dir);
+    }
+    if let Some(exe) = std::env::args().next() {
+        let exe = std::path::Path::new(&exe);
+        for dir in exe.ancestors().skip(1) {
+            if dir.file_name().is_some_and(|n| n == "target") {
+                return dir.to_path_buf();
+            }
+        }
+    }
+    std::path::PathBuf::from("target")
+}
+
+/// A named group of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` as `<group>/<id>`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let quick = self.criterion.quick;
+        let mut b = Bencher {
+            quick,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        let mut f = f;
+        f(&mut b);
+        self.criterion.record(full, &b);
+        self
+    }
+
+    /// Benchmarks `f` as `<group>/<id>`, handing it `input` by reference.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; a no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name. Group functions take `&mut Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` for a benchmark binary from [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            quick: false,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        b.iter(|| (0..1000u64).sum::<u64>());
+        assert!(b.iters >= 1);
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut calls = 0u32;
+        let mut b = Bencher {
+            quick: true,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.iters, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("query", 10).to_string(), "query/10");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn group_records_prefixed_names() {
+        let mut c = Criterion {
+            quick: true,
+            results: Vec::new(),
+        };
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_with_input(BenchmarkId::new("f", 1), &1usize, |b, &n| {
+                b.iter(|| n + 1);
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].name, "g/f/1");
+    }
+}

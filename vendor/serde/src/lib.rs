@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The build environment cannot reach crates.io, so this crate supplies the
+//! two trait names the workspace derives (`Serialize`, `Deserialize`) as
+//! empty marker traits, plus the derive macros from the vendored
+//! [`serde_derive`] stub. Nothing in the workspace serializes data yet; when
+//! persistence lands, replace `vendor/serde*` with the real crates.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (lifetime elided in the stub).
+pub trait Deserialize {}

@@ -1,0 +1,58 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! This build environment has no network access to crates.io, so the real
+//! `serde_derive` cannot be fetched. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as forward-looking annotations — no
+//! code serializes anything yet — so these derives simply emit marker-trait
+//! impls for the annotated type. Swap this crate out for the real one (via
+//! `[patch]` or by deleting `vendor/`) once the registry is reachable.
+//!
+//! Limitations (sufficient for this workspace): the annotated type must be a
+//! plain (non-generic) `struct` or `enum`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum` keyword and emits
+/// `impl ::serde::<Trait> for <Name> {}`.
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let mut tokens = input.into_iter();
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    match name {
+        Some(name) => {
+            if matches!(tokens.next(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                return r#"compile_error!("vendored serde stub cannot derive for generic types");"#
+                    .parse()
+                    .expect("literal tokens parse");
+            }
+            format!("impl ::serde::{trait_name} for {name} {{}}")
+                .parse()
+                .expect("generated impl parses")
+        }
+        None => r#"compile_error!("vendored serde stub: expected a struct or enum");"#
+            .parse()
+            .expect("literal tokens parse"),
+    }
+}
+
+/// Derives the stub `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// Derives the stub `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
