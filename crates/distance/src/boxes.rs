@@ -33,6 +33,7 @@
 //! `edwp_sub_boxes` remains the construction-time alignment cost for
 //! [`BoxSeq::merge_trajectory`], where admissibility is irrelevant.
 
+use crate::edwp::EdwpScratch;
 use crate::matrix::Matrix;
 use traj_core::{Segment, StBox, StPoint, Trajectory};
 
@@ -223,6 +224,32 @@ pub fn edwp_lower_bound_boxes(t: &Trajectory, seq: &BoxSeq) -> f64 {
         .sum()
 }
 
+/// [`edwp_lower_bound_boxes`] with caller-pooled working memory: the query's
+/// `(segment, length)` pieces come from `scratch`, so a query pinned with
+/// [`EdwpScratch::set_query`] is decomposed once per search instead of once
+/// per bound evaluation. Identical value to the plain function.
+pub fn edwp_lower_bound_boxes_with_scratch(
+    t: &Trajectory,
+    seq: &BoxSeq,
+    scratch: &mut EdwpScratch,
+) -> f64 {
+    if seq.is_empty() {
+        return f64::INFINITY;
+    }
+    let boxes = seq.boxes();
+    scratch
+        .query_pieces(t)
+        .iter()
+        .map(|(e, len)| {
+            let d = boxes
+                .iter()
+                .map(|b| b.closest_param_on_segment(e).1)
+                .fold(f64::INFINITY, f64::min);
+            2.0 * d * len
+        })
+        .sum()
+}
+
 /// The trajectory-to-trajectory analogue of [`edwp_lower_bound_boxes`]:
 /// `EDwP(t, s) ≥ Σ_i 2 · len(e_i) · dist(e_i, s)` with exact
 /// segment-to-polyline distances instead of box distances. Tighter than the
@@ -236,6 +263,28 @@ pub fn edwp_lower_bound_trajectory(t: &Trajectory, s: &Trajectory) -> f64 {
                 .map(|f| e.closest_params(&f).2)
                 .fold(f64::INFINITY, f64::min);
             2.0 * d * e.length()
+        })
+        .sum()
+}
+
+/// [`edwp_lower_bound_trajectory`] with caller-pooled working memory; the
+/// query-side pieces come from `scratch` (see
+/// [`edwp_lower_bound_boxes_with_scratch`]). Identical value to the plain
+/// function.
+pub fn edwp_lower_bound_trajectory_with_scratch(
+    t: &Trajectory,
+    s: &Trajectory,
+    scratch: &mut EdwpScratch,
+) -> f64 {
+    scratch
+        .query_pieces(t)
+        .iter()
+        .map(|(e, len)| {
+            let d = s
+                .segments()
+                .map(|f| e.closest_params(&f).2)
+                .fold(f64::INFINITY, f64::min);
+            2.0 * d * len
         })
         .sum()
 }

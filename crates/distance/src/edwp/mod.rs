@@ -40,7 +40,123 @@
 pub(crate) mod reference;
 pub(crate) mod sub;
 
-use traj_core::{Point, Trajectory};
+use traj_core::{Point, Segment, Trajectory};
+
+/// Reusable scratch buffers for the EDwP kernels, so repeated distance and
+/// lower-bound evaluations against one query perform no heap allocation.
+///
+/// One scratch serves every `*_with_scratch` entry point
+/// ([`edwp_with_scratch`], [`crate::edwp_sub_with_scratch`],
+/// [`crate::edwp_lower_bound_boxes_with_scratch`],
+/// [`crate::edwp_lower_bound_trajectory_with_scratch`]): the DP rows and
+/// anchor memos grow to the largest problem seen and are reused afterwards,
+/// so a warm scratch makes every call allocation-free (verified by the
+/// allocation-regression test in `tests/alloc_regression.rs`). A scratch is
+/// cheap to create but worth pooling per worker thread — the query engine in
+/// `traj-index` keeps one per search worker.
+///
+/// Scratches are plain buffers: they never change any computed value, only
+/// where intermediate state lives. They are `Send` but deliberately not
+/// shared — concurrent searches each need their own.
+#[derive(Debug, Clone, Default)]
+pub struct EdwpScratch {
+    /// Rolling DP rows, pooled across calls.
+    cur: Row,
+    nxt: Row,
+    /// Lazily memoised per-row anchors (one slot per `(j, kind)`), stamped
+    /// by row index so stale entries are never read.
+    anchor_cells: Vec<AnchorCell>,
+    /// Cached `(segment, length)` pieces of the current query, shared by the
+    /// lower-bound kernels (see [`EdwpScratch::set_query`]).
+    query_segs: Vec<(Segment, f64)>,
+}
+
+impl EdwpScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        EdwpScratch::default()
+    }
+
+    /// Caches `t`'s `(segment, length)` pieces so subsequent lower-bound
+    /// calls with the same query skip the sqrt-per-segment decomposition.
+    ///
+    /// Calling this is an optimization, never a requirement: the cache is
+    /// trusted only after every cached endpoint is verified against the
+    /// passed trajectory's points (plain comparisons), so lower-bound calls
+    /// with any other trajectory — including one reusing a dropped query's
+    /// allocation — simply rebuild the buffer in place, allocation-free
+    /// once warm and always value-correct.
+    pub fn set_query(&mut self, t: &Trajectory) {
+        self.fill_query_segs(t);
+    }
+
+    fn fill_query_segs(&mut self, t: &Trajectory) {
+        self.query_segs.clear();
+        self.query_segs
+            .extend(t.segments().map(|e| (e, e.length())));
+    }
+
+    /// The `(segment, length)` pieces of `t`: the cached buffer when it
+    /// verifiably holds `t`'s segments, rebuilt in place otherwise.
+    pub(crate) fn query_pieces(&mut self, t: &Trajectory) -> &[(Segment, f64)] {
+        if !self.cached_pieces_match(t) {
+            self.fill_query_segs(t);
+        }
+        &self.query_segs
+    }
+
+    /// `true` when the cached pieces are exactly the segments of `t`.
+    fn cached_pieces_match(&self, t: &Trajectory) -> bool {
+        let points = t.points();
+        self.query_segs.len() == points.len() - 1
+            && self
+                .query_segs
+                .iter()
+                .zip(points.windows(2))
+                .all(|((seg, _), w)| seg.a == w[0] && seg.b == w[1])
+    }
+}
+
+/// One memoised anchor pair; `stamp` is the owning DP row plus one, so a
+/// freshly zeroed cell is never mistaken for a filled one.
+#[derive(Debug, Clone, Copy)]
+struct AnchorCell {
+    stamp: u32,
+    a: Point,
+    b: Point,
+}
+
+impl Default for AnchorCell {
+    fn default() -> Self {
+        AnchorCell {
+            stamp: 0,
+            a: Point::new(0.0, 0.0),
+            b: Point::new(0.0, 0.0),
+        }
+    }
+}
+
+/// Memoised [`anchors`] lookup for the current DP row. Double-interpolated
+/// anchors cost two projections and are requested once per *source* kind
+/// when relaxing into `Ii1`/`Ii2` and again on expansion; the memo computes
+/// each `(i, j, k)` anchor pair once.
+#[inline]
+fn anchors_memo(
+    cells: &mut [AnchorCell],
+    t1: &Trajectory,
+    t2: &Trajectory,
+    i: usize,
+    j: usize,
+    k: Kind,
+    stamp: u32,
+) -> (Point, Point) {
+    let cell = &mut cells[j * NKINDS + k as usize];
+    if cell.stamp != stamp {
+        let (a, b) = anchors(t1, t2, i, j, k);
+        *cell = AnchorCell { stamp, a, b };
+    }
+    (cell.a, cell.b)
+}
 
 /// Anchor configuration of a DP state; see module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,13 +255,30 @@ pub(crate) enum DpMode {
     Sub,
 }
 
-/// Shared EDwP dynamic program over the seven anchor kinds.
-pub(crate) fn run_dp(t1: &Trajectory, t2: &Trajectory, mode: DpMode) -> f64 {
+/// Shared EDwP dynamic program over the seven anchor kinds. All working
+/// state lives in `scratch`, so a warm scratch makes the call
+/// allocation-free.
+pub(crate) fn run_dp(
+    t1: &Trajectory,
+    t2: &Trajectory,
+    mode: DpMode,
+    scratch: &mut EdwpScratch,
+) -> f64 {
     let n = t1.num_points();
     let m = t2.num_points();
     let inf = f64::INFINITY;
-    let mut cur: Row = vec![[inf; NKINDS]; m];
-    let mut nxt: Row = vec![[inf; NKINDS]; m];
+    let EdwpScratch {
+        cur,
+        nxt,
+        anchor_cells,
+        ..
+    } = scratch;
+    cur.clear();
+    cur.resize(m, [inf; NKINDS]);
+    nxt.clear();
+    nxt.resize(m, [inf; NKINDS]);
+    anchor_cells.clear();
+    anchor_cells.resize(m * NKINDS, AnchorCell::default());
     match mode {
         DpMode::Global => cur[0][Kind::Bb as usize] = 0.0,
         DpMode::Sub => {
@@ -161,6 +294,7 @@ pub(crate) fn run_dp(t1: &Trajectory, t2: &Trajectory, mode: DpMode) -> f64 {
     let q = t2.points();
 
     for i in 0..n {
+        let stamp = i as u32 + 1;
         let has_t1 = i + 1 < n;
         for j in 0..m {
             let has_t2 = j + 1 < m;
@@ -169,7 +303,7 @@ pub(crate) fn run_dp(t1: &Trajectory, t2: &Trajectory, mode: DpMode) -> f64 {
                 if !base.is_finite() {
                     continue;
                 }
-                let (a, b) = anchors(t1, t2, i, j, k);
+                let (a, b) = anchors_memo(anchor_cells, t1, t2, i, j, k, stamp);
                 if has_t1 && has_t2 {
                     let e1 = p[i + 1].p;
                     let e2 = q[j + 1].p;
@@ -188,7 +322,7 @@ pub(crate) fn run_dp(t1: &Trajectory, t2: &Trajectory, mode: DpMode) -> f64 {
                     // capped at one split per side between replacements.
                     if !matches!(k, Kind::Ii1 | Kind::Ii2) {
                         for kk in [Kind::Ii1, Kind::Ii2] {
-                            let (pi1, pi2) = anchors(t1, t2, i, j, kk);
+                            let (pi1, pi2) = anchors_memo(anchor_cells, t1, t2, i, j, kk, stamp);
                             let cost = (a.dist(b) + pi1.dist(pi2)) * (a.dist(pi1) + b.dist(pi2));
                             relax(&mut cur[j], kk, base + cost);
                         }
@@ -225,7 +359,7 @@ pub(crate) fn run_dp(t1: &Trajectory, t2: &Trajectory, mode: DpMode) -> f64 {
             }
         }
         if has_t1 {
-            std::mem::swap(&mut cur, &mut nxt);
+            std::mem::swap(cur, nxt);
             for cell in nxt.iter_mut() {
                 *cell = [inf; NKINDS];
             }
@@ -238,7 +372,7 @@ pub(crate) fn run_dp(t1: &Trajectory, t2: &Trajectory, mode: DpMode) -> f64 {
             // Free suffix skip: `t1` consumed, any position within `t2`,
             // any anchor whose `t1`-side anchor is the final sample point.
             let mut best = inf;
-            for cell in &cur {
+            for cell in cur.iter() {
                 best = best
                     .min(cell[Kind::Bb as usize])
                     .min(cell[Kind::Bi as usize])
@@ -252,8 +386,18 @@ pub(crate) fn run_dp(t1: &Trajectory, t2: &Trajectory, mode: DpMode) -> f64 {
 /// EDwP as defined in Sec. III-A: the cumulative cost of the cheapest edit
 /// sequence converting `t1` into `t2`. Symmetric and non-negative;
 /// `edwp(t, t) == 0` for any `t`.
+///
+/// Allocates fresh DP buffers per call; hot paths evaluating many pairs
+/// should hold an [`EdwpScratch`] and call [`edwp_with_scratch`] instead.
 pub fn edwp(t1: &Trajectory, t2: &Trajectory) -> f64 {
-    run_dp(t1, t2, DpMode::Global)
+    edwp_with_scratch(t1, t2, &mut EdwpScratch::new())
+}
+
+/// [`edwp`] with caller-pooled working memory: identical result, but a warm
+/// `scratch` makes the call allocation-free, which is what the query
+/// engine's batch workers rely on.
+pub fn edwp_with_scratch(t1: &Trajectory, t2: &Trajectory, scratch: &mut EdwpScratch) -> f64 {
+    run_dp(t1, t2, DpMode::Global, scratch)
 }
 
 /// Length-normalised EDwP (Eq. 4):

@@ -14,7 +14,7 @@
 //! `s' ⊆ s` is also explored here, which yields the Lemma 2 lower-bound
 //! property `edwp_sub(t, s) ≤ edwp(t, s') ∀ s' ⊆ s` (see tests).
 
-use super::{run_dp, DpMode};
+use super::{run_dp, DpMode, EdwpScratch};
 use traj_core::Trajectory;
 
 /// `EDwP_sub(t, s)`: the cheapest EDwP alignment of the whole of `t`
@@ -22,7 +22,13 @@ use traj_core::Trajectory;
 /// as in Eq. 6). Asymmetric: `edwp_sub(t, s) != edwp_sub(s, t)` in general,
 /// and `edwp_sub(t, s) <= edwp(t, s)` always.
 pub fn edwp_sub(t: &Trajectory, s: &Trajectory) -> f64 {
-    run_dp(t, s, DpMode::Sub)
+    edwp_sub_with_scratch(t, s, &mut EdwpScratch::new())
+}
+
+/// [`edwp_sub`] with caller-pooled working memory; see
+/// [`crate::edwp_with_scratch`].
+pub fn edwp_sub_with_scratch(t: &Trajectory, s: &Trajectory, scratch: &mut EdwpScratch) -> f64 {
+    run_dp(t, s, DpMode::Sub, scratch)
 }
 
 #[cfg(test)]

@@ -14,6 +14,14 @@
 //! The `baselines` module reimplements every comparison technique of the
 //! paper: DTW, LCSS, ERP, EDR, DISSIM and MA, all behind the common
 //! [`TrajDistance`] trait so the experiment harness can sweep over them.
+//!
+//! Hot paths evaluate the kernels through [`EdwpScratch`] and the
+//! `*_with_scratch` entry points ([`edwp_with_scratch`],
+//! [`edwp_sub_with_scratch`], [`edwp_lower_bound_boxes_with_scratch`],
+//! [`edwp_lower_bound_trajectory_with_scratch`]): identical values, but all
+//! DP rows, anchor memos and query decompositions live in caller-pooled
+//! buffers, so a warm scratch makes every call allocation-free. The plain
+//! signatures remain as thin wrappers for one-off use.
 
 #![warn(missing_docs)]
 
@@ -23,12 +31,12 @@ mod edwp;
 mod matrix;
 
 pub use boxes::{
-    edwp_lower_bound_boxes, edwp_lower_bound_trajectory, edwp_sub_boxes, BoxAlignment, BoxSeq,
-    RepOp,
+    edwp_lower_bound_boxes, edwp_lower_bound_boxes_with_scratch, edwp_lower_bound_trajectory,
+    edwp_lower_bound_trajectory_with_scratch, edwp_sub_boxes, BoxAlignment, BoxSeq, RepOp,
 };
 pub use edwp::reference::edwp_reference;
-pub use edwp::sub::edwp_sub;
-pub use edwp::{edwp, edwp_avg};
+pub use edwp::sub::{edwp_sub, edwp_sub_with_scratch};
+pub use edwp::{edwp, edwp_avg, edwp_with_scratch, EdwpScratch};
 
 use traj_core::Trajectory;
 

@@ -1,0 +1,101 @@
+//! Allocation-regression harness: the `*_with_scratch` kernels must perform
+//! **zero** heap allocations once their scratch buffers are warm, which is
+//! what makes the query engine's per-worker scratch pooling effective.
+//!
+//! A counting global allocator tallies every `alloc`/`realloc`; the file
+//! contains exactly one `#[test]` so no concurrently running test can
+//! perturb the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use traj_dist::{
+    edwp, edwp_lower_bound_boxes, edwp_lower_bound_boxes_with_scratch, edwp_lower_bound_trajectory,
+    edwp_lower_bound_trajectory_with_scratch, edwp_sub, edwp_sub_with_scratch, edwp_with_scratch,
+    BoxSeq, EdwpScratch,
+};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Runs `f`, returning its result and the number of heap allocations it made.
+fn counting<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (out, ALLOCATIONS.load(Ordering::Relaxed) - before)
+}
+
+#[test]
+fn scratch_kernels_are_allocation_free_after_warmup() {
+    let zigzag: Vec<(f64, f64)> = (0..24)
+        .map(|i| (i as f64 * 3.0, if i % 2 == 0 { 0.0 } else { 5.0 }))
+        .collect();
+    let drift: Vec<(f64, f64)> = (0..31).map(|i| (i as f64 * 2.3, i as f64 * 0.4)).collect();
+    let t1 = traj_core::Trajectory::from_xy(&zigzag);
+    let t2 = traj_core::Trajectory::from_xy(&drift);
+    let mut seq = BoxSeq::from_trajectories([&t1, &t2].into_iter(), None).unwrap();
+    seq.coalesce(Some(10));
+
+    let mut scratch = EdwpScratch::new();
+    // Warm-up: grows every pooled buffer to this problem size.
+    scratch.set_query(&t1);
+    let warm_edwp = edwp_with_scratch(&t1, &t2, &mut scratch);
+    let warm_sub = edwp_sub_with_scratch(&t1, &t2, &mut scratch);
+    let warm_boxes = edwp_lower_bound_boxes_with_scratch(&t1, &seq, &mut scratch);
+    let warm_poly = edwp_lower_bound_trajectory_with_scratch(&t1, &t2, &mut scratch);
+
+    // The hard requirement: warm scratch calls never touch the heap.
+    let (sum, allocs) = counting(|| {
+        let mut acc = 0.0;
+        for _ in 0..8 {
+            acc += edwp_with_scratch(&t1, &t2, &mut scratch);
+            acc += edwp_with_scratch(&t2, &t1, &mut scratch);
+            acc += edwp_sub_with_scratch(&t1, &t2, &mut scratch);
+            acc += edwp_lower_bound_boxes_with_scratch(&t1, &seq, &mut scratch);
+            acc += edwp_lower_bound_trajectory_with_scratch(&t1, &t2, &mut scratch);
+        }
+        acc
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm scratch kernels allocated {allocs} times (sum {sum})"
+    );
+    assert!(sum.is_finite());
+
+    // Scratch never changes values: every kernel agrees with its
+    // allocating wrapper bit-for-bit.
+    assert_eq!(warm_edwp, edwp(&t1, &t2));
+    assert_eq!(warm_sub, edwp_sub(&t1, &t2));
+    assert_eq!(warm_boxes, edwp_lower_bound_boxes(&t1, &seq));
+    assert_eq!(warm_poly, edwp_lower_bound_trajectory(&t1, &t2));
+
+    // And the plain wrappers do allocate — the regression guard is
+    // meaningful only if the counter actually sees this crate's traffic.
+    let (_, wrapper_allocs) = counting(|| edwp(&t1, &t2));
+    assert!(wrapper_allocs > 0, "counting allocator is not wired up");
+}

@@ -7,7 +7,7 @@
 
 #![warn(missing_docs)]
 
-use traj_index::{KnnStats, Neighbor, TrajId};
+use traj_index::{Neighbor, QueryStats, TrajId};
 
 /// Fraction of `retrieved` ids that appear in `relevant` (precision@k for
 /// `k = retrieved.len()`). Returns 0 for an empty retrieval.
@@ -43,7 +43,7 @@ pub fn ids_of(neighbors: &[Neighbor]) -> Vec<TrajId> {
     neighbors.iter().map(|n| n.id).collect()
 }
 
-/// Aggregates [`KnnStats`] over many queries.
+/// Aggregates [`QueryStats`] over many queries.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PruningSummary {
     /// Number of queries aggregated.
@@ -57,17 +57,39 @@ pub struct PruningSummary {
 }
 
 impl PruningSummary {
-    /// Summarises a batch of per-query stats.
-    pub fn from_stats(stats: &[KnnStats]) -> Self {
+    /// Summarises a batch of stats blocks. Each block may itself cover
+    /// several queries (`QueryStats::queries`, e.g. a merged batch
+    /// aggregate), so means are weighted by query count rather than by
+    /// slice element.
+    pub fn from_stats(stats: &[QueryStats]) -> Self {
         if stats.is_empty() {
             return PruningSummary::default();
         }
-        let n = stats.len() as f64;
+        // A block's `queries` is clamped to 1: a stats literal built with
+        // `..Default::default()` carries `queries: 0` and must still count
+        // as one query, not zero out its weight.
+        let queries: usize = stats.iter().map(|s| s.queries.max(1)).sum();
+        let n = queries as f64;
         PruningSummary {
-            queries: stats.len(),
+            queries,
             mean_edwp_evaluations: stats.iter().map(|s| s.edwp_evaluations as f64).sum::<f64>() / n,
-            mean_pruning_ratio: stats.iter().map(|s| s.pruning_ratio()).sum::<f64>() / n,
+            mean_pruning_ratio: stats
+                .iter()
+                .map(|s| s.pruning_ratio() * s.queries.max(1) as f64)
+                .sum::<f64>()
+                / n,
             db_size: stats.last().map_or(0, |s| s.db_size),
+        }
+    }
+
+    /// Summarises an already-merged aggregate (e.g. the stats returned by
+    /// `TrajTree::batch_knn`), whose counters cover `stats.queries` queries.
+    pub fn from_aggregate(stats: &QueryStats) -> Self {
+        PruningSummary {
+            queries: stats.queries,
+            mean_edwp_evaluations: stats.mean_edwp_evaluations(),
+            mean_pruning_ratio: stats.pruning_ratio(),
+            db_size: stats.db_size,
         }
     }
 }
@@ -98,14 +120,16 @@ mod tests {
     #[test]
     fn pruning_summary_averages() {
         let stats = [
-            KnnStats {
+            QueryStats {
                 db_size: 100,
+                queries: 1,
                 nodes_visited: 4,
                 bound_evaluations: 20,
                 edwp_evaluations: 10,
             },
-            KnnStats {
+            QueryStats {
                 db_size: 100,
+                queries: 1,
                 nodes_visited: 6,
                 bound_evaluations: 30,
                 edwp_evaluations: 30,
@@ -117,6 +141,54 @@ mod tests {
         assert!(approx_eq(s.mean_pruning_ratio, (0.9 + 0.7) / 2.0));
         assert_eq!(s.db_size, 100);
         assert_eq!(PruningSummary::from_stats(&[]), PruningSummary::default());
+    }
+
+    #[test]
+    fn pruning_summary_weights_multi_query_blocks() {
+        // A slice mixing a 3-query merged aggregate with a single-query
+        // stat must average per *query*, not per slice element.
+        let stats = [
+            QueryStats {
+                db_size: 100,
+                queries: 3,
+                nodes_visited: 12,
+                bound_evaluations: 60,
+                edwp_evaluations: 30,
+            },
+            QueryStats {
+                db_size: 100,
+                queries: 1,
+                nodes_visited: 4,
+                bound_evaluations: 20,
+                edwp_evaluations: 10,
+            },
+        ];
+        let s = PruningSummary::from_stats(&stats);
+        assert_eq!(s.queries, 4);
+        assert!(approx_eq(s.mean_edwp_evaluations, 10.0));
+        assert!(approx_eq(s.mean_pruning_ratio, 0.9));
+    }
+
+    #[test]
+    fn pruning_summary_from_merged_aggregate() {
+        let mut agg = QueryStats::default();
+        let per_query = QueryStats {
+            db_size: 100,
+            queries: 1,
+            nodes_visited: 4,
+            bound_evaluations: 20,
+            edwp_evaluations: 10,
+        };
+        agg.merge(&per_query);
+        agg.merge(&QueryStats {
+            edwp_evaluations: 30,
+            ..per_query
+        });
+        let s = PruningSummary::from_aggregate(&agg);
+        assert_eq!(s.queries, 2);
+        assert!(approx_eq(s.mean_edwp_evaluations, 20.0));
+        assert!(approx_eq(s.mean_pruning_ratio, 0.8));
+        assert_eq!(s.db_size, 100);
     }
 
     #[test]

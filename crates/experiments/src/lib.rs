@@ -1,19 +1,22 @@
 //! # traj-experiments
 //!
 //! End-to-end experiment harness tying together [`traj_gen`] (synthetic
-//! data), [`traj_index`] (TrajTree search) and [`traj_eval`] (metrics).
-//! The experiments mirror the questions of the paper's Sec. VI at reduced
-//! scale: does the index stay exact, how much of the database does it
+//! data), [`traj_index`] (the TrajTree query engine) and [`traj_eval`]
+//! (metrics). The experiments mirror the questions of the paper's Sec. VI
+//! at reduced scale: does the engine stay exact (for k-NN *and* range
+//! queries, sequential *and* batched), how much of the database does it
 //! prune, and does EDwP retrieve the original trajectory from a distorted
 //! (resampled, noisy) query?
 
 #![warn(missing_docs)]
 
+use traj_core::Trajectory;
+use traj_dist::EdwpScratch;
 use traj_eval::{ids_of, reciprocal_rank, PruningSummary};
 use traj_gen::{GenConfig, TrajGen};
-use traj_index::{brute_force_knn, KnnStats, TrajStore, TrajTree};
+use traj_index::{brute_force_knn, brute_force_range, QueryStats, TrajStore, TrajTree};
 
-/// Parameters of one k-NN experiment run.
+/// Parameters of one experiment run.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
     /// Number of database trajectories.
@@ -53,6 +56,9 @@ pub struct ExperimentReport {
     pub pruning: PruningSummary,
     /// Fraction of queries whose index result matched brute force exactly.
     pub exactness: f64,
+    /// Whether `batch_knn` over 4 workers reproduced the sequential results
+    /// bit-for-bit on every query.
+    pub batch_consistent: bool,
     /// Mean reciprocal rank of each query's original trajectory in the
     /// retrieved list (1.0 = always first).
     pub mean_reciprocal_rank: f64,
@@ -62,10 +68,36 @@ pub struct ExperimentReport {
     pub tree_nodes: usize,
 }
 
-/// Runs the standard experiment: build a clustered database, index it,
-/// issue distorted member queries, and compare the index against a linear
-/// scan on every query.
-pub fn knn_experiment(config: ExperimentConfig) -> ExperimentReport {
+/// Outcome of [`range_experiment`].
+#[derive(Debug, Clone)]
+pub struct RangeReport {
+    /// The configuration that produced this report.
+    pub config: ExperimentConfig,
+    /// The ε threshold used.
+    pub eps: f64,
+    /// Pruning aggregates over all queries.
+    pub pruning: PruningSummary,
+    /// Fraction of queries whose range result matched brute force exactly.
+    pub exactness: f64,
+    /// Whether `batch_range` over 4 workers reproduced the sequential
+    /// results bit-for-bit on every query.
+    pub batch_consistent: bool,
+    /// Mean number of matches per query.
+    pub mean_hits: f64,
+    /// Fraction of queries whose ε-ball contained their original.
+    pub original_recalled: f64,
+}
+
+/// The shared experiment fixture: a clustered database with its index, plus
+/// distorted member queries and the member each was distorted from.
+struct Fixture {
+    store: TrajStore,
+    tree: TrajTree,
+    queries: Vec<Trajectory>,
+    targets: Vec<u32>,
+}
+
+fn make_fixture(config: &ExperimentConfig) -> Fixture {
     let mut g = TrajGen::with_config(
         config.seed,
         GenConfig {
@@ -77,10 +109,8 @@ pub fn knn_experiment(config: ExperimentConfig) -> ExperimentReport {
     );
     let store = TrajStore::from(g.database(config.db_size, 5, 14));
     let tree = TrajTree::build(&store);
-
-    let mut all_stats: Vec<KnnStats> = Vec::with_capacity(config.queries);
-    let mut exact = 0usize;
-    let mut mrr_sum = 0.0;
+    let mut queries = Vec::with_capacity(config.queries);
+    let mut targets = Vec::with_capacity(config.queries);
     for q in 0..config.queries {
         // Query = a distorted copy of a database member.
         let target = ((q * 37 + 11) % store.len()) as u32;
@@ -91,23 +121,102 @@ pub fn knn_experiment(config: ExperimentConfig) -> ExperimentReport {
         } else {
             resampled
         };
+        queries.push(query);
+        targets.push(target);
+    }
+    Fixture {
+        store,
+        tree,
+        queries,
+        targets,
+    }
+}
 
-        let (got, stats) = tree.knn(&store, &query, config.k);
-        let want = brute_force_knn(&store, &query, config.k);
+/// Runs the standard k-NN experiment: build a clustered database, index it,
+/// issue distorted member queries through the engine (one pooled scratch
+/// across all queries), and compare against a linear scan on every query —
+/// then re-issue the whole workload through `batch_knn` and require
+/// bit-identical answers.
+pub fn knn_experiment(config: ExperimentConfig) -> ExperimentReport {
+    let fx = make_fixture(&config);
+    let mut scratch = EdwpScratch::new();
+    let mut all_stats: Vec<QueryStats> = Vec::with_capacity(config.queries);
+    let mut sequential = Vec::with_capacity(config.queries);
+    let mut exact = 0usize;
+    let mut mrr_sum = 0.0;
+    for (query, &target) in fx.queries.iter().zip(&fx.targets) {
+        let (got, stats) = fx
+            .tree
+            .knn_with_scratch(&fx.store, query, config.k, &mut scratch);
+        let want = brute_force_knn(&fx.store, query, config.k);
         if got == want {
             exact += 1;
         }
         mrr_sum += reciprocal_rank(&ids_of(&got), target);
         all_stats.push(stats);
+        sequential.push(got);
     }
+
+    let (batched, _) = fx
+        .tree
+        .batch_knn_with_threads(&fx.store, &fx.queries, config.k, 4);
+    let batch_consistent = batched == sequential;
 
     ExperimentReport {
         config: config.clone(),
         pruning: PruningSummary::from_stats(&all_stats),
         exactness: exact as f64 / config.queries.max(1) as f64,
+        batch_consistent,
         mean_reciprocal_rank: mrr_sum / config.queries.max(1) as f64,
-        tree_height: tree.height(),
-        tree_nodes: tree.node_count(),
+        tree_height: fx.tree.height(),
+        tree_nodes: fx.tree.node_count(),
+    }
+}
+
+/// Runs the range-query experiment on the same fixture: every distorted
+/// member query asks for its ε-ball, checked exactly against
+/// [`brute_force_range`] and re-issued through `batch_range`.
+///
+/// `eps` is the raw (cumulative) EDwP threshold; pick it relative to the
+/// distortion level — the report's `original_recalled` says how often the
+/// ball was wide enough to re-capture the query's original.
+pub fn range_experiment(config: ExperimentConfig, eps: f64) -> RangeReport {
+    let fx = make_fixture(&config);
+    let mut scratch = EdwpScratch::new();
+    let mut all_stats: Vec<QueryStats> = Vec::with_capacity(config.queries);
+    let mut sequential = Vec::with_capacity(config.queries);
+    let mut exact = 0usize;
+    let mut hit_sum = 0usize;
+    let mut recalled = 0usize;
+    for (query, &target) in fx.queries.iter().zip(&fx.targets) {
+        let (got, stats) = fx
+            .tree
+            .range_with_scratch(&fx.store, query, eps, &mut scratch);
+        let want = brute_force_range(&fx.store, query, eps);
+        if got == want {
+            exact += 1;
+        }
+        hit_sum += got.len();
+        if got.iter().any(|n| n.id == target) {
+            recalled += 1;
+        }
+        all_stats.push(stats);
+        sequential.push(got);
+    }
+
+    let (batched, _) = fx
+        .tree
+        .batch_range_with_threads(&fx.store, &fx.queries, eps, 4);
+    let batch_consistent = batched == sequential;
+
+    RangeReport {
+        config: config.clone(),
+        eps,
+        pruning: PruningSummary::from_stats(&all_stats),
+        exactness: exact as f64 / config.queries.max(1) as f64,
+        batch_consistent,
+        mean_hits: hit_sum as f64 / config.queries.max(1) as f64,
+        original_recalled: recalled as f64 / config.queries.max(1) as f64,
     }
 }
 
@@ -124,11 +233,33 @@ mod tests {
         });
         assert_eq!(report.exactness, 1.0, "index diverged from brute force");
         assert!(
+            report.batch_consistent,
+            "batch_knn diverged from sequential"
+        );
+        assert!(
             report.pruning.mean_edwp_evaluations < 120.0,
             "no pruning at all: {}",
             report.pruning.mean_edwp_evaluations
         );
         assert!(report.mean_reciprocal_rank > 0.5);
         assert!(report.tree_height >= 2);
+    }
+
+    #[test]
+    fn range_experiment_is_exact() {
+        let report = range_experiment(
+            ExperimentConfig {
+                db_size: 100,
+                queries: 6,
+                ..ExperimentConfig::default()
+            },
+            5000.0,
+        );
+        assert_eq!(report.exactness, 1.0, "range diverged from brute force");
+        assert!(
+            report.batch_consistent,
+            "batch_range diverged from sequential"
+        );
+        assert!(report.pruning.queries == 6);
     }
 }

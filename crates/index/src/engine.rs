@@ -1,0 +1,493 @@
+//! The generic best-first query engine shared by every query type.
+//!
+//! The search is the incremental nearest-neighbour algorithm of Hjaltason &
+//! Samet driven by the paper's Theorem 2 box bounds: a min-priority queue
+//! holds tree nodes keyed by the admissible lower bound
+//! [`traj_dist::edwp_lower_bound_boxes`] of their (coarsened) tBoxSeq
+//! summaries. Popping an internal node refines it into its children;
+//! popping a leaf refines each member into a per-trajectory candidate keyed
+//! by the tighter polyline bound [`traj_dist::edwp_lower_bound_trajectory`];
+//! popping a candidate finally pays for one full EDwP evaluation. All
+//! distance work runs through one [`EdwpScratch`], so steady-state searches
+//! never allocate inside the kernels.
+//!
+//! What makes the traversal *generic* is the [`Collector`]: the engine asks
+//! it for the current pruning `threshold()` (largest lower bound that could
+//! still matter) and hands it every exact distance via `offer()`. k-NN is a
+//! bounded max-heap whose threshold is the incumbent k-th distance; range
+//! search is a fixed threshold `eps` with an append-only hit list. Adding a
+//! new query type means writing a new collector — the traversal, pruning
+//! logic, scratch pooling and statistics are inherited unchanged (see the
+//! crate docs for the recipe).
+//!
+//! Exactness: every queue key is a true lower bound of the EDwP distance of
+//! every trajectory below the entry (keys are additionally clamped to be
+//! monotone along refinement paths), so when the queue's minimum exceeds
+//! the collector's threshold, no unexplored trajectory can change the
+//! result. Ties on the threshold keep expanding so id-order tie-breaking
+//! matches the brute-force reference exactly.
+
+use crate::store::{TrajId, TrajStore};
+use crate::tree::{Node, TrajTree};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use traj_core::{TotalF64, Trajectory};
+use traj_dist::{
+    edwp_lower_bound_boxes_with_scratch, edwp_lower_bound_trajectory_with_scratch,
+    edwp_with_scratch, EdwpScratch,
+};
+
+/// One query answer: a trajectory id and its exact (raw, cumulative) EDwP
+/// distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Id of the matched trajectory.
+    pub id: TrajId,
+    /// Exact `edwp(query, trajectory)` distance.
+    pub distance: f64,
+}
+
+/// Work counters of one or more engine searches, for pruning-effectiveness
+/// reporting. Counters saturate instead of wrapping, and [`QueryStats::merge`]
+/// aggregates per-worker stats after a parallel batch, so fleet-scale counts
+/// can neither overflow nor silently drop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Database size at query time.
+    pub db_size: usize,
+    /// Number of searches aggregated into these counters (1 for a single
+    /// `knn`/`range` call; the query count after a batch merge).
+    pub queries: usize,
+    /// Tree nodes (internal + leaf) popped and refined.
+    pub nodes_visited: usize,
+    /// Lower-bound evaluations (node summaries + per-trajectory bounds).
+    pub bound_evaluations: usize,
+    /// Full EDwP dynamic programs evaluated — the expensive operation a
+    /// linear scan performs `db_size` times per query.
+    pub edwp_evaluations: usize,
+}
+
+impl QueryStats {
+    /// Fresh counters for a single search over a database of `db_size`.
+    pub(crate) fn for_search(db_size: usize) -> Self {
+        QueryStats {
+            db_size,
+            queries: 1,
+            ..QueryStats::default()
+        }
+    }
+
+    /// Fraction of the database whose full EDwP evaluation was avoided,
+    /// averaged over the aggregated queries (0 for an empty database).
+    pub fn pruning_ratio(&self) -> f64 {
+        let denom = self.db_size as f64 * self.queries.max(1) as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            1.0 - self.edwp_evaluations as f64 / denom
+        }
+    }
+
+    /// Mean full EDwP evaluations per aggregated query.
+    pub fn mean_edwp_evaluations(&self) -> f64 {
+        self.edwp_evaluations as f64 / self.queries.max(1) as f64
+    }
+
+    /// Folds another stats block into this one: work counters and query
+    /// counts add (saturating), `db_size` keeps the larger value since
+    /// batch workers share one database.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.db_size = self.db_size.max(other.db_size);
+        self.queries = self.queries.saturating_add(other.queries);
+        self.nodes_visited = self.nodes_visited.saturating_add(other.nodes_visited);
+        self.bound_evaluations = self
+            .bound_evaluations
+            .saturating_add(other.bound_evaluations);
+        self.edwp_evaluations = self.edwp_evaluations.saturating_add(other.edwp_evaluations);
+    }
+
+    #[inline]
+    fn bump_nodes(&mut self) {
+        self.nodes_visited = self.nodes_visited.saturating_add(1);
+    }
+
+    #[inline]
+    fn bump_bounds(&mut self) {
+        self.bound_evaluations = self.bound_evaluations.saturating_add(1);
+    }
+
+    #[inline]
+    fn bump_edwp(&mut self) {
+        self.edwp_evaluations = self.edwp_evaluations.saturating_add(1);
+    }
+}
+
+/// Accumulates exact distances for one query type and tells the traversal
+/// how far it still has to look.
+///
+/// Contract: `threshold()` must never *undershoot* — pruning a subtree is
+/// only sound when no trajectory inside it at a distance above the returned
+/// value could enter the result. Candidates whose lower bound *equals* the
+/// threshold are still refined, so collectors may break distance ties
+/// (e.g. by id) without losing exactness.
+pub(crate) trait Collector {
+    /// Largest lower bound that could still contribute to the result; queue
+    /// entries keyed strictly above this are pruned unexplored.
+    fn threshold(&self) -> f64;
+
+    /// Records one exact `(id, distance)` evaluation.
+    fn offer(&mut self, id: TrajId, distance: f64);
+}
+
+/// k-NN collection: a bounded max-heap on `(distance, id)`. The root is the
+/// incumbent to beat, and `(d, id)` ordering reproduces brute-force
+/// tie-breaking.
+pub(crate) struct KnnCollector {
+    k: usize,
+    best: BinaryHeap<(TotalF64, TrajId)>,
+}
+
+impl KnnCollector {
+    pub(crate) fn new(k: usize) -> Self {
+        KnnCollector {
+            k,
+            best: BinaryHeap::with_capacity(k.saturating_add(1)),
+        }
+    }
+
+    /// The collected neighbours, sorted by ascending `(distance, id)`.
+    pub(crate) fn into_neighbors(self) -> Vec<Neighbor> {
+        sort_neighbors(
+            self.best
+                .into_iter()
+                .map(|(d, id)| Neighbor { id, distance: d.0 })
+                .collect(),
+        )
+    }
+}
+
+impl Collector for KnnCollector {
+    fn threshold(&self) -> f64 {
+        if self.best.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.best.peek().map_or(f64::INFINITY, |w| w.0 .0)
+        }
+    }
+
+    fn offer(&mut self, id: TrajId, distance: f64) {
+        if self.k == 0 {
+            return;
+        }
+        let cand = (TotalF64(distance), id);
+        if self.best.len() < self.k {
+            self.best.push(cand);
+        } else if let Some(worst) = self.best.peek() {
+            if cand < *worst {
+                self.best.pop();
+                self.best.push(cand);
+            }
+        }
+    }
+}
+
+/// Range collection: keep everything within a fixed `eps` (inclusive).
+pub(crate) struct RangeCollector {
+    eps: f64,
+    hits: Vec<Neighbor>,
+}
+
+impl RangeCollector {
+    pub(crate) fn new(eps: f64) -> Self {
+        RangeCollector {
+            eps,
+            hits: Vec::new(),
+        }
+    }
+
+    /// The collected matches, sorted by ascending `(distance, id)`.
+    pub(crate) fn into_neighbors(self) -> Vec<Neighbor> {
+        sort_neighbors(self.hits)
+    }
+}
+
+impl Collector for RangeCollector {
+    fn threshold(&self) -> f64 {
+        self.eps
+    }
+
+    fn offer(&mut self, id: TrajId, distance: f64) {
+        if distance <= self.eps {
+            self.hits.push(Neighbor { id, distance });
+        }
+    }
+}
+
+fn sort_neighbors(mut neighbors: Vec<Neighbor>) -> Vec<Neighbor> {
+    neighbors.sort_by_key(|n| (TotalF64(n.distance), n.id));
+    neighbors
+}
+
+/// Priority-queue entry: a subtree or a single trajectory, keyed by an
+/// admissible lower bound. `seq` makes the ordering total and deterministic.
+struct QueueEntry<'a> {
+    key: TotalF64,
+    seq: u64,
+    item: QueueItem<'a>,
+}
+
+enum QueueItem<'a> {
+    Node(&'a Node),
+    Traj(TrajId),
+}
+
+impl PartialEq for QueueEntry<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for QueueEntry<'_> {}
+impl PartialOrd for QueueEntry<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the smallest key.
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Runs one best-first search over `tree`, feeding every exact evaluation
+/// into `collector` and every unit of work into `stats`.
+///
+/// `store` must be the store this tree indexes, with every one of its
+/// trajectories inserted (a store id never indexed is invisible to the
+/// search). `scratch` is the worker's pooled kernel memory; the query is
+/// (re)pinned here, so one scratch can serve many consecutive searches.
+pub(crate) fn best_first<C: Collector>(
+    tree: &TrajTree,
+    store: &TrajStore,
+    query: &Trajectory,
+    collector: &mut C,
+    scratch: &mut EdwpScratch,
+    stats: &mut QueryStats,
+) {
+    let Some(root) = tree.root.as_ref() else {
+        return;
+    };
+    scratch.set_query(query);
+
+    fn push<'a>(
+        queue: &mut BinaryHeap<QueueEntry<'a>>,
+        seq: &mut u64,
+        key: f64,
+        item: QueueItem<'a>,
+    ) {
+        queue.push(QueueEntry {
+            key: TotalF64(key),
+            seq: *seq,
+            item,
+        });
+        *seq += 1;
+    }
+    let mut queue: BinaryHeap<QueueEntry<'_>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    stats.bump_bounds();
+    let root_key = edwp_lower_bound_boxes_with_scratch(query, root.summary(), scratch);
+    push(&mut queue, &mut seq, root_key, QueueItem::Node(root));
+
+    while let Some(entry) = queue.pop() {
+        // Keep expanding ties (<=): an equal-bound candidate can still win
+        // on id order; strictly worse keys cannot contribute.
+        if entry.key.0 > collector.threshold() {
+            break;
+        }
+        match entry.item {
+            QueueItem::Node(node) => {
+                stats.bump_nodes();
+                match node {
+                    Node::Internal { children, .. } => {
+                        for child in children {
+                            stats.bump_bounds();
+                            let lb = edwp_lower_bound_boxes_with_scratch(
+                                query,
+                                child.summary(),
+                                scratch,
+                            );
+                            // Clamp to the parent key: both are valid
+                            // bounds, and monotone keys keep the traversal
+                            // order stable.
+                            push(
+                                &mut queue,
+                                &mut seq,
+                                lb.max(entry.key.0),
+                                QueueItem::Node(child),
+                            );
+                        }
+                    }
+                    Node::Leaf { ids, .. } => {
+                        for &id in ids {
+                            stats.bump_bounds();
+                            // Tighter per-trajectory refinement: exact
+                            // segment-to-polyline distances instead of box
+                            // distances.
+                            let lb = edwp_lower_bound_trajectory_with_scratch(
+                                query,
+                                store.get(id),
+                                scratch,
+                            );
+                            push(
+                                &mut queue,
+                                &mut seq,
+                                lb.max(entry.key.0),
+                                QueueItem::Traj(id),
+                            );
+                        }
+                    }
+                }
+            }
+            QueueItem::Traj(id) => {
+                stats.bump_edwp();
+                collector.offer(id, edwp_with_scratch(query, store.get(id), scratch));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters_and_keeps_db_size() {
+        let mut a = QueryStats {
+            db_size: 100,
+            queries: 3,
+            nodes_visited: 7,
+            bound_evaluations: 40,
+            edwp_evaluations: 12,
+        };
+        let b = QueryStats {
+            db_size: 100,
+            queries: 5,
+            nodes_visited: 11,
+            bound_evaluations: 60,
+            edwp_evaluations: 28,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            QueryStats {
+                db_size: 100,
+                queries: 8,
+                nodes_visited: 18,
+                bound_evaluations: 100,
+                edwp_evaluations: 40,
+            }
+        );
+        assert!((a.mean_edwp_evaluations() - 5.0).abs() < 1e-12);
+        assert!((a.pruning_ratio() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let mut a = QueryStats {
+            db_size: 10,
+            queries: usize::MAX - 1,
+            nodes_visited: usize::MAX,
+            bound_evaluations: usize::MAX - 3,
+            edwp_evaluations: 5,
+        };
+        let b = QueryStats {
+            db_size: 10,
+            queries: 7,
+            nodes_visited: 1,
+            bound_evaluations: 9,
+            edwp_evaluations: usize::MAX,
+        };
+        a.merge(&b);
+        assert_eq!(a.queries, usize::MAX);
+        assert_eq!(a.nodes_visited, usize::MAX);
+        assert_eq!(a.bound_evaluations, usize::MAX);
+        assert_eq!(a.edwp_evaluations, usize::MAX);
+        // A second merge stays pinned at the ceiling.
+        a.merge(&b);
+        assert_eq!(a.edwp_evaluations, usize::MAX);
+    }
+
+    #[test]
+    fn single_search_counters_saturate() {
+        let mut s = QueryStats {
+            nodes_visited: usize::MAX,
+            bound_evaluations: usize::MAX,
+            edwp_evaluations: usize::MAX,
+            ..QueryStats::for_search(4)
+        };
+        s.bump_nodes();
+        s.bump_bounds();
+        s.bump_edwp();
+        assert_eq!(s.nodes_visited, usize::MAX);
+        assert_eq!(s.bound_evaluations, usize::MAX);
+        assert_eq!(s.edwp_evaluations, usize::MAX);
+    }
+
+    #[test]
+    fn pruning_ratio_handles_empty_and_batched() {
+        assert_eq!(QueryStats::default().pruning_ratio(), 0.0);
+        let s = QueryStats {
+            db_size: 50,
+            queries: 4,
+            edwp_evaluations: 20,
+            ..QueryStats::default()
+        };
+        // 20 evaluations over 4 queries of a 50-trajectory db: 90% pruned.
+        assert!((s.pruning_ratio() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_collector_threshold_tracks_incumbent() {
+        let mut c = KnnCollector::new(2);
+        assert_eq!(c.threshold(), f64::INFINITY);
+        c.offer(4, 10.0);
+        assert_eq!(c.threshold(), f64::INFINITY);
+        c.offer(1, 3.0);
+        assert_eq!(c.threshold(), 10.0);
+        c.offer(9, 7.0);
+        assert_eq!(c.threshold(), 7.0);
+        // Worse candidates are ignored.
+        c.offer(2, 100.0);
+        assert_eq!(c.threshold(), 7.0);
+        let res = c.into_neighbors();
+        assert_eq!(res.len(), 2);
+        assert_eq!((res[0].id, res[1].id), (1, 9));
+    }
+
+    #[test]
+    fn knn_collector_breaks_distance_ties_by_id() {
+        let mut c = KnnCollector::new(1);
+        c.offer(7, 5.0);
+        c.offer(3, 5.0);
+        assert_eq!(c.into_neighbors()[0].id, 3);
+    }
+
+    #[test]
+    fn range_collector_is_inclusive_and_sorted() {
+        let mut c = RangeCollector::new(5.0);
+        assert_eq!(c.threshold(), 5.0);
+        c.offer(8, 5.0);
+        c.offer(2, 0.0);
+        c.offer(5, 5.1);
+        c.offer(1, 5.0);
+        let res = c.into_neighbors();
+        assert_eq!(
+            res.iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![2, 1, 8],
+            "inclusive at eps, ascending (distance, id): {res:?}"
+        );
+    }
+}

@@ -1,11 +1,11 @@
 //! # traj-index
 //!
 //! TrajTree (Sec. V of Ranu et al., ICDE 2015): a hierarchical index over a
-//! trajectory database supporting **exact** k-nearest-neighbour search
-//! under EDwP while evaluating the full distance on only a fraction of the
-//! database.
+//! trajectory database with an **exact** query engine — k-nearest-neighbour
+//! and range (ε) search under EDwP, single-query or parallel batch — that
+//! evaluates the full distance on only a fraction of the database.
 //!
-//! Architecture:
+//! # Architecture
 //!
 //! * [`TrajStore`] owns the trajectories and issues dense [`TrajId`]s; the
 //!   tree stores ids only.
@@ -15,12 +15,31 @@
 //!   by Sort-Tile-Recursive bulk-loading ([`TrajTree::bulk_load`]) and
 //!   support incremental [`TrajTree::insert`] with the paper's
 //!   least-volume-growth descent and node splitting.
-//! * [`TrajTree::knn`] runs best-first search pruned by the admissible
-//!   Theorem 2 relaxation [`traj_dist::edwp_lower_bound_boxes`], refining
-//!   node bounds into per-trajectory polyline bounds
-//!   ([`traj_dist::edwp_lower_bound_trajectory`]) into exact EDwP
-//!   evaluations. [`brute_force_knn`] is the linear-scan reference; the
-//!   two agree exactly (verified by property tests in `tests/`).
+//! * The `engine` module owns the best-first traversal, pruned by the
+//!   admissible Theorem 2 relaxation [`traj_dist::edwp_lower_bound_boxes`]
+//!   and refined through per-trajectory polyline bounds into exact EDwP
+//!   evaluations. The traversal is generic over a result *collector*, which
+//!   supplies the pruning threshold and absorbs exact distances.
+//! * The `queries` module instantiates the engine: [`TrajTree::knn`],
+//!   [`TrajTree::range`], the linear-scan references [`brute_force_knn`] /
+//!   [`brute_force_range`] (the same collectors with pruning disabled), and
+//!   the parallel [`TrajTree::batch_knn`] / [`TrajTree::batch_range`] that
+//!   fan queries out over scoped worker threads — each worker holds its own
+//!   [`traj_dist::EdwpScratch`], so steady-state batches are allocation-free
+//!   inside the kernels, and per-worker [`QueryStats`] merge (saturating)
+//!   into one aggregate.
+//!
+//! # Adding a new query type
+//!
+//! 1. Write a collector implementing the engine's two-method contract:
+//!    `threshold()` (the largest lower bound that could still matter — it
+//!    must never undershoot) and `offer(id, distance)` (absorb one exact
+//!    evaluation).
+//! 2. Add a `TrajTree` method that seeds [`QueryStats`], runs the shared
+//!    best-first traversal with your collector, and converts it into
+//!    results — see `TrajTree::range_with_scratch` for the ~10-line shape.
+//! 3. Batch/parallel support is free: route the method through the shared
+//!    chunked `thread::scope` driver the way `batch_range` does.
 //!
 //! Distances are **raw** (cumulative) EDwP: raw EDwP admits box lower
 //! bounds directly (Theorem 2), whereas the length-normalised variant's
@@ -30,10 +49,12 @@
 
 #![warn(missing_docs)]
 
-mod knn;
+mod engine;
+mod queries;
 mod store;
 mod tree;
 
-pub use knn::{brute_force_knn, KnnStats, Neighbor};
+pub use engine::{Neighbor, QueryStats};
+pub use queries::{brute_force_knn, brute_force_range};
 pub use store::{TrajId, TrajStore};
 pub use tree::{TrajTree, TrajTreeConfig};

@@ -1,0 +1,424 @@
+//! The concrete query types built on the [`crate::engine`] traversal:
+//! exact k-NN, exact range (ε) search, their brute-force references, and
+//! parallel batch variants that fan out over scoped worker threads.
+//!
+//! Every entry point comes in two flavours: a convenience signature that
+//! creates a fresh [`EdwpScratch`] per call, and a `*_with_scratch` variant
+//! for callers issuing many queries that want the kernels allocation-free.
+//! Batch variants (`batch_knn`, `batch_range`) split the query slice into
+//! contiguous per-worker chunks under [`std::thread::scope`]; workers share
+//! the tree and store read-only, own one scratch each, and their
+//! [`QueryStats`] are merged afterwards. Because every query is processed
+//! by exactly the same single-query code path, batch results are bitwise
+//! identical to a sequential loop regardless of worker count.
+
+use crate::engine::{best_first, Collector, KnnCollector, Neighbor, QueryStats, RangeCollector};
+use crate::store::TrajStore;
+use crate::tree::TrajTree;
+use traj_core::Trajectory;
+use traj_dist::{edwp_with_scratch, EdwpScratch};
+
+impl TrajTree {
+    /// The `k` indexed trajectories closest to `query` under raw EDwP,
+    /// sorted by ascending `(distance, id)`, together with work counters.
+    ///
+    /// `store` must be the store this tree indexes, with every one of its
+    /// trajectories inserted (a store id never indexed — e.g. added to the
+    /// store after the last [`TrajTree::insert`] — is invisible to the
+    /// search). Under that precondition, results are exactly those of
+    /// [`brute_force_knn`] — same ids, same distances, same order — but
+    /// computed with full EDwP evaluations on only the candidates whose
+    /// lower bounds could not rule them out.
+    pub fn knn(
+        &self,
+        store: &TrajStore,
+        query: &Trajectory,
+        k: usize,
+    ) -> (Vec<Neighbor>, QueryStats) {
+        self.knn_with_scratch(store, query, k, &mut EdwpScratch::new())
+    }
+
+    /// [`TrajTree::knn`] with caller-pooled kernel memory: identical
+    /// results, no per-call allocation inside the distance kernels once
+    /// `scratch` is warm.
+    pub fn knn_with_scratch(
+        &self,
+        store: &TrajStore,
+        query: &Trajectory,
+        k: usize,
+        scratch: &mut EdwpScratch,
+    ) -> (Vec<Neighbor>, QueryStats) {
+        let mut stats = QueryStats::for_search(self.len());
+        let k = k.min(self.len());
+        if k == 0 {
+            return (Vec::new(), stats);
+        }
+        let mut collector = KnnCollector::new(k);
+        best_first(self, store, query, &mut collector, scratch, &mut stats);
+        (collector.into_neighbors(), stats)
+    }
+
+    /// Every indexed trajectory whose raw EDwP distance to `query` is at
+    /// most `eps` (inclusive), sorted by ascending `(distance, id)`, with
+    /// work counters. Exact: results match [`brute_force_range`] on the
+    /// same store precondition as [`TrajTree::knn`].
+    ///
+    /// `eps = 0` returns exact geometric matches; `eps = f64::INFINITY`
+    /// returns the whole database (at linear-scan cost — every candidate
+    /// must be evaluated).
+    pub fn range(
+        &self,
+        store: &TrajStore,
+        query: &Trajectory,
+        eps: f64,
+    ) -> (Vec<Neighbor>, QueryStats) {
+        self.range_with_scratch(store, query, eps, &mut EdwpScratch::new())
+    }
+
+    /// [`TrajTree::range`] with caller-pooled kernel memory.
+    pub fn range_with_scratch(
+        &self,
+        store: &TrajStore,
+        query: &Trajectory,
+        eps: f64,
+        scratch: &mut EdwpScratch,
+    ) -> (Vec<Neighbor>, QueryStats) {
+        let mut stats = QueryStats::for_search(self.len());
+        let mut collector = RangeCollector::new(eps);
+        best_first(self, store, query, &mut collector, scratch, &mut stats);
+        (collector.into_neighbors(), stats)
+    }
+
+    /// Answers every query in `queries` with [`TrajTree::knn`], fanning out
+    /// over one worker thread per available CPU. Returns per-query results
+    /// in input order plus the merged work counters.
+    ///
+    /// Results are bitwise identical to calling [`TrajTree::knn`] in a
+    /// sequential loop: parallelism changes only which thread runs a query,
+    /// never what it computes.
+    pub fn batch_knn(
+        &self,
+        store: &TrajStore,
+        queries: &[Trajectory],
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, QueryStats) {
+        self.batch_knn_with_threads(store, queries, k, default_threads())
+    }
+
+    /// [`TrajTree::batch_knn`] with an explicit worker count (clamped to
+    /// `1..=queries.len()`).
+    pub fn batch_knn_with_threads(
+        &self,
+        store: &TrajStore,
+        queries: &[Trajectory],
+        k: usize,
+        threads: usize,
+    ) -> (Vec<Vec<Neighbor>>, QueryStats) {
+        batch_queries(queries, threads, |query, scratch| {
+            self.knn_with_scratch(store, query, k, scratch)
+        })
+    }
+
+    /// Answers every query in `queries` with [`TrajTree::range`], fanning
+    /// out over one worker thread per available CPU. Same ordering and
+    /// determinism guarantees as [`TrajTree::batch_knn`].
+    pub fn batch_range(
+        &self,
+        store: &TrajStore,
+        queries: &[Trajectory],
+        eps: f64,
+    ) -> (Vec<Vec<Neighbor>>, QueryStats) {
+        self.batch_range_with_threads(store, queries, eps, default_threads())
+    }
+
+    /// [`TrajTree::batch_range`] with an explicit worker count (clamped to
+    /// `1..=queries.len()`).
+    pub fn batch_range_with_threads(
+        &self,
+        store: &TrajStore,
+        queries: &[Trajectory],
+        eps: f64,
+        threads: usize,
+    ) -> (Vec<Vec<Neighbor>>, QueryStats) {
+        batch_queries(queries, threads, |query, scratch| {
+            self.range_with_scratch(store, query, eps, scratch)
+        })
+    }
+}
+
+/// Default batch fan-out: one worker per available CPU.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Shared batch driver: splits `queries` into contiguous chunks, runs each
+/// chunk on a scoped worker with its own [`EdwpScratch`], and merges the
+/// per-query stats. Chunking (rather than work-stealing) keeps the mapping
+/// from query to result slot trivially deterministic.
+fn batch_queries<R, F>(queries: &[Trajectory], threads: usize, run: F) -> (Vec<R>, QueryStats)
+where
+    R: Send,
+    F: Fn(&Trajectory, &mut EdwpScratch) -> (R, QueryStats) + Sync,
+{
+    let mut agg = QueryStats::default();
+    if queries.is_empty() {
+        return (Vec::new(), agg);
+    }
+    let threads = threads.clamp(1, queries.len());
+    let chunk = queries.len().div_ceil(threads);
+    let mut slots: Vec<Option<(R, QueryStats)>> = Vec::with_capacity(queries.len());
+    slots.resize_with(queries.len(), || None);
+    std::thread::scope(|scope| {
+        for (query_chunk, slot_chunk) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            let run = &run;
+            scope.spawn(move || {
+                let mut scratch = EdwpScratch::new();
+                for (query, slot) in query_chunk.iter().zip(slot_chunk.iter_mut()) {
+                    *slot = Some(run(query, &mut scratch));
+                }
+            });
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            let (result, stats) = slot.expect("every chunk worker fills its slots");
+            agg.merge(&stats);
+            result
+        })
+        .collect();
+    (results, agg)
+}
+
+/// Reference linear scan for k-NN: the engine's [`KnnCollector`] with
+/// pruning disabled — every stored trajectory gets a full EDwP evaluation,
+/// so index searches and this reference share only the result collection
+/// and the distance kernel, never the pruning logic under test.
+pub fn brute_force_knn(store: &TrajStore, query: &Trajectory, k: usize) -> Vec<Neighbor> {
+    brute_force(store, query, KnnCollector::new(k.min(store.len()))).into_neighbors()
+}
+
+/// Reference linear scan for range search: every stored trajectory within
+/// `eps` (inclusive), ascending `(distance, id)`.
+pub fn brute_force_range(store: &TrajStore, query: &Trajectory, eps: f64) -> Vec<Neighbor> {
+    brute_force(store, query, RangeCollector::new(eps)).into_neighbors()
+}
+
+/// The pruning-disabled engine: offer every exact distance to `collector`.
+fn brute_force<C: Collector>(store: &TrajStore, query: &Trajectory, mut collector: C) -> C {
+    let mut scratch = EdwpScratch::new();
+    for (id, t) in store.iter() {
+        collector.offer(id, edwp_with_scratch(query, t, &mut scratch));
+    }
+    collector
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TrajTreeConfig;
+    use traj_core::Trajectory;
+
+    fn clustered_store() -> TrajStore {
+        // Four tight clusters far apart; 20 trajectories each.
+        let mut store = TrajStore::new();
+        for (cx, cy) in [(0.0, 0.0), (1000.0, 0.0), (0.0, 1000.0), (1000.0, 1000.0)] {
+            for i in 0..20 {
+                let off = i as f64 * 0.5;
+                store.insert(Trajectory::from_xy(&[
+                    (cx + off, cy),
+                    (cx + off + 2.0, cy + 2.0),
+                    (cx + off + 4.0, cy),
+                ]));
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn knn_matches_brute_force_on_clustered_db() {
+        let store = clustered_store();
+        let tree = TrajTree::build(&store);
+        let query = Trajectory::from_xy(&[(3.0, 0.5), (5.0, 2.0), (7.0, 0.5)]);
+        for k in [1, 5, 10] {
+            let (got, stats) = tree.knn(&store, &query, k);
+            let want = brute_force_knn(&store, &query, k);
+            assert_eq!(got, want, "k={k}");
+            assert_eq!(stats.db_size, 80);
+            assert_eq!(stats.queries, 1);
+        }
+    }
+
+    #[test]
+    fn knn_prunes_far_clusters() {
+        let store = clustered_store();
+        let tree = TrajTree::build(&store);
+        let query = Trajectory::from_xy(&[(3.0, 0.5), (5.0, 2.0), (7.0, 0.5)]);
+        let (_, stats) = tree.knn(&store, &query, 5);
+        // Three of the four clusters are ~1000 away; their subtrees must be
+        // pruned before any full EDwP evaluation.
+        assert!(
+            stats.edwp_evaluations <= store.len() / 2,
+            "no pruning: {} of {} evaluated",
+            stats.edwp_evaluations,
+            store.len()
+        );
+        assert!(stats.pruning_ratio() > 0.4);
+    }
+
+    #[test]
+    fn knn_on_empty_and_oversized_k() {
+        let store = TrajStore::new();
+        let tree = TrajTree::build(&store);
+        let query = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 1.0)]);
+        let (res, _) = tree.knn(&store, &query, 3);
+        assert!(res.is_empty());
+
+        let mut store = TrajStore::new();
+        store.insert(Trajectory::from_xy(&[(0.0, 0.0), (1.0, 0.0)]));
+        store.insert(Trajectory::from_xy(&[(0.0, 5.0), (1.0, 5.0)]));
+        let tree = TrajTree::build(&store);
+        let (res, _) = tree.knn(&store, &query, 10);
+        assert_eq!(res.len(), 2);
+        assert_eq!(res, brute_force_knn(&store, &query, 10));
+    }
+
+    #[test]
+    fn knn_zero_k_returns_nothing() {
+        let mut store = TrajStore::new();
+        store.insert(Trajectory::from_xy(&[(0.0, 0.0), (1.0, 0.0)]));
+        let tree = TrajTree::build(&store);
+        let query = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 0.0)]);
+        let (res, stats) = tree.knn(&store, &query, 0);
+        assert!(res.is_empty());
+        assert_eq!(stats.edwp_evaluations, 0);
+    }
+
+    #[test]
+    fn knn_after_incremental_inserts_matches_brute_force() {
+        let store = clustered_store();
+        let mut tree = TrajTree::bulk_load(
+            &TrajStore::new(),
+            TrajTreeConfig {
+                leaf_capacity: 4,
+                fanout: 4,
+                ..TrajTreeConfig::default()
+            },
+        );
+        for id in store.ids() {
+            tree.insert(&store, id);
+        }
+        let query = Trajectory::from_xy(&[(998.0, 999.0), (1002.0, 1001.0)]);
+        let (got, _) = tree.knn(&store, &query, 7);
+        assert_eq!(got, brute_force_knn(&store, &query, 7));
+    }
+
+    #[test]
+    fn exact_self_match_comes_first() {
+        let store = clustered_store();
+        let tree = TrajTree::build(&store);
+        let member = store.get(13).clone();
+        let (res, _) = tree.knn(&store, &member, 1);
+        assert_eq!(res[0].id, 13);
+        assert!(res[0].distance <= 1e-9);
+    }
+
+    #[test]
+    fn range_matches_brute_force_and_prunes() {
+        let store = clustered_store();
+        let tree = TrajTree::build(&store);
+        let query = Trajectory::from_xy(&[(3.0, 0.5), (5.0, 2.0), (7.0, 0.5)]);
+        // Pick eps to cover the near cluster but not the far ones.
+        let eps = brute_force_knn(&store, &query, 10)[9].distance;
+        let (got, stats) = tree.range(&store, &query, eps);
+        assert_eq!(got, brute_force_range(&store, &query, eps));
+        assert!(got.len() >= 10, "inclusive eps must keep the 10th match");
+        assert!(
+            stats.edwp_evaluations <= store.len() / 2,
+            "range search did not prune: {} of {}",
+            stats.edwp_evaluations,
+            store.len()
+        );
+        // Results are within eps and sorted.
+        for w in got.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        assert!(got.iter().all(|n| n.distance <= eps));
+    }
+
+    #[test]
+    fn range_edge_epsilons() {
+        let store = clustered_store();
+        let tree = TrajTree::build(&store);
+        let member = store.get(13).clone();
+        // eps = 0: exact geometric matches only.
+        let (zero, _) = tree.range(&store, &member, 0.0);
+        assert!(zero.iter().any(|n| n.id == 13));
+        assert!(zero.iter().all(|n| n.distance == 0.0));
+        assert_eq!(zero, brute_force_range(&store, &member, 0.0));
+        // eps = inf: the whole database.
+        let (all, stats) = tree.range(&store, &member, f64::INFINITY);
+        assert_eq!(all.len(), store.len());
+        assert_eq!(stats.edwp_evaluations, store.len());
+        // Negative eps: nothing, and nothing evaluated.
+        let (none, stats) = tree.range(&store, &member, -1.0);
+        assert!(none.is_empty());
+        assert_eq!(stats.edwp_evaluations, 0);
+    }
+
+    #[test]
+    fn batch_knn_matches_sequential_loop() {
+        let store = clustered_store();
+        let tree = TrajTree::build(&store);
+        let queries: Vec<Trajectory> = (0..7)
+            .map(|i| {
+                let x = (i * 137 % 1000) as f64;
+                let y = (i * 411 % 1000) as f64;
+                Trajectory::from_xy(&[(x, y), (x + 3.0, y + 2.0), (x + 6.0, y)])
+            })
+            .collect();
+        let mut scratch = EdwpScratch::new();
+        let sequential: Vec<Vec<Neighbor>> = queries
+            .iter()
+            .map(|q| tree.knn_with_scratch(&store, q, 5, &mut scratch).0)
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let (batch, stats) = tree.batch_knn_with_threads(&store, &queries, 5, threads);
+            assert_eq!(batch, sequential, "threads={threads}");
+            assert_eq!(stats.queries, queries.len());
+            assert_eq!(stats.db_size, store.len());
+        }
+        // The default-thread entry point agrees too.
+        let (batch, _) = tree.batch_knn(&store, &queries, 5);
+        assert_eq!(batch, sequential);
+    }
+
+    #[test]
+    fn batch_range_matches_sequential_loop() {
+        let store = clustered_store();
+        let tree = TrajTree::build(&store);
+        let queries: Vec<Trajectory> = (0..5)
+            .map(|i| {
+                let x = i as f64 * 250.0;
+                Trajectory::from_xy(&[(x, 0.0), (x + 2.0, 2.0), (x + 4.0, 0.0)])
+            })
+            .collect();
+        let eps = 500.0;
+        let sequential: Vec<Vec<Neighbor>> = queries
+            .iter()
+            .map(|q| tree.range(&store, q, eps).0)
+            .collect();
+        let (batch, stats) = tree.batch_range_with_threads(&store, &queries, eps, 4);
+        assert_eq!(batch, sequential);
+        assert_eq!(stats.queries, queries.len());
+    }
+
+    #[test]
+    fn batch_on_empty_query_slice() {
+        let store = clustered_store();
+        let tree = TrajTree::build(&store);
+        let (res, stats) = tree.batch_knn(&store, &[], 5);
+        assert!(res.is_empty());
+        assert_eq!(stats.queries, 0);
+    }
+}

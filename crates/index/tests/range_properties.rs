@@ -1,0 +1,216 @@
+//! The range-query and batch-query correctness contracts:
+//!
+//! * `tree.range(q, eps)` returns exactly the brute-force filter — same
+//!   ids, same distances, ascending `(distance, id)` order — on randomized
+//!   uniform and clustered databases, including the `eps = 0` and
+//!   `eps = f64::INFINITY` edges;
+//! * `batch_knn` / `batch_range` are bitwise identical to a sequential loop
+//!   of single queries, for any worker count.
+
+use proptest::prelude::*;
+use traj_core::{StPoint, TotalF64, Trajectory};
+use traj_dist::edwp;
+use traj_gen::{GenConfig, TrajGen};
+use traj_index::{brute_force_range, Neighbor, TrajStore, TrajTree};
+
+/// A uniformly random trajectory in a 100×100 region.
+fn trajectory(min_pts: usize, max_pts: usize) -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), min_pts..=max_pts).prop_map(|pts| {
+        Trajectory::new(
+            pts.iter()
+                .enumerate()
+                .map(|(i, &(x, y))| StPoint::new(x, y, i as f64))
+                .collect(),
+        )
+        .expect("valid by construction")
+    })
+}
+
+/// A clustered database from the deterministic generator, so that index
+/// pruning has spatial structure to exploit.
+fn clustered_db(size: usize, seed: u64) -> Vec<Trajectory> {
+    let mut g = TrajGen::with_config(
+        seed,
+        GenConfig {
+            area: 400.0,
+            clusters: 5,
+            cluster_spread: 4.0,
+            ..GenConfig::default()
+        },
+    );
+    g.database(size, 4, 10)
+}
+
+/// Independent reference: filter the whole store through the plain `edwp`
+/// kernel, keeping everything within `eps`, ascending `(distance, id)`.
+/// Shares no code with the engine beyond the DP itself.
+fn manual_range_filter(store: &TrajStore, query: &Trajectory, eps: f64) -> Vec<Neighbor> {
+    let mut hits: Vec<Neighbor> = store
+        .iter()
+        .map(|(id, t)| Neighbor {
+            id,
+            distance: edwp(query, t),
+        })
+        .filter(|n| n.distance <= eps)
+        .collect();
+    hits.sort_by_key(|n| (TotalF64(n.distance), n.id));
+    hits
+}
+
+/// An eps drawn from the empirical distance distribution (`sel` selects a
+/// quantile), so ranges are neither trivially empty nor always the full db —
+/// and sometimes land exactly *on* a distance, exercising the inclusive
+/// boundary.
+fn quantile_eps(store: &TrajStore, query: &Trajectory, sel: f64) -> f64 {
+    let mut ds: Vec<f64> = store.iter().map(|(_, t)| edwp(query, t)).collect();
+    ds.sort_by_key(|&d| TotalF64(d));
+    ds[((sel * (ds.len() - 1) as f64) as usize).min(ds.len() - 1)]
+}
+
+fn assert_range_exact(store: &TrajStore, tree: &TrajTree, query: &Trajectory, eps: f64) {
+    let (got, stats) = tree.range(store, query, eps);
+    let manual = manual_range_filter(store, query, eps);
+    assert_eq!(
+        got, manual,
+        "eps={eps}: index range diverged from the manual filter"
+    );
+    assert_eq!(got, brute_force_range(store, query, eps));
+    for w in got.windows(2) {
+        assert!(
+            (w[0].distance, w[0].id) < (w[1].distance, w[1].id),
+            "results not strictly ascending on (distance, id)"
+        );
+    }
+    assert!(
+        stats.edwp_evaluations <= stats.db_size,
+        "more EDwP evaluations ({}) than a linear scan ({})",
+        stats.edwp_evaluations,
+        stats.db_size
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn range_matches_brute_force_on_uniform_dbs(
+        db in prop::collection::vec(trajectory(2, 8), 20..81),
+        query in trajectory(2, 8),
+        sel in 0.0..1.0f64,
+    ) {
+        let store = TrajStore::from(db);
+        let tree = TrajTree::build(&store);
+        let eps = quantile_eps(&store, &query, sel);
+        assert_range_exact(&store, &tree, &query, eps);
+        // The edges hold on every generated instance too.
+        assert_range_exact(&store, &tree, &query, 0.0);
+        assert_range_exact(&store, &tree, &query, f64::INFINITY);
+        prop_assert!(true);
+    }
+
+    #[test]
+    fn range_matches_brute_force_on_clustered_dbs(
+        size in 20usize..81,
+        seed in 0u64..1000,
+        query in trajectory(2, 8),
+        sel in 0.0..1.0f64,
+    ) {
+        let store = TrajStore::from(clustered_db(size, seed));
+        let tree = TrajTree::build(&store);
+        let eps = quantile_eps(&store, &query, sel);
+        assert_range_exact(&store, &tree, &query, eps);
+        assert_range_exact(&store, &tree, &query, 0.0);
+        assert_range_exact(&store, &tree, &query, f64::INFINITY);
+        prop_assert!(true);
+    }
+}
+
+/// `eps = 0` on a query that *is* a member: the member (and any geometric
+/// duplicates) come back at distance exactly zero.
+#[test]
+fn range_zero_eps_finds_exact_members() {
+    let store = TrajStore::from(clustered_db(60, 3));
+    let tree = TrajTree::build(&store);
+    for id in [0u32, 17, 41] {
+        let member = store.get(id).clone();
+        let (got, _) = tree.range(&store, &member, 0.0);
+        assert!(got.iter().any(|n| n.id == id), "member {id} not found");
+        assert!(got.iter().all(|n| n.distance == 0.0));
+        assert_eq!(got, manual_range_filter(&store, &member, 0.0));
+    }
+}
+
+/// `eps = ∞` returns the entire database in brute-force order.
+#[test]
+fn range_infinite_eps_returns_whole_db() {
+    let store = TrajStore::from(clustered_db(45, 11));
+    let tree = TrajTree::build(&store);
+    let mut g = TrajGen::new(8);
+    let query = g.random_walk(6);
+    let (got, _) = tree.range(&store, &query, f64::INFINITY);
+    assert_eq!(got.len(), store.len());
+    assert_eq!(got, manual_range_filter(&store, &query, f64::INFINITY));
+}
+
+/// Batch determinism: `batch_knn`/`batch_range` over ≥ 4 workers are
+/// *bitwise* identical to sequential single-query loops.
+#[test]
+fn batch_queries_are_bitwise_identical_to_sequential() {
+    let store = TrajStore::from(clustered_db(100, 23));
+    let tree = TrajTree::build(&store);
+    let mut g = TrajGen::with_config(
+        51,
+        GenConfig {
+            area: 400.0,
+            clusters: 5,
+            cluster_spread: 4.0,
+            ..GenConfig::default()
+        },
+    );
+    let queries: Vec<Trajectory> = (0..12).map(|_| g.random_walk(7)).collect();
+
+    let seq_knn: Vec<Vec<Neighbor>> = queries.iter().map(|q| tree.knn(&store, q, 6).0).collect();
+    let eps = quantile_eps(&store, &queries[0], 0.3);
+    let seq_range: Vec<Vec<Neighbor>> = queries
+        .iter()
+        .map(|q| tree.range(&store, q, eps).0)
+        .collect();
+
+    for threads in [1usize, 2, 4, 7] {
+        let (batch_knn, knn_stats) = tree.batch_knn_with_threads(&store, &queries, 6, threads);
+        // Vec<Neighbor> equality is f64 PartialEq — i.e. bitwise for these
+        // finite distances — plus id equality, in order.
+        assert_eq!(
+            batch_knn, seq_knn,
+            "batch_knn diverged at {threads} workers"
+        );
+        assert_eq!(knn_stats.queries, queries.len());
+        assert_eq!(knn_stats.db_size, store.len());
+
+        let (batch_range, range_stats) =
+            tree.batch_range_with_threads(&store, &queries, eps, threads);
+        assert_eq!(
+            batch_range, seq_range,
+            "batch_range diverged at {threads} workers"
+        );
+        assert_eq!(range_stats.queries, queries.len());
+    }
+}
+
+/// The merged batch stats equal the sum of sequential per-query stats — no
+/// counter is dropped in the fan-out/merge.
+#[test]
+fn batch_stats_equal_summed_sequential_stats() {
+    let store = TrajStore::from(clustered_db(80, 5));
+    let tree = TrajTree::build(&store);
+    let mut g = TrajGen::new(77);
+    let queries: Vec<Trajectory> = (0..9).map(|_| g.random_walk(6)).collect();
+
+    let mut want = traj_index::QueryStats::default();
+    for q in &queries {
+        let (_, s) = tree.knn(&store, q, 4);
+        want.merge(&s);
+    }
+    let (_, got) = tree.batch_knn_with_threads(&store, &queries, 4, 4);
+    assert_eq!(got, want);
+}

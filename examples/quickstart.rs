@@ -1,10 +1,10 @@
 //! End-to-end tour: generate a synthetic trajectory database, bulk-load a
-//! TrajTree, run an exact k-NN query, and compare the work done against a
-//! linear scan.
+//! TrajTree, run exact k-NN and range queries through the query engine, and
+//! compare the work done against a linear scan.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use trajrep::{brute_force_knn, GenConfig, TrajGen, TrajStore, TrajTree};
+use trajrep::{brute_force_knn, brute_force_range, GenConfig, TrajGen, TrajStore, TrajTree};
 
 fn main() {
     // 1. Generate a clustered database of 300 random-walk trajectories
@@ -60,5 +60,21 @@ fn main() {
         stats.edwp_evaluations,
         stats.db_size,
         (stats.pruning_ratio() * 100.0).round()
+    );
+
+    // 5. Range query on the same engine: everything within the k-th
+    //    neighbour's distance — the ε-ball around the query.
+    let eps = neighbors.last().expect("k > 0").distance;
+    let (in_ball, range_stats) = tree.range(&store, &query, eps);
+    assert_eq!(
+        in_ball,
+        brute_force_range(&store, &query, eps),
+        "range diverged from linear scan"
+    );
+    println!(
+        "\nrange(eps = {eps:.2}): {} trajectories in the ball, {} EDwP evaluations ({}% pruned)",
+        in_ball.len(),
+        range_stats.edwp_evaluations,
+        (range_stats.pruning_ratio() * 100.0).round()
     );
 }

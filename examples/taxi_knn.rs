@@ -1,7 +1,8 @@
-//! Taxi-style k-NN workload: a fleet of vehicles repeats a handful of
+//! Taxi-style batch k-NN workload: a fleet of vehicles repeats a handful of
 //! "routes" with per-trip noise and wildly different GPS sampling rates;
-//! the index must retrieve trips of the same route for a new trip, exactly
-//! and without scanning the fleet.
+//! the engine must retrieve trips of the same route for a batch of new
+//! trips — fanned out over worker threads — exactly and without scanning
+//! the fleet.
 //!
 //! Run with: `cargo run --release --example taxi_knn`
 
@@ -55,20 +56,27 @@ fn main() {
         tree.node_count()
     );
 
-    // New trips: fresh distortions of members; their top-k should be
-    // dominated by trips of the same route.
+    // New trips: fresh distortions of members, answered as one batch —
+    // workers share the tree read-only, one distance scratch each. Their
+    // top-k should be dominated by trips of the same route.
     let k = 5;
-    let mut stats_all = Vec::new();
+    let probes = [3u32, 57, 120, 199, 260];
+    let queries: Vec<Trajectory> = probes
+        .iter()
+        .map(|&probe| {
+            let base = store.get(probe).clone();
+            let resampled = gen.resample(&base, 0.4);
+            gen.perturb(&resampled, 1.0)
+        })
+        .collect();
+    let (answers, batch_stats) = tree.batch_knn(&store, &queries, k);
+
     let mut same_route_hits = 0usize;
     let mut checked = 0usize;
-    for probe in [3u32, 57, 120, 199, 260] {
-        let base = store.get(probe).clone();
-        let resampled = gen.resample(&base, 0.4);
-        let query = gen.perturb(&resampled, 1.0);
-        let (got, stats) = tree.knn(&store, &query, k);
+    for ((&probe, query), got) in probes.iter().zip(&queries).zip(&answers) {
         assert_eq!(
-            got,
-            brute_force_knn(&store, &query, k),
+            *got,
+            brute_force_knn(&store, query, k),
             "exactness violated"
         );
         let query_route = route_of[probe as usize];
@@ -80,13 +88,11 @@ fn main() {
         checked += k;
         println!(
             "probe trip {probe:>3} (route {query_route:>2}): {same}/{k} neighbours on the same \
-             route, {} EDwP evals",
-            stats.edwp_evaluations
+             route"
         );
-        stats_all.push(stats);
     }
 
-    let summary = PruningSummary::from_stats(&stats_all);
+    let summary = PruningSummary::from_aggregate(&batch_stats);
     println!("\nroute purity: {same_route_hits}/{checked} neighbours shared the query's route");
     println!(
         "pruning:      {:.1} EDwP evaluations per query on a {}-trip fleet ({:.0}% pruned)",

@@ -6,16 +6,20 @@
 //!
 //! * geometry: [`Point`], [`StPoint`], [`Segment`], [`StBox`],
 //!   [`Trajectory`];
-//! * distances: [`edwp`], [`edwp_avg`], [`edwp_sub`], the [`TrajDistance`]
-//!   trait and the paper's baselines in [`baselines`];
-//! * indexing: [`TrajStore`], [`TrajTree`], [`TrajTreeConfig`],
-//!   [`brute_force_knn`];
+//! * distances: [`edwp`], [`edwp_avg`], [`edwp_sub`], the pooled-scratch
+//!   hot-path variants ([`EdwpScratch`], [`edwp_with_scratch`]), the
+//!   [`TrajDistance`] trait and the paper's baselines in [`baselines`];
+//! * the query engine: [`TrajStore`], [`TrajTree`] with exact
+//!   [`TrajTree::knn`] / [`TrajTree::range`] and the parallel
+//!   [`TrajTree::batch_knn`] / [`TrajTree::batch_range`], plus the
+//!   linear-scan references [`brute_force_knn`] / [`brute_force_range`];
 //! * data generation: [`TrajGen`], [`GenConfig`];
 //! * evaluation: metric helpers under [`eval`] and the experiment harness
 //!   under [`experiments`].
 //!
 //! See `examples/quickstart.rs` for the end-to-end flow: generate → index →
-//! query → inspect pruning statistics.
+//! query (k-NN and range) → inspect pruning statistics, and
+//! `examples/taxi_knn.rs` for the batched fleet workload.
 
 #![warn(missing_docs)]
 
@@ -23,12 +27,15 @@ pub use traj_core::{
     approx_eq, CoreError, Point, Segment, StBox, StPoint, TotalF64, Trajectory, EPSILON,
 };
 pub use traj_dist::{
-    baselines, edwp, edwp_avg, edwp_lower_bound_boxes, edwp_lower_bound_trajectory, edwp_sub,
-    BoxSeq, EdwpDistance, EdwpRawDistance, TrajDistance,
+    baselines, edwp, edwp_avg, edwp_lower_bound_boxes, edwp_lower_bound_boxes_with_scratch,
+    edwp_lower_bound_trajectory, edwp_lower_bound_trajectory_with_scratch, edwp_sub,
+    edwp_sub_with_scratch, edwp_with_scratch, BoxSeq, EdwpDistance, EdwpRawDistance, EdwpScratch,
+    TrajDistance,
 };
 pub use traj_gen::{GenConfig, TrajGen};
 pub use traj_index::{
-    brute_force_knn, KnnStats, Neighbor, TrajId, TrajStore, TrajTree, TrajTreeConfig,
+    brute_force_knn, brute_force_range, Neighbor, QueryStats, TrajId, TrajStore, TrajTree,
+    TrajTreeConfig,
 };
 
 /// Metric helpers (precision, recall, reciprocal rank, pruning summaries).
@@ -55,5 +62,22 @@ mod tests {
         assert_eq!(res, brute_force_knn(&store, &query, 3));
         assert_eq!(stats.db_size, 30);
         assert!(edwp(&query, &query) <= EPSILON);
+
+        // The engine surface: range + batch agree with their references.
+        let eps = res.last().expect("k=3 on 30 trajectories").distance;
+        let (in_ball, _) = tree.range(&store, &query, eps);
+        assert_eq!(in_ball, brute_force_range(&store, &query, eps));
+        let queries = [query.clone(), g.random_walk(5)];
+        let (batch, agg) = tree.batch_knn_with_threads(&store, &queries, 3, 2);
+        assert_eq!(batch[0], res);
+        assert_eq!(agg.queries, 2);
+
+        // Scratch-pooled kernels match the plain ones bit-for-bit.
+        let mut scratch = EdwpScratch::new();
+        let other = store.get(7);
+        assert_eq!(
+            edwp_with_scratch(&query, other, &mut scratch),
+            edwp(&query, other)
+        );
     }
 }

@@ -65,13 +65,17 @@ struct BenchResult {
 #[derive(Debug)]
 pub struct Bencher {
     quick: bool,
+    target: Duration,
     mean_ns: f64,
     iters: u64,
 }
 
 impl Bencher {
     /// Times `routine`, first calibrating an iteration count targeting
-    /// roughly 100 ms of total measurement.
+    /// roughly `target` of total measurement (100 ms unless overridden via
+    /// the `TRAJ_BENCH_TARGET_MS` environment variable — CI's bench smoke
+    /// step sets it to 1 so every bench still runs, measures and emits
+    /// JSON on a tiny budget).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         if self.quick {
             black_box(routine());
@@ -83,8 +87,7 @@ impl Bencher {
         let start = Instant::now();
         black_box(routine());
         let single = start.elapsed().max(Duration::from_nanos(1));
-        let target = Duration::from_millis(100);
-        let iters = (target.as_nanos() / single.as_nanos()).clamp(1, 100_000) as u64;
+        let iters = (self.target.as_nanos() / single.as_nanos()).clamp(1, 100_000) as u64;
         let start = Instant::now();
         for _ in 0..iters {
             black_box(routine());
@@ -95,10 +98,21 @@ impl Bencher {
 }
 
 /// Top-level benchmark driver, mirroring `criterion::Criterion`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
     quick: bool,
+    target: Duration,
     results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            quick: false,
+            target: Duration::from_millis(100),
+            results: Vec::new(),
+        }
+    }
 }
 
 impl Criterion {
@@ -106,10 +120,18 @@ impl Criterion {
     /// only under `cargo bench`, which passes `--bench` to `harness = false`
     /// binaries; any other invocation (`cargo test --benches` passes no
     /// such flag) gets quick mode — one untimed iteration per routine.
-    /// All other flags and filter strings are ignored.
+    /// The per-routine measurement budget is 100 ms, overridable through
+    /// the `TRAJ_BENCH_TARGET_MS` environment variable (CI smoke runs set
+    /// it to 1). All other flags and filter strings are ignored.
     pub fn from_args() -> Self {
+        let target_ms = std::env::var("TRAJ_BENCH_TARGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(100)
+            .max(1);
         Criterion {
             quick: !std::env::args().any(|a| a == "--bench"),
+            target: Duration::from_millis(target_ms),
             results: Vec::new(),
         }
     }
@@ -118,6 +140,7 @@ impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         let mut b = Bencher {
             quick: self.quick,
+            target: self.target,
             mean_ns: 0.0,
             iters: 0,
         };
@@ -231,9 +254,9 @@ impl BenchmarkGroup<'_> {
         f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id);
-        let quick = self.criterion.quick;
         let mut b = Bencher {
-            quick,
+            quick: self.criterion.quick,
+            target: self.criterion.target,
             mean_ns: 0.0,
             iters: 0,
         };
@@ -288,6 +311,22 @@ mod tests {
     fn bencher_measures_something() {
         let mut b = Bencher {
             quick: false,
+            target: Duration::from_millis(100),
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        b.iter(|| (0..1000u64).sum::<u64>());
+        assert!(b.iters >= 1);
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn tiny_target_still_measures() {
+        // The CI smoke budget: a 1 ms target must still time at least one
+        // iteration rather than degenerate to quick mode.
+        let mut b = Bencher {
+            quick: false,
+            target: Duration::from_millis(1),
             mean_ns: 0.0,
             iters: 0,
         };
@@ -301,6 +340,7 @@ mod tests {
         let mut calls = 0u32;
         let mut b = Bencher {
             quick: true,
+            target: Duration::from_millis(100),
             mean_ns: 0.0,
             iters: 0,
         };
@@ -319,7 +359,7 @@ mod tests {
     fn group_records_prefixed_names() {
         let mut c = Criterion {
             quick: true,
-            results: Vec::new(),
+            ..Criterion::default()
         };
         {
             let mut g = c.benchmark_group("g");
