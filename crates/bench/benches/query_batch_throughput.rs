@@ -1,26 +1,23 @@
 //! Batch k-NN throughput: one fixed workload of 32 queries answered by a
-//! sequential scratch-pooled loop versus `batch_knn` at growing worker
-//! counts. On a multi-core runner the batch rows should beat the
-//! sequential row roughly linearly until the core count is exhausted;
-//! per-query work is identical (results are bitwise equal), so any gap is
-//! pure fan-out overhead.
+//! sequential session loop (pooled scratch) versus the batch builder at
+//! growing worker counts. On a multi-core runner the batch rows should
+//! beat the sequential row roughly linearly until the core count is
+//! exhausted; per-query work is identical (results are bitwise equal), so
+//! any gap is pure fan-out overhead.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use traj_bench::{make_index, make_queries, make_store};
-use traj_dist::EdwpScratch;
+use traj_bench::{make_queries, make_session};
 
 fn query_batch_throughput(c: &mut Criterion) {
-    let store = make_store(400);
-    let tree = make_index(&store);
-    let queries = make_queries(&store, 32);
+    let mut session = make_session(400);
+    let queries = make_queries(session.store(), 32);
     let k = 10;
     let mut group = c.benchmark_group("query_batch_throughput");
     group.bench_function("sequential_knn", |b| {
         b.iter(|| {
-            let mut scratch = EdwpScratch::new();
             let total: usize = queries
                 .iter()
-                .map(|q| tree.knn_with_scratch(&store, q, k, &mut scratch).0.len())
+                .map(|q| session.query(q).knn(k).neighbors.len())
                 .sum();
             black_box(total)
         });
@@ -30,7 +27,7 @@ fn query_batch_throughput(c: &mut Criterion) {
             BenchmarkId::new("batch_knn", threads),
             &threads,
             |b, &threads| {
-                b.iter(|| black_box(tree.batch_knn_with_threads(&store, &queries, k, threads)));
+                b.iter(|| black_box(session.batch(&queries).threads(threads).knn(k)));
             },
         );
     }

@@ -2,26 +2,21 @@
 //! curve should grow sublinearly on clustered data, unlike a linear scan.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use traj_bench::{make_index, make_queries, make_store};
+use traj_bench::{make_queries, make_session};
 
 fn query_vs_dbsize(c: &mut Criterion) {
     let mut group = c.benchmark_group("query_vs_dbsize");
     for size in [100usize, 300, 900] {
-        let store = make_store(size);
-        let tree = make_index(&store);
-        let queries = make_queries(&store, 8);
-        group.bench_with_input(
-            BenchmarkId::new("knn_k10", size),
-            &(store, tree, queries),
-            |b, (store, tree, queries)| {
-                let mut i = 0usize;
-                b.iter(|| {
-                    let q = &queries[i % queries.len()];
-                    i += 1;
-                    black_box(tree.knn(store, q, 10))
-                });
-            },
-        );
+        let mut session = make_session(size);
+        let queries = make_queries(session.store(), 8);
+        group.bench_with_input(BenchmarkId::new("knn_k10", size), &size, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(session.query(q).knn(10))
+            });
+        });
     }
     group.finish();
 }

@@ -1,23 +1,27 @@
 //! k-NN query latency on a fixed database as `k` grows: larger k weakens
-//! the pruning threshold, so latency should rise smoothly with k.
+//! the pruning threshold, so latency should rise smoothly with k. Each k is
+//! measured under both metrics — the length-normalised rows show what the
+//! per-node `max_len` bound costs relative to raw EDwP.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use traj_bench::{make_index, make_queries, make_store};
+use traj_bench::{make_queries, make_session};
+use traj_index::Metric;
 
 fn query_vs_k(c: &mut Criterion) {
-    let store = make_store(400);
-    let tree = make_index(&store);
-    let queries = make_queries(&store, 8);
+    let mut session = make_session(400);
+    let queries = make_queries(session.store(), 8);
     let mut group = c.benchmark_group("query_vs_k");
     for k in [1usize, 5, 10, 25] {
-        group.bench_with_input(BenchmarkId::new("knn", k), &k, |b, &k| {
-            let mut i = 0usize;
-            b.iter(|| {
-                let q = &queries[i % queries.len()];
-                i += 1;
-                black_box(tree.knn(&store, q, k))
+        for (label, metric) in [("knn", Metric::Edwp), ("knn_norm", Metric::EdwpNormalized)] {
+            group.bench_with_input(BenchmarkId::new(label, k), &k, |b, &k| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    black_box(session.query(q).metric(metric).knn(k))
+                });
             });
-        });
+        }
     }
     group.finish();
 }

@@ -9,7 +9,7 @@
 
 use traj_core::Trajectory;
 use traj_gen::{GenConfig, TrajGen};
-use traj_index::{TrajStore, TrajTree};
+use traj_index::{Session, TrajStore, TrajTree};
 
 /// Fixed seed for every benchmark fixture.
 pub const BENCH_SEED: u64 = 0xBE9C;
@@ -33,6 +33,12 @@ pub fn make_store(size: usize) -> TrajStore {
 /// A bulk-loaded index over [`make_store`]'s output.
 pub fn make_index(store: &TrajStore) -> TrajTree {
     TrajTree::build(store)
+}
+
+/// A query [`Session`] over a fresh [`make_store`] database of `size`
+/// trajectories — what the query benches issue their workloads through.
+pub fn make_session(size: usize) -> Session {
+    Session::build(make_store(size))
 }
 
 /// Deterministic query workload: distorted copies of database members
@@ -63,5 +69,6 @@ mod tests {
         let qb = make_queries(&b, 3);
         assert_eq!(qa, qb);
         assert_eq!(make_index(&a).len(), 40);
+        assert_eq!(make_session(40).len(), 40);
     }
 }

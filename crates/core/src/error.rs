@@ -40,3 +40,45 @@ impl fmt::Display for CoreError {
 }
 
 impl std::error::Error for CoreError {}
+
+/// Errors surfaced by the query layer (`Session`, `TrajStore`): invalid
+/// geometry bubbling up from construction, or a lookup with an identifier
+/// the store never issued.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrajError {
+    /// Invalid geometry when constructing a trajectory.
+    Core(CoreError),
+    /// A trajectory id that was never issued by the store being queried.
+    UnknownId {
+        /// The offending identifier.
+        id: u32,
+        /// Number of trajectories the store holds (valid ids are `0..len`).
+        len: usize,
+    },
+}
+
+impl fmt::Display for TrajError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrajError::Core(e) => e.fmt(f),
+            TrajError::UnknownId { id, len } => {
+                write!(f, "trajectory id {id} not in store (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrajError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrajError::Core(e) => Some(e),
+            TrajError::UnknownId { .. } => None,
+        }
+    }
+}
+
+impl From<CoreError> for TrajError {
+    fn from(e: CoreError) -> Self {
+        TrajError::Core(e)
+    }
+}

@@ -29,7 +29,7 @@ mod stpoint;
 mod total;
 mod trajectory;
 
-pub use error::CoreError;
+pub use error::{CoreError, TrajError};
 pub use point::Point;
 pub use segment::{Projection, Segment};
 pub use stbox::StBox;

@@ -250,6 +250,48 @@ pub fn edwp_lower_bound_boxes_with_scratch(
         .sum()
 }
 
+/// Admissible lower bound on the *length-normalised* EDwP (Eq. 4)
+/// `edwp_avg(t, T) = EDwP(t, T) / (length(t) + length(T))` for every
+/// trajectory `T` summarised by `seq`, given `max_len` — an upper bound on
+/// the spatial length of every summarised trajectory (the per-node
+/// bookkeeping TrajTree maintains).
+///
+/// Derivation: [`edwp_lower_bound_boxes`] never exceeds `EDwP(t, T)`, and
+/// `length(T) <= max_len`, so dividing the raw bound by the *largest*
+/// possible denominator `length(t) + max_len` never exceeds
+/// `EDwP(t, T) / (length(t) + length(T))`. A non-positive denominator
+/// (stationary query and members) yields 0, matching
+/// [`crate::edwp_avg`]'s convention.
+pub fn edwp_avg_lower_bound_boxes(t: &Trajectory, seq: &BoxSeq, max_len: f64) -> f64 {
+    normalize_bound(edwp_lower_bound_boxes(t, seq), t.length() + max_len)
+}
+
+/// [`edwp_avg_lower_bound_boxes`] with caller-pooled working memory (see
+/// [`edwp_lower_bound_boxes_with_scratch`]). Identical value to the plain
+/// function.
+pub fn edwp_avg_lower_bound_boxes_with_scratch(
+    t: &Trajectory,
+    seq: &BoxSeq,
+    max_len: f64,
+    scratch: &mut EdwpScratch,
+) -> f64 {
+    normalize_bound(
+        edwp_lower_bound_boxes_with_scratch(t, seq, scratch),
+        t.length() + max_len,
+    )
+}
+
+/// Divides a raw lower bound by a normalisation denominator, preserving
+/// admissibility at the edges: a non-positive denominator means both sides
+/// are stationary, where `edwp_avg` is defined as 0.
+fn normalize_bound(raw: f64, denom: f64) -> f64 {
+    if denom > 0.0 {
+        raw / denom
+    } else {
+        0.0
+    }
+}
+
 /// The trajectory-to-trajectory analogue of [`edwp_lower_bound_boxes`]:
 /// `EDwP(t, s) ≥ Σ_i 2 · len(e_i) · dist(e_i, s)` with exact
 /// segment-to-polyline distances instead of box distances. Tighter than the
@@ -287,6 +329,28 @@ pub fn edwp_lower_bound_trajectory_with_scratch(
             2.0 * d * len
         })
         .sum()
+}
+
+/// Admissible lower bound on the length-normalised EDwP between two
+/// concrete trajectories: [`edwp_lower_bound_trajectory`] divided by the
+/// exact denominator `length(t) + length(s)` — no slack beyond the raw
+/// bound's, since both lengths are known.
+pub fn edwp_avg_lower_bound_trajectory(t: &Trajectory, s: &Trajectory) -> f64 {
+    normalize_bound(edwp_lower_bound_trajectory(t, s), t.length() + s.length())
+}
+
+/// [`edwp_avg_lower_bound_trajectory`] with caller-pooled working memory
+/// (see [`edwp_lower_bound_trajectory_with_scratch`]). Identical value to
+/// the plain function.
+pub fn edwp_avg_lower_bound_trajectory_with_scratch(
+    t: &Trajectory,
+    s: &Trajectory,
+    scratch: &mut EdwpScratch,
+) -> f64 {
+    normalize_bound(
+        edwp_lower_bound_trajectory_with_scratch(t, s, scratch),
+        t.length() + s.length(),
+    )
 }
 
 /// DP state kinds for the box-mode alignment.

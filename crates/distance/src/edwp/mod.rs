@@ -406,9 +406,16 @@ pub fn edwp_with_scratch(t1: &Trajectory, t2: &Trajectory, scratch: &mut EdwpScr
 /// Returns 0 when both trajectories have zero spatial length (two identical
 /// stationary recordings).
 pub fn edwp_avg(t1: &Trajectory, t2: &Trajectory) -> f64 {
+    edwp_avg_with_scratch(t1, t2, &mut EdwpScratch::new())
+}
+
+/// [`edwp_avg`] with caller-pooled working memory: identical result, but a
+/// warm `scratch` makes the call allocation-free — the entry point the
+/// query engine's normalised metric evaluates candidates through.
+pub fn edwp_avg_with_scratch(t1: &Trajectory, t2: &Trajectory, scratch: &mut EdwpScratch) -> f64 {
     let denom = t1.length() + t2.length();
     if denom > 0.0 {
-        edwp(t1, t2) / denom
+        edwp_with_scratch(t1, t2, scratch) / denom
     } else {
         0.0
     }
@@ -519,6 +526,22 @@ mod tests {
         let near = t(&[(0.0, 1.0), (5.0, 1.0), (10.0, 1.0)]);
         let far = t(&[(0.0, 5.0), (5.0, 5.0), (10.0, 5.0)]);
         assert!(edwp(&base, &near) < edwp(&base, &far));
+    }
+
+    #[test]
+    fn avg_with_scratch_matches_plain() {
+        let a = t(&[(0.0, 0.0), (1.0, 2.0), (4.0, 4.0)]);
+        let b = t(&[(0.5, 0.0), (2.0, 2.5), (5.0, 4.0)]);
+        let mut scratch = EdwpScratch::new();
+        assert_eq!(
+            edwp_avg_with_scratch(&a, &b, &mut scratch),
+            edwp_avg(&a, &b)
+        );
+        // The scratch is reusable across pairs.
+        assert_eq!(
+            edwp_avg_with_scratch(&b, &a, &mut scratch),
+            edwp_avg(&b, &a)
+        );
     }
 
     #[test]

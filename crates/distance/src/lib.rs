@@ -31,14 +31,90 @@ mod edwp;
 mod matrix;
 
 pub use boxes::{
+    edwp_avg_lower_bound_boxes, edwp_avg_lower_bound_boxes_with_scratch,
+    edwp_avg_lower_bound_trajectory, edwp_avg_lower_bound_trajectory_with_scratch,
     edwp_lower_bound_boxes, edwp_lower_bound_boxes_with_scratch, edwp_lower_bound_trajectory,
     edwp_lower_bound_trajectory_with_scratch, edwp_sub_boxes, BoxAlignment, BoxSeq, RepOp,
 };
 pub use edwp::reference::edwp_reference;
 pub use edwp::sub::{edwp_sub, edwp_sub_with_scratch};
-pub use edwp::{edwp, edwp_avg, edwp_with_scratch, EdwpScratch};
+pub use edwp::{edwp, edwp_avg, edwp_avg_with_scratch, edwp_with_scratch, EdwpScratch};
 
 use traj_core::Trajectory;
+
+/// The distance a query is answered under — the pluggable-metric axis of
+/// the query builder API. Both variants are exact and admissibly
+/// lower-bounded, so index searches under either return precisely the
+/// brute-force result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Raw (cumulative) EDwP, Sec. III-A — the distance Theorem 2's box
+    /// bounds apply to directly.
+    #[default]
+    Edwp,
+    /// Length-normalised EDwP (Eq. 4):
+    /// `EDwP(a, b) / (length(a) + length(b))` — the configuration used in
+    /// the paper's experiments. Its admissible node bound additionally
+    /// needs an upper bound on the summarised trajectories' lengths (the
+    /// `max_len` argument of [`Metric::lower_bound_boxes`]), which the
+    /// TrajTree maintains per node.
+    EdwpNormalized,
+}
+
+impl Metric {
+    /// The exact distance between two trajectories under this metric, via
+    /// caller-pooled kernel memory.
+    #[inline]
+    pub fn distance(self, a: &Trajectory, b: &Trajectory, scratch: &mut EdwpScratch) -> f64 {
+        match self {
+            Metric::Edwp => edwp_with_scratch(a, b, scratch),
+            Metric::EdwpNormalized => edwp_avg_with_scratch(a, b, scratch),
+        }
+    }
+
+    /// Admissible lower bound on `self.distance(q, T)` for every trajectory
+    /// `T` summarised by `seq`, where `max_len` upper-bounds the length of
+    /// each summarised trajectory (ignored by [`Metric::Edwp`]).
+    #[inline]
+    pub fn lower_bound_boxes(
+        self,
+        q: &Trajectory,
+        seq: &BoxSeq,
+        max_len: f64,
+        scratch: &mut EdwpScratch,
+    ) -> f64 {
+        match self {
+            Metric::Edwp => edwp_lower_bound_boxes_with_scratch(q, seq, scratch),
+            Metric::EdwpNormalized => {
+                edwp_avg_lower_bound_boxes_with_scratch(q, seq, max_len, scratch)
+            }
+        }
+    }
+
+    /// Admissible lower bound on `self.distance(q, t)` for one concrete
+    /// candidate, tighter than the box bound.
+    #[inline]
+    pub fn lower_bound_trajectory(
+        self,
+        q: &Trajectory,
+        t: &Trajectory,
+        scratch: &mut EdwpScratch,
+    ) -> f64 {
+        match self {
+            Metric::Edwp => edwp_lower_bound_trajectory_with_scratch(q, t, scratch),
+            Metric::EdwpNormalized => edwp_avg_lower_bound_trajectory_with_scratch(q, t, scratch),
+        }
+    }
+
+    /// Short display name (`"EDwP"` / `"EDwP-norm"`), for reports and bench
+    /// labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Edwp => "EDwP",
+            Metric::EdwpNormalized => "EDwP-norm",
+        }
+    }
+}
 
 /// A symmetric (or in EDwP's case, symmetric-by-construction) trajectory
 /// distance function, the unit of comparison in the paper's experiments.

@@ -136,6 +136,43 @@ proptest! {
     }
 
     #[test]
+    fn normalized_box_lower_bound_is_admissible(
+        ts in prop::collection::vec(trajectory(2, 6), 1..4),
+        q in trajectory(2, 6),
+    ) {
+        // The Metric::EdwpNormalized node bound: raw box bound divided by
+        // length(q) + max member length must never exceed the normalised
+        // EDwP of any member — even after aggressive coalescing.
+        let mut seq = BoxSeq::from_trajectories(ts.iter(), None).unwrap();
+        seq.coalesce(Some(3));
+        let max_len = ts.iter().map(|t| t.length()).fold(0.0, f64::max);
+        let lb = traj_dist::edwp_avg_lower_bound_boxes(&q, &seq, max_len);
+        for t in &ts {
+            let d = traj_dist::edwp_avg(&q, t);
+            prop_assert!(lb <= d + 1e-6 * (1.0 + d),
+                "normalised box bound {lb} > edwp_avg {d}");
+        }
+    }
+
+    #[test]
+    fn normalized_polyline_lower_bound_is_admissible(
+        q in trajectory(2, 7),
+        t in trajectory(2, 7),
+    ) {
+        let lb = traj_dist::edwp_avg_lower_bound_trajectory(&q, &t);
+        let d = traj_dist::edwp_avg(&q, &t);
+        prop_assert!(lb <= d + 1e-6 * (1.0 + d),
+            "normalised polyline bound {lb} > edwp_avg {d}");
+        // A looser max_len in the box bound only loosens it further, never
+        // past admissibility.
+        let seq = BoxSeq::from_trajectory(&t);
+        let slack = traj_dist::edwp_avg_lower_bound_boxes(&q, &seq, t.length() * 2.0 + 1.0);
+        let tight = traj_dist::edwp_avg_lower_bound_boxes(&q, &seq, t.length());
+        prop_assert!(slack <= tight + 1e-9 * (1.0 + tight),
+            "looser max_len tightened the bound: {slack} > {tight}");
+    }
+
+    #[test]
     fn boxseq_merge_covers_all_members(
         ts in prop::collection::vec(trajectory(2, 6), 2..5),
     ) {

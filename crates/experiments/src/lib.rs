@@ -1,20 +1,21 @@
 //! # traj-experiments
 //!
 //! End-to-end experiment harness tying together [`traj_gen`] (synthetic
-//! data), [`traj_index`] (the TrajTree query engine) and [`traj_eval`]
+//! data), [`traj_index`] (the TrajTree query session) and [`traj_eval`]
 //! (metrics). The experiments mirror the questions of the paper's Sec. VI
 //! at reduced scale: does the engine stay exact (for k-NN *and* range
-//! queries, sequential *and* batched), how much of the database does it
-//! prune, and does EDwP retrieve the original trajectory from a distorted
+//! queries, sequential *and* batched, under the raw and the
+//! length-normalised EDwP metric), how much of the database does it prune,
+//! and does EDwP retrieve the original trajectory from a distorted
 //! (resampled, noisy) query?
 
 #![warn(missing_docs)]
 
 use traj_core::Trajectory;
-use traj_dist::EdwpScratch;
+use traj_dist::Metric;
 use traj_eval::{ids_of, reciprocal_rank, PruningSummary};
 use traj_gen::{GenConfig, TrajGen};
-use traj_index::{brute_force_knn, brute_force_range, QueryStats, TrajStore, TrajTree};
+use traj_index::{QueryBuilder, QueryStats, Session, TrajStore};
 
 /// Parameters of one experiment run.
 #[derive(Debug, Clone)]
@@ -32,6 +33,10 @@ pub struct ExperimentConfig {
     pub resample_keep: f64,
     /// Spatial noise σ applied to query samples (0.0 disables noise).
     pub noise_sigma: f64,
+    /// Distance the queries are answered under (raw or length-normalised
+    /// EDwP); exactness is always checked against a brute-force reference
+    /// under the same metric.
+    pub metric: Metric,
 }
 
 impl Default for ExperimentConfig {
@@ -43,6 +48,7 @@ impl Default for ExperimentConfig {
             seed: 42,
             resample_keep: 0.5,
             noise_sigma: 0.3,
+            metric: Metric::Edwp,
         }
     }
 }
@@ -56,8 +62,8 @@ pub struct ExperimentReport {
     pub pruning: PruningSummary,
     /// Fraction of queries whose index result matched brute force exactly.
     pub exactness: f64,
-    /// Whether `batch_knn` over 4 workers reproduced the sequential results
-    /// bit-for-bit on every query.
+    /// Whether the batch builder over 4 workers reproduced the sequential
+    /// results bit-for-bit on every query.
     pub batch_consistent: bool,
     /// Mean reciprocal rank of each query's original trajectory in the
     /// retrieved list (1.0 = always first).
@@ -73,13 +79,13 @@ pub struct ExperimentReport {
 pub struct RangeReport {
     /// The configuration that produced this report.
     pub config: ExperimentConfig,
-    /// The ε threshold used.
+    /// The ε threshold used (in the configured metric's scale).
     pub eps: f64,
     /// Pruning aggregates over all queries.
     pub pruning: PruningSummary,
     /// Fraction of queries whose range result matched brute force exactly.
     pub exactness: f64,
-    /// Whether `batch_range` over 4 workers reproduced the sequential
+    /// Whether the batch builder over 4 workers reproduced the sequential
     /// results bit-for-bit on every query.
     pub batch_consistent: bool,
     /// Mean number of matches per query.
@@ -88,11 +94,11 @@ pub struct RangeReport {
     pub original_recalled: f64,
 }
 
-/// The shared experiment fixture: a clustered database with its index, plus
-/// distorted member queries and the member each was distorted from.
+/// The shared experiment fixture: a query session over a clustered
+/// database, plus distorted member queries and the member each was
+/// distorted from.
 struct Fixture {
-    store: TrajStore,
-    tree: TrajTree,
+    session: Session,
     queries: Vec<Trajectory>,
     targets: Vec<u32>,
 }
@@ -108,13 +114,13 @@ fn make_fixture(config: &ExperimentConfig) -> Fixture {
         },
     );
     let store = TrajStore::from(g.database(config.db_size, 5, 14));
-    let tree = TrajTree::build(&store);
+    let session = Session::build(store);
     let mut queries = Vec::with_capacity(config.queries);
     let mut targets = Vec::with_capacity(config.queries);
     for q in 0..config.queries {
         // Query = a distorted copy of a database member.
-        let target = ((q * 37 + 11) % store.len()) as u32;
-        let original = store.get(target).clone();
+        let target = ((q * 37 + 11) % session.len()) as u32;
+        let original = session.store().get(target).clone();
         let resampled = g.resample(&original, config.resample_keep);
         let query = if config.noise_sigma > 0.0 {
             g.perturb(&resampled, config.noise_sigma)
@@ -125,98 +131,116 @@ fn make_fixture(config: &ExperimentConfig) -> Fixture {
         targets.push(target);
     }
     Fixture {
-        store,
-        tree,
+        session,
         queries,
         targets,
     }
 }
 
-/// Runs the standard k-NN experiment: build a clustered database, index it,
-/// issue distorted member queries through the engine (one pooled scratch
-/// across all queries), and compare against a linear scan on every query —
-/// then re-issue the whole workload through `batch_knn` and require
-/// bit-identical answers.
+/// Runs the standard k-NN experiment: build a clustered database, open a
+/// session over it, issue distorted member queries through the query
+/// builder (the session pools one scratch across all of them), and compare
+/// against the brute-force builder on every query — then re-issue the
+/// whole workload through the batch builder and require bit-identical
+/// answers.
 pub fn knn_experiment(config: ExperimentConfig) -> ExperimentReport {
-    let fx = make_fixture(&config);
-    let mut scratch = EdwpScratch::new();
+    let mut fx = make_fixture(&config);
     let mut all_stats: Vec<QueryStats> = Vec::with_capacity(config.queries);
     let mut sequential = Vec::with_capacity(config.queries);
     let mut exact = 0usize;
     let mut mrr_sum = 0.0;
     for (query, &target) in fx.queries.iter().zip(&fx.targets) {
-        let (got, stats) = fx
-            .tree
-            .knn_with_scratch(&fx.store, query, config.k, &mut scratch);
-        let want = brute_force_knn(&fx.store, query, config.k);
-        if got == want {
+        let got = fx
+            .session
+            .query(query)
+            .metric(config.metric)
+            .collect_stats()
+            .knn(config.k);
+        let want = QueryBuilder::over(fx.session.tree(), fx.session.store(), query)
+            .metric(config.metric)
+            .brute_force()
+            .knn(config.k);
+        if got.neighbors == want.neighbors {
             exact += 1;
         }
-        mrr_sum += reciprocal_rank(&ids_of(&got), target);
-        all_stats.push(stats);
-        sequential.push(got);
+        mrr_sum += reciprocal_rank(&ids_of(&got.neighbors), target);
+        all_stats.push(got.stats.expect("collect_stats() requested"));
+        sequential.push(got.neighbors);
     }
 
-    let (batched, _) = fx
-        .tree
-        .batch_knn_with_threads(&fx.store, &fx.queries, config.k, 4);
-    let batch_consistent = batched == sequential;
+    let batched = fx
+        .session
+        .batch(&fx.queries)
+        .metric(config.metric)
+        .threads(4)
+        .knn(config.k);
+    let batch_consistent = batched.neighbors == sequential;
 
     ExperimentReport {
-        config: config.clone(),
         pruning: PruningSummary::from_stats(&all_stats),
         exactness: exact as f64 / config.queries.max(1) as f64,
         batch_consistent,
         mean_reciprocal_rank: mrr_sum / config.queries.max(1) as f64,
-        tree_height: fx.tree.height(),
-        tree_nodes: fx.tree.node_count(),
+        tree_height: fx.session.tree().height(),
+        tree_nodes: fx.session.tree().node_count(),
+        config,
     }
 }
 
 /// Runs the range-query experiment on the same fixture: every distorted
-/// member query asks for its ε-ball, checked exactly against
-/// [`brute_force_range`] and re-issued through `batch_range`.
+/// member query asks for its ε-ball, checked exactly against the
+/// brute-force builder and re-issued through the batch builder.
 ///
-/// `eps` is the raw (cumulative) EDwP threshold; pick it relative to the
-/// distortion level — the report's `original_recalled` says how often the
-/// ball was wide enough to re-capture the query's original.
+/// `eps` is in the configured metric's scale (cumulative EDwP for
+/// [`Metric::Edwp`], normalised for [`Metric::EdwpNormalized`]); pick it
+/// relative to the distortion level — the report's `original_recalled`
+/// says how often the ball was wide enough to re-capture the query's
+/// original.
 pub fn range_experiment(config: ExperimentConfig, eps: f64) -> RangeReport {
-    let fx = make_fixture(&config);
-    let mut scratch = EdwpScratch::new();
+    let mut fx = make_fixture(&config);
     let mut all_stats: Vec<QueryStats> = Vec::with_capacity(config.queries);
     let mut sequential = Vec::with_capacity(config.queries);
     let mut exact = 0usize;
     let mut hit_sum = 0usize;
     let mut recalled = 0usize;
     for (query, &target) in fx.queries.iter().zip(&fx.targets) {
-        let (got, stats) = fx
-            .tree
-            .range_with_scratch(&fx.store, query, eps, &mut scratch);
-        let want = brute_force_range(&fx.store, query, eps);
-        if got == want {
+        let got = fx
+            .session
+            .query(query)
+            .metric(config.metric)
+            .collect_stats()
+            .range(eps);
+        let want = QueryBuilder::over(fx.session.tree(), fx.session.store(), query)
+            .metric(config.metric)
+            .brute_force()
+            .range(eps);
+        if got.neighbors == want.neighbors {
             exact += 1;
         }
-        hit_sum += got.len();
-        if got.iter().any(|n| n.id == target) {
+        hit_sum += got.neighbors.len();
+        if got.neighbors.iter().any(|n| n.id == target) {
             recalled += 1;
         }
-        all_stats.push(stats);
-        sequential.push(got);
+        all_stats.push(got.stats.expect("collect_stats() requested"));
+        sequential.push(got.neighbors);
     }
 
-    let (batched, _) = fx
-        .tree
-        .batch_range_with_threads(&fx.store, &fx.queries, eps, 4);
-    let batch_consistent = batched == sequential;
+    let batched = fx
+        .session
+        .batch(&fx.queries)
+        .metric(config.metric)
+        .threads(4)
+        .range(eps);
+    let batch_consistent = batched.neighbors == sequential;
 
     RangeReport {
-        config: config.clone(),
         eps,
         pruning: PruningSummary::from_stats(&all_stats),
         exactness: exact as f64 / config.queries.max(1) as f64,
         batch_consistent,
         mean_hits: hit_sum as f64 / config.queries.max(1) as f64,
         original_recalled: recalled as f64 / config.queries.max(1) as f64,
+        config,
     }
 }
 
@@ -234,7 +258,7 @@ mod tests {
         assert_eq!(report.exactness, 1.0, "index diverged from brute force");
         assert!(
             report.batch_consistent,
-            "batch_knn diverged from sequential"
+            "batch builder diverged from sequential"
         );
         assert!(
             report.pruning.mean_edwp_evaluations < 120.0,
@@ -243,6 +267,22 @@ mod tests {
         );
         assert!(report.mean_reciprocal_rank > 0.5);
         assert!(report.tree_height >= 2);
+    }
+
+    #[test]
+    fn experiment_is_exact_under_normalized_metric() {
+        let report = knn_experiment(ExperimentConfig {
+            db_size: 100,
+            queries: 8,
+            metric: Metric::EdwpNormalized,
+            ..ExperimentConfig::default()
+        });
+        assert_eq!(
+            report.exactness, 1.0,
+            "normalised index diverged from brute force"
+        );
+        assert!(report.batch_consistent);
+        assert!(report.mean_reciprocal_rank > 0.5);
     }
 
     #[test]
@@ -258,7 +298,7 @@ mod tests {
         assert_eq!(report.exactness, 1.0, "range diverged from brute force");
         assert!(
             report.batch_consistent,
-            "batch_range diverged from sequential"
+            "batch builder diverged from sequential"
         );
         assert!(report.pruning.queries == 6);
     }

@@ -32,18 +32,16 @@ use crate::tree::{Node, TrajTree};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use traj_core::{TotalF64, Trajectory};
-use traj_dist::{
-    edwp_lower_bound_boxes_with_scratch, edwp_lower_bound_trajectory_with_scratch,
-    edwp_with_scratch, EdwpScratch,
-};
+use traj_dist::{EdwpScratch, Metric};
 
-/// One query answer: a trajectory id and its exact (raw, cumulative) EDwP
-/// distance to the query.
+/// One query answer: a trajectory id and its exact distance to the query
+/// under the query's [`Metric`] (raw EDwP unless the builder selected
+/// [`Metric::EdwpNormalized`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Neighbor {
     /// Id of the matched trajectory.
     pub id: TrajId,
-    /// Exact `edwp(query, trajectory)` distance.
+    /// Exact metric distance between query and trajectory.
     pub distance: f64,
 }
 
@@ -117,7 +115,7 @@ impl QueryStats {
     }
 
     #[inline]
-    fn bump_edwp(&mut self) {
+    pub(crate) fn bump_edwp(&mut self) {
         self.edwp_evaluations = self.edwp_evaluations.saturating_add(1);
     }
 }
@@ -273,6 +271,7 @@ pub(crate) fn best_first<C: Collector>(
     tree: &TrajTree,
     store: &TrajStore,
     query: &Trajectory,
+    metric: Metric,
     collector: &mut C,
     scratch: &mut EdwpScratch,
     stats: &mut QueryStats,
@@ -298,7 +297,7 @@ pub(crate) fn best_first<C: Collector>(
     let mut queue: BinaryHeap<QueueEntry<'_>> = BinaryHeap::new();
     let mut seq = 0u64;
     stats.bump_bounds();
-    let root_key = edwp_lower_bound_boxes_with_scratch(query, root.summary(), scratch);
+    let root_key = metric.lower_bound_boxes(query, root.summary(), root.max_len(), scratch);
     push(&mut queue, &mut seq, root_key, QueueItem::Node(root));
 
     while let Some(entry) = queue.pop() {
@@ -314,9 +313,10 @@ pub(crate) fn best_first<C: Collector>(
                     Node::Internal { children, .. } => {
                         for child in children {
                             stats.bump_bounds();
-                            let lb = edwp_lower_bound_boxes_with_scratch(
+                            let lb = metric.lower_bound_boxes(
                                 query,
                                 child.summary(),
+                                child.max_len(),
                                 scratch,
                             );
                             // Clamp to the parent key: both are valid
@@ -336,11 +336,7 @@ pub(crate) fn best_first<C: Collector>(
                             // Tighter per-trajectory refinement: exact
                             // segment-to-polyline distances instead of box
                             // distances.
-                            let lb = edwp_lower_bound_trajectory_with_scratch(
-                                query,
-                                store.get(id),
-                                scratch,
-                            );
+                            let lb = metric.lower_bound_trajectory(query, store.get(id), scratch);
                             push(
                                 &mut queue,
                                 &mut seq,
@@ -353,7 +349,7 @@ pub(crate) fn best_first<C: Collector>(
             }
             QueueItem::Traj(id) => {
                 stats.bump_edwp();
-                collector.offer(id, edwp_with_scratch(query, store.get(id), scratch));
+                collector.offer(id, metric.distance(query, store.get(id), scratch));
             }
         }
     }

@@ -20,14 +20,19 @@
 //!   and refined through per-trajectory polyline bounds into exact EDwP
 //!   evaluations. The traversal is generic over a result *collector*, which
 //!   supplies the pruning threshold and absorbs exact distances.
-//! * The `queries` module instantiates the engine: [`TrajTree::knn`],
-//!   [`TrajTree::range`], the linear-scan references [`brute_force_knn`] /
-//!   [`brute_force_range`] (the same collectors with pruning disabled), and
-//!   the parallel [`TrajTree::batch_knn`] / [`TrajTree::batch_range`] that
-//!   fan queries out over scoped worker threads — each worker holds its own
-//!   [`traj_dist::EdwpScratch`], so steady-state batches are allocation-free
-//!   inside the kernels, and per-worker [`QueryStats`] merge (saturating)
-//!   into one aggregate.
+//! * The `session` module is the public query surface: a [`Session`] owns
+//!   store, tree and pooled scratch, and every query is phrased through the
+//!   typed [`QueryBuilder`] / [`BatchQueryBuilder`] —
+//!   `session.query(&q).knn(10)`, `.range(eps)`,
+//!   `session.batch(&qs).threads(4).knn(k)` — with modifiers for the
+//!   [`traj_dist::Metric`] (raw vs length-normalised EDwP), the
+//!   brute-force reference, and [`QueryStats`] collection. Batch finishers
+//!   fan out over scoped worker threads (one [`traj_dist::EdwpScratch`]
+//!   per worker, results bitwise identical to a sequential loop);
+//!   per-worker stats merge (saturating) into one aggregate.
+//! * The `queries` module holds the deprecated pre-builder method matrix
+//!   (`TrajTree::knn`, `batch_range_with_threads`, …) as thin wrappers
+//!   over the builder, kept for one release.
 //!
 //! # Adding a new query type
 //!
@@ -35,26 +40,32 @@
 //!    `threshold()` (the largest lower bound that could still matter — it
 //!    must never undershoot) and `offer(id, distance)` (absorb one exact
 //!    evaluation).
-//! 2. Add a `TrajTree` method that seeds [`QueryStats`], runs the shared
-//!    best-first traversal with your collector, and converts it into
-//!    results — see `TrajTree::range_with_scratch` for the ~10-line shape.
-//! 3. Batch/parallel support is free: route the method through the shared
-//!    chunked `thread::scope` driver the way `batch_range` does.
+//! 2. Add a finisher on [`QueryBuilder`] (and [`BatchQueryBuilder`]) that
+//!    carries the query type's parameter, instantiates your collector and
+//!    hands it to the shared single-query executor — see
+//!    `QueryBuilder::range` in `session.rs` for the ~10-line shape. Batch
+//!    and brute-force support come with the executor for free.
 //!
-//! Distances are **raw** (cumulative) EDwP: raw EDwP admits box lower
-//! bounds directly (Theorem 2), whereas the length-normalised variant's
-//! denominator depends on the candidate. Length-normalised rankings can be
-//! recovered by dividing reported distances by
-//! `length(query) + length(candidate)`.
+//! Both metrics are exact: raw EDwP admits box lower bounds directly
+//! (Theorem 2); the length-normalised variant divides that bound by
+//! `length(query) + max_len(node)`, where every node's `max_len` (the
+//! longest trajectory in its subtree) is maintained by build and insert.
 
 #![warn(missing_docs)]
 
 mod engine;
 mod queries;
+mod session;
 mod store;
 mod tree;
 
 pub use engine::{Neighbor, QueryStats};
+#[allow(deprecated)]
 pub use queries::{brute_force_knn, brute_force_range};
+pub use session::{BatchQueryBuilder, BatchQueryResult, QueryBuilder, QueryResult, Session};
 pub use store::{TrajId, TrajStore};
 pub use tree::{TrajTree, TrajTreeConfig};
+
+// The metric axis is part of the query surface; re-export it so callers
+// of this crate alone can name it.
+pub use traj_dist::Metric;

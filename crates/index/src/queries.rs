@@ -1,22 +1,38 @@
-//! The concrete query types built on the [`crate::engine`] traversal:
-//! exact k-NN, exact range (ε) search, their brute-force references, and
-//! parallel batch variants that fan out over scoped worker threads.
+//! The deprecated method-matrix query surface, kept for one release as
+//! thin wrappers over the typed builder API in [`crate::session`].
 //!
-//! Every entry point comes in two flavours: a convenience signature that
-//! creates a fresh [`EdwpScratch`] per call, and a `*_with_scratch` variant
-//! for callers issuing many queries that want the kernels allocation-free.
-//! Batch variants (`batch_knn`, `batch_range`) split the query slice into
-//! contiguous per-worker chunks under [`std::thread::scope`]; workers share
-//! the tree and store read-only, own one scratch each, and their
-//! [`QueryStats`] are merged afterwards. Because every query is processed
-//! by exactly the same single-query code path, batch results are bitwise
-//! identical to a sequential loop regardless of worker count.
+//! Every method here forwards to [`QueryBuilder`] / [`BatchQueryBuilder`]
+//! with the equivalent modifiers and adapts the [`QueryResult`] /
+//! [`BatchQueryResult`] back to the historical tuple shape, so results are
+//! bitwise identical to both the old implementations and the builder
+//! (property-tested in `tests/builder_equivalence.rs`). New code should
+//! call the builder: `session.query(&q).knn(k)`,
+//! `session.batch(&qs).threads(n).range(eps)`, and so on — see the README
+//! migration table.
 
-use crate::engine::{best_first, Collector, KnnCollector, Neighbor, QueryStats, RangeCollector};
+use crate::engine::{Neighbor, QueryStats};
+use crate::session::{BatchQueryBuilder, QueryBuilder};
 use crate::store::TrajStore;
 use crate::tree::TrajTree;
 use traj_core::Trajectory;
-use traj_dist::{edwp_with_scratch, EdwpScratch};
+use traj_dist::EdwpScratch;
+
+/// Forwards a single-query builder run and re-shapes it as the legacy
+/// `(neighbors, stats)` tuple.
+fn into_tuple(result: crate::session::QueryResult) -> (Vec<Neighbor>, QueryStats) {
+    (
+        result.neighbors,
+        result.stats.expect("legacy wrappers always collect stats"),
+    )
+}
+
+/// Same adaptation for batch results.
+fn into_batch_tuple(result: crate::session::BatchQueryResult) -> (Vec<Vec<Neighbor>>, QueryStats) {
+    (
+        result.neighbors,
+        result.stats.expect("legacy wrappers always collect stats"),
+    )
+}
 
 impl TrajTree {
     /// The `k` indexed trajectories closest to `query` under raw EDwP,
@@ -25,22 +41,30 @@ impl TrajTree {
     /// `store` must be the store this tree indexes, with every one of its
     /// trajectories inserted (a store id never indexed — e.g. added to the
     /// store after the last [`TrajTree::insert`] — is invisible to the
-    /// search). Under that precondition, results are exactly those of
-    /// [`brute_force_knn`] — same ids, same distances, same order — but
-    /// computed with full EDwP evaluations on only the candidates whose
-    /// lower bounds could not rule them out.
+    /// search).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the query builder: `Session::query(&q).knn(k)` or \
+                `QueryBuilder::over(&tree, &store, &q).collect_stats().knn(k)`"
+    )]
     pub fn knn(
         &self,
         store: &TrajStore,
         query: &Trajectory,
         k: usize,
     ) -> (Vec<Neighbor>, QueryStats) {
-        self.knn_with_scratch(store, query, k, &mut EdwpScratch::new())
+        into_tuple(
+            QueryBuilder::over(self, store, query)
+                .collect_stats()
+                .knn(k),
+        )
     }
 
-    /// [`TrajTree::knn`] with caller-pooled kernel memory: identical
-    /// results, no per-call allocation inside the distance kernels once
-    /// `scratch` is warm.
+    /// [`TrajTree::knn`] with caller-pooled kernel memory.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the query builder's `.scratch(&mut scratch)` modifier"
+    )]
     pub fn knn_with_scratch(
         &self,
         store: &TrajStore,
@@ -48,34 +72,39 @@ impl TrajTree {
         k: usize,
         scratch: &mut EdwpScratch,
     ) -> (Vec<Neighbor>, QueryStats) {
-        let mut stats = QueryStats::for_search(self.len());
-        let k = k.min(self.len());
-        if k == 0 {
-            return (Vec::new(), stats);
-        }
-        let mut collector = KnnCollector::new(k);
-        best_first(self, store, query, &mut collector, scratch, &mut stats);
-        (collector.into_neighbors(), stats)
+        into_tuple(
+            QueryBuilder::over(self, store, query)
+                .scratch(scratch)
+                .collect_stats()
+                .knn(k),
+        )
     }
 
     /// Every indexed trajectory whose raw EDwP distance to `query` is at
     /// most `eps` (inclusive), sorted by ascending `(distance, id)`, with
-    /// work counters. Exact: results match [`brute_force_range`] on the
-    /// same store precondition as [`TrajTree::knn`].
-    ///
-    /// `eps = 0` returns exact geometric matches; `eps = f64::INFINITY`
-    /// returns the whole database (at linear-scan cost — every candidate
-    /// must be evaluated).
+    /// work counters. Same store precondition as [`TrajTree::knn`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the query builder: `Session::query(&q).range(eps)`"
+    )]
     pub fn range(
         &self,
         store: &TrajStore,
         query: &Trajectory,
         eps: f64,
     ) -> (Vec<Neighbor>, QueryStats) {
-        self.range_with_scratch(store, query, eps, &mut EdwpScratch::new())
+        into_tuple(
+            QueryBuilder::over(self, store, query)
+                .collect_stats()
+                .range(eps),
+        )
     }
 
     /// [`TrajTree::range`] with caller-pooled kernel memory.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the query builder's `.scratch(&mut scratch)` modifier"
+    )]
     pub fn range_with_scratch(
         &self,
         store: &TrajStore,
@@ -83,30 +112,40 @@ impl TrajTree {
         eps: f64,
         scratch: &mut EdwpScratch,
     ) -> (Vec<Neighbor>, QueryStats) {
-        let mut stats = QueryStats::for_search(self.len());
-        let mut collector = RangeCollector::new(eps);
-        best_first(self, store, query, &mut collector, scratch, &mut stats);
-        (collector.into_neighbors(), stats)
+        into_tuple(
+            QueryBuilder::over(self, store, query)
+                .scratch(scratch)
+                .collect_stats()
+                .range(eps),
+        )
     }
 
-    /// Answers every query in `queries` with [`TrajTree::knn`], fanning out
-    /// over one worker thread per available CPU. Returns per-query results
-    /// in input order plus the merged work counters.
-    ///
-    /// Results are bitwise identical to calling [`TrajTree::knn`] in a
-    /// sequential loop: parallelism changes only which thread runs a query,
-    /// never what it computes.
+    /// Answers every query in `queries` as a k-NN query over one worker
+    /// thread per available CPU; per-query results in input order plus
+    /// merged counters.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the batch builder: `Session::batch(&qs).knn(k)`"
+    )]
     pub fn batch_knn(
         &self,
         store: &TrajStore,
         queries: &[Trajectory],
         k: usize,
     ) -> (Vec<Vec<Neighbor>>, QueryStats) {
-        self.batch_knn_with_threads(store, queries, k, default_threads())
+        into_batch_tuple(
+            BatchQueryBuilder::over(self, store, queries)
+                .collect_stats()
+                .knn(k),
+        )
     }
 
     /// [`TrajTree::batch_knn`] with an explicit worker count (clamped to
     /// `1..=queries.len()`).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the batch builder: `Session::batch(&qs).threads(n).knn(k)`"
+    )]
     pub fn batch_knn_with_threads(
         &self,
         store: &TrajStore,
@@ -114,25 +153,39 @@ impl TrajTree {
         k: usize,
         threads: usize,
     ) -> (Vec<Vec<Neighbor>>, QueryStats) {
-        batch_queries(queries, threads, |query, scratch| {
-            self.knn_with_scratch(store, query, k, scratch)
-        })
+        into_batch_tuple(
+            BatchQueryBuilder::over(self, store, queries)
+                .threads(threads)
+                .collect_stats()
+                .knn(k),
+        )
     }
 
-    /// Answers every query in `queries` with [`TrajTree::range`], fanning
-    /// out over one worker thread per available CPU. Same ordering and
-    /// determinism guarantees as [`TrajTree::batch_knn`].
+    /// Answers every query in `queries` as a range query over one worker
+    /// thread per available CPU.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the batch builder: `Session::batch(&qs).range(eps)`"
+    )]
     pub fn batch_range(
         &self,
         store: &TrajStore,
         queries: &[Trajectory],
         eps: f64,
     ) -> (Vec<Vec<Neighbor>>, QueryStats) {
-        self.batch_range_with_threads(store, queries, eps, default_threads())
+        into_batch_tuple(
+            BatchQueryBuilder::over(self, store, queries)
+                .collect_stats()
+                .range(eps),
+        )
     }
 
     /// [`TrajTree::batch_range`] with an explicit worker count (clamped to
     /// `1..=queries.len()`).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the batch builder: `Session::batch(&qs).threads(n).range(eps)`"
+    )]
     pub fn batch_range_with_threads(
         &self,
         store: &TrajStore,
@@ -140,82 +193,46 @@ impl TrajTree {
         eps: f64,
         threads: usize,
     ) -> (Vec<Vec<Neighbor>>, QueryStats) {
-        batch_queries(queries, threads, |query, scratch| {
-            self.range_with_scratch(store, query, eps, scratch)
-        })
+        into_batch_tuple(
+            BatchQueryBuilder::over(self, store, queries)
+                .threads(threads)
+                .collect_stats()
+                .range(eps),
+        )
     }
 }
 
-/// Default batch fan-out: one worker per available CPU.
-fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
-/// Shared batch driver: splits `queries` into contiguous chunks, runs each
-/// chunk on a scoped worker with its own [`EdwpScratch`], and merges the
-/// per-query stats. Chunking (rather than work-stealing) keeps the mapping
-/// from query to result slot trivially deterministic.
-fn batch_queries<R, F>(queries: &[Trajectory], threads: usize, run: F) -> (Vec<R>, QueryStats)
-where
-    R: Send,
-    F: Fn(&Trajectory, &mut EdwpScratch) -> (R, QueryStats) + Sync,
-{
-    let mut agg = QueryStats::default();
-    if queries.is_empty() {
-        return (Vec::new(), agg);
-    }
-    let threads = threads.clamp(1, queries.len());
-    let chunk = queries.len().div_ceil(threads);
-    let mut slots: Vec<Option<(R, QueryStats)>> = Vec::with_capacity(queries.len());
-    slots.resize_with(queries.len(), || None);
-    std::thread::scope(|scope| {
-        for (query_chunk, slot_chunk) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-            let run = &run;
-            scope.spawn(move || {
-                let mut scratch = EdwpScratch::new();
-                for (query, slot) in query_chunk.iter().zip(slot_chunk.iter_mut()) {
-                    *slot = Some(run(query, &mut scratch));
-                }
-            });
-        }
-    });
-    let results = slots
-        .into_iter()
-        .map(|slot| {
-            let (result, stats) = slot.expect("every chunk worker fills its slots");
-            agg.merge(&stats);
-            result
-        })
-        .collect();
-    (results, agg)
-}
-
-/// Reference linear scan for k-NN: the engine's [`KnnCollector`] with
-/// pruning disabled — every stored trajectory gets a full EDwP evaluation,
-/// so index searches and this reference share only the result collection
-/// and the distance kernel, never the pruning logic under test.
+/// Reference linear scan for k-NN under raw EDwP.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the query builder's `.brute_force()` modifier"
+)]
 pub fn brute_force_knn(store: &TrajStore, query: &Trajectory, k: usize) -> Vec<Neighbor> {
-    brute_force(store, query, KnnCollector::new(k.min(store.len()))).into_neighbors()
+    let tree = TrajTree::default();
+    QueryBuilder::over(&tree, store, query)
+        .brute_force()
+        .knn(k)
+        .neighbors
 }
 
-/// Reference linear scan for range search: every stored trajectory within
-/// `eps` (inclusive), ascending `(distance, id)`.
+/// Reference linear scan for range search under raw EDwP.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the query builder's `.brute_force()` modifier"
+)]
 pub fn brute_force_range(store: &TrajStore, query: &Trajectory, eps: f64) -> Vec<Neighbor> {
-    brute_force(store, query, RangeCollector::new(eps)).into_neighbors()
-}
-
-/// The pruning-disabled engine: offer every exact distance to `collector`.
-fn brute_force<C: Collector>(store: &TrajStore, query: &Trajectory, mut collector: C) -> C {
-    let mut scratch = EdwpScratch::new();
-    for (id, t) in store.iter() {
-        collector.offer(id, edwp_with_scratch(query, t, &mut scratch));
-    }
-    collector
+    let tree = TrajTree::default();
+    QueryBuilder::over(&tree, store, query)
+        .brute_force()
+        .range(eps)
+        .neighbors
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::engine::Neighbor;
     use crate::tree::TrajTreeConfig;
     use traj_core::Trajectory;
 

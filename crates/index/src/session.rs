@@ -1,0 +1,612 @@
+//! The typed query surface: a [`Session`] owning database, index and
+//! pooled kernel memory, and the [`QueryBuilder`] / [`BatchQueryBuilder`]
+//! pair every query type is expressed through.
+//!
+//! One builder replaces the former method matrix (`knn`,
+//! `knn_with_scratch`, `batch_range_with_threads`, …): the query *type* is
+//! the finisher ([`QueryBuilder::knn`] / [`QueryBuilder::range`]), and
+//! every orthogonal axis is a modifier — [`QueryBuilder::metric`] (raw vs
+//! length-normalised EDwP), [`QueryBuilder::brute_force`] (linear-scan
+//! reference), [`QueryBuilder::collect_stats`] (work counters),
+//! [`BatchQueryBuilder::threads`] (parallel fan-out). Invalid combinations
+//! are unrepresentable at compile time: `eps` exists only as the `range`
+//! finisher's argument, so it cannot be set on a k-NN query, and
+//! `threads` exists only on the batch builder, so a single query cannot be
+//! given a worker count.
+//!
+//! All combinations run on the same best-first engine (or the same
+//! collectors with pruning disabled for `brute_force`), so results are
+//! bitwise identical to the deprecated method matrix — property-tested in
+//! `tests/builder_equivalence.rs`.
+
+use crate::engine::{best_first, Collector, KnnCollector, Neighbor, QueryStats, RangeCollector};
+use crate::store::{TrajId, TrajStore};
+use crate::tree::{TrajTree, TrajTreeConfig};
+use traj_core::Trajectory;
+use traj_dist::{EdwpScratch, Metric};
+
+/// Result of a single query: the matched neighbours (ascending
+/// `(distance, id)`) and, when [`QueryBuilder::collect_stats`] was
+/// requested, the work counters of the search.
+#[must_use = "query results carry the neighbours the search was run for"]
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Matches, sorted by ascending `(distance, id)` under the query's
+    /// metric.
+    pub neighbors: Vec<Neighbor>,
+    /// Work counters — `Some` iff the builder asked for
+    /// [`QueryBuilder::collect_stats`].
+    pub stats: Option<QueryStats>,
+}
+
+/// Result of a batch query: per-query neighbour lists in input order and,
+/// when requested, the merged work counters of all workers.
+#[must_use = "batch results carry the answers the queries were run for"]
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchQueryResult {
+    /// One neighbour list per input query, in input order — bitwise
+    /// identical to running the single-query builder in a loop.
+    pub neighbors: Vec<Vec<Neighbor>>,
+    /// Merged work counters (`QueryStats::queries` counts the batch) —
+    /// `Some` iff the builder asked for [`BatchQueryBuilder::collect_stats`].
+    pub stats: Option<QueryStats>,
+}
+
+/// The shared modifier state of both builders.
+#[derive(Debug, Clone, Copy, Default)]
+struct Spec {
+    metric: Metric,
+    brute_force: bool,
+    collect_stats: bool,
+}
+
+/// A trajectory database, its TrajTree index and pooled kernel memory
+/// behind one handle — the recommended owner of the query surface.
+///
+/// ```
+/// use traj_core::Trajectory;
+/// use traj_dist::Metric;
+/// use traj_index::{Session, TrajStore};
+///
+/// let mut store = TrajStore::new();
+/// store.insert(Trajectory::from_xy(&[(0.0, 0.0), (10.0, 0.0)]));
+/// store.insert(Trajectory::from_xy(&[(0.0, 50.0), (10.0, 50.0)]));
+/// let mut session = Session::build(store);
+///
+/// let q = Trajectory::from_xy(&[(0.0, 1.0), (10.0, 1.0)]);
+/// let nearest = session.query(&q).knn(1);
+/// assert_eq!(nearest.neighbors[0].id, 0);
+///
+/// // Modifiers compose: normalised metric, stats, brute-force reference.
+/// let norm = session
+///     .query(&q)
+///     .metric(Metric::EdwpNormalized)
+///     .collect_stats()
+///     .knn(1);
+/// assert_eq!(norm.neighbors[0].id, 0);
+/// assert!(norm.stats.unwrap().edwp_evaluations <= 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    store: TrajStore,
+    tree: TrajTree,
+    scratch: EdwpScratch,
+}
+
+impl Session {
+    /// Indexes `store` with a default-configuration bulk load.
+    pub fn build(store: TrajStore) -> Self {
+        Session::with_config(store, TrajTreeConfig::default())
+    }
+
+    /// Indexes `store` with an explicit [`TrajTreeConfig`] bulk load.
+    pub fn with_config(store: TrajStore, config: TrajTreeConfig) -> Self {
+        let tree = TrajTree::bulk_load(&store, config);
+        Session::from_parts(store, tree)
+    }
+
+    /// Wraps an existing store and index. `tree` must index exactly the
+    /// trajectories of `store` (the standing engine precondition: an id in
+    /// the store but not the tree is invisible to index searches).
+    pub fn from_parts(store: TrajStore, tree: TrajTree) -> Self {
+        Session {
+            store,
+            tree,
+            scratch: EdwpScratch::new(),
+        }
+    }
+
+    /// Releases the store and index (e.g. to rebuild with another config).
+    pub fn into_parts(self) -> (TrajStore, TrajTree) {
+        (self.store, self.tree)
+    }
+
+    /// Adds a trajectory to the database *and* the index, returning its id.
+    pub fn insert(&mut self, t: Trajectory) -> TrajId {
+        let id = self.store.insert(t);
+        self.tree.insert(&self.store, id);
+        id
+    }
+
+    /// The underlying trajectory database.
+    pub fn store(&self) -> &TrajStore {
+        &self.store
+    }
+
+    /// The underlying TrajTree index.
+    pub fn tree(&self) -> &TrajTree {
+        &self.tree
+    }
+
+    /// Number of indexed trajectories.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// `true` when the session holds no trajectories.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Starts a single query against this session. The builder runs on the
+    /// session's pooled scratch, so consecutive queries are allocation-free
+    /// inside the distance kernels.
+    ///
+    /// Finish with [`QueryBuilder::knn`] or [`QueryBuilder::range`].
+    pub fn query<'s>(&'s mut self, query: &'s Trajectory) -> QueryBuilder<'s> {
+        QueryBuilder::over(&self.tree, &self.store, query).scratch(&mut self.scratch)
+    }
+
+    /// Starts a batch of queries against this session; workers pool one
+    /// scratch each. Finish with [`BatchQueryBuilder::knn`] or
+    /// [`BatchQueryBuilder::range`].
+    pub fn batch<'s>(&'s self, queries: &'s [Trajectory]) -> BatchQueryBuilder<'s> {
+        BatchQueryBuilder::over(&self.tree, &self.store, queries)
+    }
+}
+
+/// Builder for one query; construct via [`Session::query`] (or
+/// [`QueryBuilder::over`] when store and tree are owned elsewhere), chain
+/// modifiers, and finish with [`QueryBuilder::knn`] or
+/// [`QueryBuilder::range`].
+///
+/// ```
+/// use traj_core::Trajectory;
+/// use traj_index::{QueryBuilder, TrajStore, TrajTree};
+///
+/// let mut store = TrajStore::new();
+/// store.insert(Trajectory::from_xy(&[(0.0, 0.0), (5.0, 0.0)]));
+/// let tree = TrajTree::build(&store);
+/// let q = Trajectory::from_xy(&[(0.0, 2.0), (5.0, 2.0)]);
+/// // Borrowed entry point: no Session required.
+/// let hits = QueryBuilder::over(&tree, &store, &q).range(100.0);
+/// assert_eq!(hits.neighbors.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct QueryBuilder<'a> {
+    tree: &'a TrajTree,
+    store: &'a TrajStore,
+    query: &'a Trajectory,
+    scratch: Option<&'a mut EdwpScratch>,
+    spec: Spec,
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// A builder over borrowed store and tree — the entry point the
+    /// deprecated `TrajTree` method matrix wraps. `store` must be the
+    /// store `tree` indexes, with every one of its trajectories inserted.
+    pub fn over(tree: &'a TrajTree, store: &'a TrajStore, query: &'a Trajectory) -> Self {
+        QueryBuilder {
+            tree,
+            store,
+            query,
+            scratch: None,
+            spec: Spec::default(),
+        }
+    }
+
+    /// Runs the query's kernels through caller-pooled scratch memory
+    /// instead of a fresh per-call buffer (what [`Session::query`] wires up
+    /// automatically). Values are identical either way.
+    pub fn scratch(mut self, scratch: &'a mut EdwpScratch) -> Self {
+        self.scratch = Some(scratch);
+        self
+    }
+
+    /// Answers the query under `metric` (default: raw EDwP). Distances in
+    /// the result — and any `eps` given to [`QueryBuilder::range`] — are in
+    /// the chosen metric's scale.
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.spec.metric = metric;
+        self
+    }
+
+    /// Answers with the linear-scan reference instead of the index: every
+    /// stored trajectory gets a full distance evaluation. Same collectors,
+    /// no pruning — the ground truth index searches are tested against.
+    pub fn brute_force(mut self) -> Self {
+        self.spec.brute_force = true;
+        self
+    }
+
+    /// Returns the search's work counters in [`QueryResult::stats`].
+    pub fn collect_stats(mut self) -> Self {
+        self.spec.collect_stats = true;
+        self
+    }
+
+    /// Finishes as a k-nearest-neighbour query: the `k` trajectories
+    /// closest to the query, ascending `(distance, id)`. Exact: identical
+    /// to the brute-force reference under the same metric.
+    #[must_use = "running a k-NN query only to drop its result does no work worth paying for"]
+    pub fn knn(self, k: usize) -> QueryResult {
+        let QueryBuilder {
+            tree,
+            store,
+            query,
+            scratch,
+            spec,
+        } = self;
+        with_scratch(scratch, |scratch| {
+            exec_single(tree, store, query, spec, QueryKind::Knn(k), scratch)
+        })
+    }
+
+    /// Finishes as a range query: every trajectory within `eps`
+    /// (inclusive) of the query under the chosen metric, ascending
+    /// `(distance, id)`.
+    #[must_use = "running a range query only to drop its result does no work worth paying for"]
+    pub fn range(self, eps: f64) -> QueryResult {
+        let QueryBuilder {
+            tree,
+            store,
+            query,
+            scratch,
+            spec,
+        } = self;
+        with_scratch(scratch, |scratch| {
+            exec_single(tree, store, query, spec, QueryKind::Range(eps), scratch)
+        })
+    }
+}
+
+/// Builder for a batch of queries answered in parallel; construct via
+/// [`Session::batch`] (or [`BatchQueryBuilder::over`]), chain modifiers,
+/// finish with [`BatchQueryBuilder::knn`] or [`BatchQueryBuilder::range`].
+/// Results are bitwise identical to a sequential loop of single queries,
+/// for any worker count.
+#[derive(Debug)]
+pub struct BatchQueryBuilder<'a> {
+    tree: &'a TrajTree,
+    store: &'a TrajStore,
+    queries: &'a [Trajectory],
+    threads: Option<usize>,
+    spec: Spec,
+}
+
+impl<'a> BatchQueryBuilder<'a> {
+    /// A batch builder over borrowed store and tree (same precondition as
+    /// [`QueryBuilder::over`]).
+    pub fn over(tree: &'a TrajTree, store: &'a TrajStore, queries: &'a [Trajectory]) -> Self {
+        BatchQueryBuilder {
+            tree,
+            store,
+            queries,
+            threads: None,
+            spec: Spec::default(),
+        }
+    }
+
+    /// Explicit worker count, clamped to `1..=queries.len()` (default: one
+    /// worker per available CPU). Parallelism changes only which thread
+    /// runs a query, never what it computes.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Answers every query under `metric` (default: raw EDwP).
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.spec.metric = metric;
+        self
+    }
+
+    /// Answers with the linear-scan reference instead of the index.
+    pub fn brute_force(mut self) -> Self {
+        self.spec.brute_force = true;
+        self
+    }
+
+    /// Returns the merged work counters in [`BatchQueryResult::stats`].
+    pub fn collect_stats(mut self) -> Self {
+        self.spec.collect_stats = true;
+        self
+    }
+
+    /// Finishes as a k-NN query per input query.
+    #[must_use = "running a batch query only to drop its result does no work worth paying for"]
+    pub fn knn(self, k: usize) -> BatchQueryResult {
+        self.run(QueryKind::Knn(k))
+    }
+
+    /// Finishes as a range query per input query.
+    #[must_use = "running a batch query only to drop its result does no work worth paying for"]
+    pub fn range(self, eps: f64) -> BatchQueryResult {
+        self.run(QueryKind::Range(eps))
+    }
+
+    fn run(self, kind: QueryKind) -> BatchQueryResult {
+        let threads = self.threads.unwrap_or_else(default_threads);
+        let spec = Spec {
+            collect_stats: true,
+            ..self.spec
+        };
+        let (neighbors, stats) = batch_queries(self.queries, threads, |query, scratch| {
+            let result = exec_single(self.tree, self.store, query, spec, kind, scratch);
+            (
+                result.neighbors,
+                result.stats.expect("collect_stats forced on"),
+            )
+        });
+        BatchQueryResult {
+            neighbors,
+            stats: self.spec.collect_stats.then_some(stats),
+        }
+    }
+}
+
+/// The query type plus its type-specific parameter — internal enum-state:
+/// a `k` exists only for k-NN, an `eps` only for range.
+#[derive(Debug, Clone, Copy)]
+enum QueryKind {
+    Knn(usize),
+    Range(f64),
+}
+
+/// Runs a closure with the caller's pooled scratch, or a fresh one.
+fn with_scratch<R>(scratch: Option<&mut EdwpScratch>, f: impl FnOnce(&mut EdwpScratch) -> R) -> R {
+    match scratch {
+        Some(s) => f(s),
+        None => f(&mut EdwpScratch::new()),
+    }
+}
+
+/// The one code path every single query runs through, index-pruned or
+/// brute-force, either metric, either query kind.
+fn exec_single(
+    tree: &TrajTree,
+    store: &TrajStore,
+    query: &Trajectory,
+    spec: Spec,
+    kind: QueryKind,
+    scratch: &mut EdwpScratch,
+) -> QueryResult {
+    let db_size = if spec.brute_force {
+        store.len()
+    } else {
+        tree.len()
+    };
+    let mut stats = QueryStats::for_search(db_size);
+    let neighbors = match kind {
+        QueryKind::Knn(k) => {
+            let k = k.min(db_size);
+            if k == 0 {
+                Vec::new()
+            } else {
+                let mut collector = KnnCollector::new(k);
+                drive(
+                    tree,
+                    store,
+                    query,
+                    spec,
+                    &mut collector,
+                    scratch,
+                    &mut stats,
+                );
+                collector.into_neighbors()
+            }
+        }
+        QueryKind::Range(eps) => {
+            let mut collector = RangeCollector::new(eps);
+            drive(
+                tree,
+                store,
+                query,
+                spec,
+                &mut collector,
+                scratch,
+                &mut stats,
+            );
+            collector.into_neighbors()
+        }
+    };
+    QueryResult {
+        neighbors,
+        stats: spec.collect_stats.then_some(stats),
+    }
+}
+
+/// Feeds a collector from the best-first engine, or from a pruning-free
+/// linear scan for `brute_force` — the two differ only in which candidates
+/// pay for a full distance evaluation, never in what is computed for them.
+fn drive<C: Collector>(
+    tree: &TrajTree,
+    store: &TrajStore,
+    query: &Trajectory,
+    spec: Spec,
+    collector: &mut C,
+    scratch: &mut EdwpScratch,
+    stats: &mut QueryStats,
+) {
+    if spec.brute_force {
+        for (id, t) in store.iter() {
+            stats.bump_edwp();
+            collector.offer(id, spec.metric.distance(query, t, scratch));
+        }
+    } else {
+        best_first(tree, store, query, spec.metric, collector, scratch, stats);
+    }
+}
+
+/// Default batch fan-out: one worker per available CPU.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Shared batch driver: splits `queries` into contiguous chunks, runs each
+/// chunk on a scoped worker with its own [`EdwpScratch`], and merges the
+/// per-query stats. Chunking (rather than work-stealing) keeps the mapping
+/// from query to result slot trivially deterministic.
+pub(crate) fn batch_queries<R, F>(
+    queries: &[Trajectory],
+    threads: usize,
+    run: F,
+) -> (Vec<R>, QueryStats)
+where
+    R: Send,
+    F: Fn(&Trajectory, &mut EdwpScratch) -> (R, QueryStats) + Sync,
+{
+    let mut agg = QueryStats::default();
+    if queries.is_empty() {
+        return (Vec::new(), agg);
+    }
+    let threads = threads.clamp(1, queries.len());
+    let chunk = queries.len().div_ceil(threads);
+    let mut slots: Vec<Option<(R, QueryStats)>> = Vec::with_capacity(queries.len());
+    slots.resize_with(queries.len(), || None);
+    std::thread::scope(|scope| {
+        for (query_chunk, slot_chunk) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            let run = &run;
+            scope.spawn(move || {
+                let mut scratch = EdwpScratch::new();
+                for (query, slot) in query_chunk.iter().zip(slot_chunk.iter_mut()) {
+                    *slot = Some(run(query, &mut scratch));
+                }
+            });
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            let (result, stats) = slot.expect("every chunk worker fills its slots");
+            agg.merge(&stats);
+            result
+        })
+        .collect();
+    (results, agg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_store() -> TrajStore {
+        let mut store = TrajStore::new();
+        for (cx, cy) in [(0.0, 0.0), (500.0, 500.0)] {
+            for i in 0..10 {
+                let off = i as f64 * 0.5;
+                store.insert(Trajectory::from_xy(&[
+                    (cx + off, cy),
+                    (cx + off + 2.0, cy + 2.0),
+                    (cx + off + 4.0, cy),
+                ]));
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn session_roundtrip_and_insert() {
+        let mut session = Session::build(two_cluster_store());
+        assert_eq!(session.len(), 20);
+        assert!(!session.is_empty());
+        let id = session.insert(Trajectory::from_xy(&[(1.0, 1.0), (3.0, 1.0)]));
+        assert_eq!(id, 20);
+        assert_eq!(session.tree().len(), 21);
+        let q = session.store().get(id).clone();
+        let res = session.query(&q).knn(1);
+        assert_eq!(res.neighbors[0].id, id);
+        assert!(res.stats.is_none(), "stats only on collect_stats()");
+        let (store, tree) = session.into_parts();
+        assert_eq!(store.len(), tree.len());
+    }
+
+    #[test]
+    fn builder_stats_only_when_requested() {
+        let mut session = Session::build(two_cluster_store());
+        let q = Trajectory::from_xy(&[(1.0, 0.5), (5.0, 1.5)]);
+        assert!(session.query(&q).knn(3).stats.is_none());
+        let with = session.query(&q).collect_stats().knn(3);
+        let stats = with.stats.expect("requested");
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.db_size, 20);
+        assert!(stats.edwp_evaluations >= 3);
+    }
+
+    #[test]
+    fn brute_force_modifier_counts_every_candidate() {
+        let mut session = Session::build(two_cluster_store());
+        let q = Trajectory::from_xy(&[(1.0, 0.5), (5.0, 1.5)]);
+        let pruned = session.query(&q).collect_stats().knn(3);
+        let brute = session.query(&q).brute_force().collect_stats().knn(3);
+        assert_eq!(pruned.neighbors, brute.neighbors);
+        assert_eq!(brute.stats.unwrap().edwp_evaluations, 20);
+        assert!(pruned.stats.unwrap().edwp_evaluations < 20);
+    }
+
+    #[test]
+    fn normalized_metric_ranks_by_edwp_avg() {
+        let mut session = Session::build(two_cluster_store());
+        let q = Trajectory::from_xy(&[(1.0, 0.5), (5.0, 1.5)]);
+        let norm = session.query(&q).metric(Metric::EdwpNormalized).knn(5);
+        let mut scratch = EdwpScratch::new();
+        let mut want: Vec<Neighbor> = session
+            .store()
+            .iter()
+            .map(|(id, t)| Neighbor {
+                id,
+                distance: traj_dist::edwp_avg_with_scratch(&q, t, &mut scratch),
+            })
+            .collect();
+        want.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap()
+                .then(a.id.cmp(&b.id))
+        });
+        want.truncate(5);
+        assert_eq!(norm.neighbors, want);
+    }
+
+    #[test]
+    fn batch_builder_matches_single_queries() {
+        let session = Session::build(two_cluster_store());
+        let queries: Vec<Trajectory> = (0..5)
+            .map(|i| {
+                let x = i as f64 * 120.0;
+                Trajectory::from_xy(&[(x, x), (x + 3.0, x + 1.0)])
+            })
+            .collect();
+        let batch = session.batch(&queries).threads(3).collect_stats().knn(4);
+        assert_eq!(batch.stats.unwrap().queries, 5);
+        for (q, got) in queries.iter().zip(&batch.neighbors) {
+            let single = QueryBuilder::over(session.tree(), session.store(), q).knn(4);
+            assert_eq!(*got, single.neighbors);
+        }
+        // Range finisher through the same surface.
+        let balls = session.batch(&queries).threads(2).range(1e6);
+        assert_eq!(balls.neighbors.len(), 5);
+        assert!(balls.stats.is_none());
+    }
+
+    #[test]
+    fn knn_zero_k_and_empty_session() {
+        let mut empty = Session::build(TrajStore::new());
+        let q = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 0.0)]);
+        assert!(empty.query(&q).knn(3).neighbors.is_empty());
+        let mut session = Session::build(two_cluster_store());
+        let res = session.query(&q).collect_stats().knn(0);
+        assert!(res.neighbors.is_empty());
+        assert_eq!(res.stats.unwrap().edwp_evaluations, 0);
+    }
+}

@@ -1,4 +1,4 @@
-use traj_core::Trajectory;
+use traj_core::{TrajError, Trajectory};
 
 /// Identifier of a trajectory inside a [`TrajStore`]; dense, starting at 0.
 pub type TrajId = u32;
@@ -25,7 +25,10 @@ impl TrajStore {
         id
     }
 
-    /// The trajectory with the given id.
+    /// The trajectory with the given id — the panicking convenience for
+    /// ids known to be valid (e.g. ids the store itself just issued, or
+    /// [`crate::Neighbor::id`]s straight out of a query result). Callers
+    /// holding ids of unknown provenance should use [`TrajStore::try_get`].
     ///
     /// # Panics
     /// Panics when `id` was not issued by this store.
@@ -34,10 +37,14 @@ impl TrajStore {
         &self.trajs[id as usize]
     }
 
-    /// The trajectory with the given id, or `None` for foreign ids.
+    /// The trajectory with the given id, or
+    /// [`TrajError::UnknownId`] for ids this store never issued.
     #[inline]
-    pub fn try_get(&self, id: TrajId) -> Option<&Trajectory> {
-        self.trajs.get(id as usize)
+    pub fn try_get(&self, id: TrajId) -> Result<&Trajectory, TrajError> {
+        self.trajs.get(id as usize).ok_or(TrajError::UnknownId {
+            id,
+            len: self.trajs.len(),
+        })
     }
 
     /// Number of stored trajectories.
@@ -86,7 +93,11 @@ mod tests {
         assert_eq!((a, b), (0, 1));
         assert_eq!(store.len(), 2);
         assert_eq!(store.get(b).first().p.y, 1.0);
-        assert!(store.try_get(2).is_none());
+        assert_eq!(
+            store.try_get(2).unwrap_err(),
+            TrajError::UnknownId { id: 2, len: 2 }
+        );
+        assert_eq!(store.try_get(a).unwrap(), store.get(a));
         assert_eq!(store.ids().collect::<Vec<_>>(), vec![0, 1]);
     }
 

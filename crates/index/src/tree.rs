@@ -29,15 +29,20 @@ impl Default for TrajTreeConfig {
 
 /// A TrajTree node (Sec. V): internal nodes summarise the trajectories of
 /// their subtree with a coarsened tBoxSeq; leaves hold trajectory ids.
+/// `max_len` upper-bounds the spatial length of every trajectory in the
+/// subtree — the bookkeeping the length-normalised metric's admissible
+/// node bound divides by.
 #[derive(Debug, Clone)]
 pub(crate) enum Node {
     Leaf {
         ids: Vec<TrajId>,
         summary: BoxSeq,
+        max_len: f64,
     },
     Internal {
         children: Vec<Node>,
         summary: BoxSeq,
+        max_len: f64,
     },
 }
 
@@ -45,6 +50,15 @@ impl Node {
     pub(crate) fn summary(&self) -> &BoxSeq {
         match self {
             Node::Leaf { summary, .. } | Node::Internal { summary, .. } => summary,
+        }
+    }
+
+    /// Upper bound on the spatial length of every trajectory in this
+    /// subtree (exact max after builds; never undershoots after inserts
+    /// and splits, which is all admissibility needs).
+    pub(crate) fn max_len(&self) -> f64 {
+        match self {
+            Node::Leaf { max_len, .. } | Node::Internal { max_len, .. } => *max_len,
         }
     }
 
@@ -97,6 +111,18 @@ pub struct TrajTree {
     pub(crate) root: Option<Node>,
     config: TrajTreeConfig,
     len: usize,
+}
+
+impl Default for TrajTree {
+    /// An empty default-configuration tree (what bulk-loading an empty
+    /// store produces).
+    fn default() -> Self {
+        TrajTree {
+            root: None,
+            config: TrajTreeConfig::default(),
+            len: 0,
+        }
+    }
 }
 
 impl TrajTree {
@@ -245,9 +271,14 @@ fn str_tiles<T: Copy>(items: &mut [(T, Point)], cap: usize) -> Vec<Vec<T>> {
 /// Builds a leaf over `ids` with a coalesced summary over all members.
 fn make_leaf(store: &TrajStore, ids: &[TrajId], config: &TrajTreeConfig) -> Node {
     let summary = summary_over(store, ids, config.leaf_boxes);
+    let max_len = ids
+        .iter()
+        .map(|&id| store.get(id).length())
+        .fold(0.0, f64::max);
     Node::Leaf {
         ids: ids.to_vec(),
         summary,
+        max_len,
     }
 }
 
@@ -259,7 +290,12 @@ fn make_internal(store: &TrajStore, children: Vec<Node>, config: &TrajTreeConfig
         c.collect_ids(&mut ids);
     }
     let summary = summary_over(store, &ids, config.internal_boxes);
-    Node::Internal { children, summary }
+    let max_len = children.iter().map(Node::max_len).fold(0.0, f64::max);
+    Node::Internal {
+        children,
+        summary,
+        max_len,
+    }
 }
 
 /// The coalesced tBoxSeq over a set of member trajectories.
@@ -283,17 +319,28 @@ fn insert_rec(
     premerged: Option<BoxSeq>,
 ) -> Option<Node> {
     match node {
-        Node::Leaf { ids, summary } => {
+        Node::Leaf {
+            ids,
+            summary,
+            max_len,
+        } => {
             let mut merged = premerged.unwrap_or_else(|| summary.merge_trajectory(t));
             merged.coalesce(Some(config.leaf_boxes));
             *summary = merged;
+            *max_len = max_len.max(t.length());
             ids.push(id);
-            (ids.len() > config.leaf_capacity).then(|| split_leaf(ids, summary, store, config))
+            (ids.len() > config.leaf_capacity)
+                .then(|| split_leaf(ids, summary, max_len, store, config))
         }
-        Node::Internal { children, summary } => {
+        Node::Internal {
+            children,
+            summary,
+            max_len,
+        } => {
             let mut merged = premerged.unwrap_or_else(|| summary.merge_trajectory(t));
             merged.coalesce(Some(config.internal_boxes));
             *summary = merged;
+            *max_len = max_len.max(t.length());
             // Alg. 1 line 11: follow the child whose tBoxSeq grows least.
             let (best, child_merged) = children
                 .iter()
@@ -311,7 +358,7 @@ fn insert_rec(
             ) {
                 children.push(sibling);
                 if children.len() > config.fanout {
-                    return Some(split_internal(children, summary, store, config));
+                    return Some(split_internal(children, summary, max_len, store, config));
                 }
             }
             None
@@ -320,10 +367,13 @@ fn insert_rec(
 }
 
 /// Splits an overflowing leaf in half along the dominant axis of its member
-/// centroids; rebuilds both summaries. Returns the new sibling.
+/// centroids; rebuilds both summaries (and both exact `max_len`s — keeping
+/// the pre-split value would stay admissible but permanently loosen the
+/// kept half's normalised-metric bound). Returns the new sibling.
 fn split_leaf(
     ids: &mut Vec<TrajId>,
     summary: &mut BoxSeq,
+    max_len: &mut f64,
     store: &TrajStore,
     config: &TrajTreeConfig,
 ) -> Node {
@@ -339,19 +389,23 @@ fn split_leaf(
     if let Node::Leaf {
         ids: new_ids,
         summary: new_summary,
+        max_len: new_max_len,
     } = make_leaf(store, &keep, config)
     {
         *ids = new_ids;
         *summary = new_summary;
+        *max_len = new_max_len;
     }
     sibling
 }
 
 /// Splits an overflowing internal node in half along the dominant axis of
-/// its child centres; rebuilds both summaries. Returns the new sibling.
+/// its child centres; rebuilds both summaries and exact `max_len`s (see
+/// [`split_leaf`]). Returns the new sibling.
 fn split_internal(
     children: &mut Vec<Node>,
     summary: &mut BoxSeq,
+    max_len: &mut f64,
     store: &TrajStore,
     config: &TrajTreeConfig,
 ) -> Node {
@@ -374,10 +428,12 @@ fn split_internal(
     if let Node::Internal {
         children: new_children,
         summary: new_summary,
+        max_len: new_max_len,
     } = kept
     {
         *children = new_children;
         *summary = new_summary;
+        *max_len = new_max_len;
     }
     sibling
 }
@@ -451,11 +507,13 @@ mod tests {
         let tree = TrajTree::bulk_load(&store, config);
         fn check(node: &Node, config: &TrajTreeConfig) {
             match node {
-                Node::Leaf { ids, summary } => {
+                Node::Leaf { ids, summary, .. } => {
                     assert!(ids.len() <= config.leaf_capacity);
                     assert!(summary.len() <= config.leaf_boxes);
                 }
-                Node::Internal { children, summary } => {
+                Node::Internal {
+                    children, summary, ..
+                } => {
                     assert!(children.len() <= config.fanout);
                     assert!(summary.len() <= config.internal_boxes);
                     for c in children {
@@ -521,6 +579,50 @@ mod tests {
                 "member has nonzero root bound {lb}"
             );
         }
+    }
+
+    #[test]
+    fn max_len_bounds_every_member_after_build_and_inserts() {
+        // Two construction paths; in both, every node's max_len must be at
+        // least the length of every trajectory in its subtree (what the
+        // normalised metric's admissible bound divides by).
+        fn check(node: &Node, store: &TrajStore) {
+            let mut ids = Vec::new();
+            node.collect_ids(&mut ids);
+            let actual = ids
+                .iter()
+                .map(|&id| store.get(id).length())
+                .fold(0.0, f64::max);
+            // Exact, not merely admissible: inserts only grow a node's
+            // member set, and splits rebuild both halves' max_len, so no
+            // construction path leaves slack behind.
+            assert!(
+                (node.max_len() - actual).abs() <= 1e-12 * (1.0 + actual),
+                "node max_len {} != subtree max {actual}",
+                node.max_len()
+            );
+            if let Node::Internal { children, .. } = node {
+                for c in children {
+                    check(c, store);
+                }
+            }
+        }
+        let store = store_of(60);
+        let bulk = TrajTree::build(&store);
+        check(bulk.root.as_ref().unwrap(), &store);
+
+        let mut incremental = TrajTree::bulk_load(
+            &TrajStore::new(),
+            TrajTreeConfig {
+                leaf_capacity: 3,
+                fanout: 3,
+                ..TrajTreeConfig::default()
+            },
+        );
+        for id in store.ids() {
+            incremental.insert(&store, id);
+        }
+        check(incremental.root.as_ref().unwrap(), &store);
     }
 
     #[test]

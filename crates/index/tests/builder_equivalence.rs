@@ -1,0 +1,218 @@
+//! The builder-API contract: every combination the typed query surface can
+//! express — k-NN / range × index / brute-force × threads 1/2/4 × raw /
+//! length-normalised metric — is **bitwise identical** to the
+//! corresponding deprecated legacy method (where one exists) and to the
+//! brute-force reference. This is what lets the method matrix be deleted
+//! next release without any behaviour change.
+#![allow(deprecated)]
+
+use proptest::prelude::*;
+use traj_core::{StPoint, Trajectory};
+use traj_dist::{edwp_avg_with_scratch, EdwpScratch, Metric};
+use traj_gen::{GenConfig, TrajGen};
+use traj_index::{
+    brute_force_knn, brute_force_range, BatchQueryBuilder, Neighbor, QueryBuilder, Session,
+    TrajStore, TrajTree,
+};
+
+/// A uniformly random trajectory in a 100×100 region.
+fn trajectory(min_pts: usize, max_pts: usize) -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), min_pts..=max_pts).prop_map(|pts| {
+        Trajectory::new(
+            pts.iter()
+                .enumerate()
+                .map(|(i, &(x, y))| StPoint::new(x, y, i as f64))
+                .collect(),
+        )
+        .expect("valid by construction")
+    })
+}
+
+/// A clustered database so index pruning has structure to exploit.
+fn clustered_db(size: usize, seed: u64) -> Vec<Trajectory> {
+    let mut g = TrajGen::with_config(
+        seed,
+        GenConfig {
+            area: 400.0,
+            clusters: 5,
+            cluster_spread: 4.0,
+            ..GenConfig::default()
+        },
+    );
+    g.database(size, 4, 10)
+}
+
+/// Ground truth independent of the engine *and* the builder's brute-force
+/// path: a hand-rolled linear scan under the given metric.
+fn manual_scan(store: &TrajStore, query: &Trajectory, metric: Metric) -> Vec<Neighbor> {
+    let mut scratch = EdwpScratch::new();
+    let mut all: Vec<Neighbor> = store
+        .iter()
+        .map(|(id, t)| Neighbor {
+            id,
+            distance: match metric {
+                Metric::Edwp => traj_dist::edwp_with_scratch(query, t, &mut scratch),
+                Metric::EdwpNormalized => edwp_avg_with_scratch(query, t, &mut scratch),
+            },
+        })
+        .collect();
+    all.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .expect("finite distances")
+            .then(a.id.cmp(&b.id))
+    });
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Single-query grid: for both metrics, index == builder brute force ==
+    /// manual scan; for the raw metric additionally == the legacy methods.
+    #[test]
+    fn builder_equals_legacy_and_brute_force(
+        size in 25usize..70,
+        seed in 0u64..500,
+        query in trajectory(2, 8),
+    ) {
+        let store = TrajStore::from(clustered_db(size, seed));
+        let tree = TrajTree::build(&store);
+        let k = 7usize;
+        for metric in [Metric::Edwp, Metric::EdwpNormalized] {
+            let truth = manual_scan(&store, &query, metric);
+            let eps = truth[truth.len() / 2].distance; // median: nontrivial ball
+
+            let indexed = QueryBuilder::over(&tree, &store, &query)
+                .metric(metric)
+                .collect_stats()
+                .knn(k);
+            let brute = QueryBuilder::over(&tree, &store, &query)
+                .metric(metric)
+                .brute_force()
+                .knn(k);
+            prop_assert_eq!(&indexed.neighbors, &brute.neighbors);
+            prop_assert_eq!(&indexed.neighbors, &truth[..k.min(truth.len())].to_vec());
+            let stats = indexed.stats.expect("requested");
+            prop_assert!(stats.edwp_evaluations <= stats.db_size);
+
+            let in_ball = QueryBuilder::over(&tree, &store, &query)
+                .metric(metric)
+                .range(eps);
+            let brute_ball = QueryBuilder::over(&tree, &store, &query)
+                .metric(metric)
+                .brute_force()
+                .range(eps);
+            let want_ball: Vec<Neighbor> = truth
+                .iter()
+                .copied()
+                .filter(|n| n.distance <= eps)
+                .collect();
+            prop_assert_eq!(&in_ball.neighbors, &brute_ball.neighbors);
+            prop_assert_eq!(&in_ball.neighbors, &want_ball);
+
+            if metric == Metric::Edwp {
+                let (legacy_knn, _) = tree.knn(&store, &query, k);
+                prop_assert_eq!(&indexed.neighbors, &legacy_knn);
+                prop_assert_eq!(&brute.neighbors, &brute_force_knn(&store, &query, k));
+                let (legacy_range, _) = tree.range(&store, &query, eps);
+                prop_assert_eq!(&in_ball.neighbors, &legacy_range);
+                prop_assert_eq!(&brute_ball.neighbors, &brute_force_range(&store, &query, eps));
+            }
+        }
+    }
+
+    /// Batch grid: knn/range × threads 1/2/4 × both metrics, bitwise equal
+    /// to a sequential loop of single-builder queries and (raw metric) to
+    /// the legacy batch methods.
+    #[test]
+    fn batch_builder_equals_sequential_and_legacy(
+        size in 25usize..60,
+        seed in 0u64..500,
+        queries in prop::collection::vec(trajectory(2, 7), 3..8),
+    ) {
+        let store = TrajStore::from(clustered_db(size, seed));
+        let tree = TrajTree::build(&store);
+        let k = 5usize;
+        let eps = manual_scan(&store, &queries[0], Metric::Edwp)[size / 2].distance;
+        for metric in [Metric::Edwp, Metric::EdwpNormalized] {
+            let seq_knn: Vec<Vec<Neighbor>> = queries
+                .iter()
+                .map(|q| QueryBuilder::over(&tree, &store, q).metric(metric).knn(k).neighbors)
+                .collect();
+            let seq_range: Vec<Vec<Neighbor>> = queries
+                .iter()
+                .map(|q| {
+                    QueryBuilder::over(&tree, &store, q)
+                        .metric(metric)
+                        .range(eps)
+                        .neighbors
+                })
+                .collect();
+            for threads in [1usize, 2, 4] {
+                let batch_knn = BatchQueryBuilder::over(&tree, &store, &queries)
+                    .metric(metric)
+                    .threads(threads)
+                    .collect_stats()
+                    .knn(k);
+                prop_assert_eq!(&batch_knn.neighbors, &seq_knn);
+                prop_assert_eq!(
+                    batch_knn.stats.expect("requested").queries,
+                    queries.len()
+                );
+                let batch_range = BatchQueryBuilder::over(&tree, &store, &queries)
+                    .metric(metric)
+                    .threads(threads)
+                    .range(eps);
+                prop_assert_eq!(&batch_range.neighbors, &seq_range);
+
+                if metric == Metric::Edwp {
+                    let (legacy_knn, _) =
+                        tree.batch_knn_with_threads(&store, &queries, k, threads);
+                    prop_assert_eq!(&batch_knn.neighbors, &legacy_knn);
+                    let (legacy_range, _) =
+                        tree.batch_range_with_threads(&store, &queries, eps, threads);
+                    prop_assert_eq!(&batch_range.neighbors, &legacy_range);
+                }
+            }
+        }
+    }
+
+    /// The normalised metric stays exact after incremental inserts — the
+    /// insert-path max_len bookkeeping is what admissibility rides on.
+    #[test]
+    fn normalized_knn_exact_after_inserts(
+        db in prop::collection::vec(trajectory(2, 6), 20..41),
+        extra in prop::collection::vec(trajectory(2, 6), 5..12),
+        query in trajectory(2, 6),
+    ) {
+        let mut session = Session::build(TrajStore::from(db));
+        for t in extra {
+            let _ = session.insert(t);
+        }
+        let got = session.query(&query).metric(Metric::EdwpNormalized).knn(6);
+        let truth = manual_scan(session.store(), &query, Metric::EdwpNormalized);
+        prop_assert_eq!(&got.neighbors, &truth[..6.min(truth.len())].to_vec());
+    }
+}
+
+/// The scratch modifier changes where intermediate state lives, never the
+/// answer: pooled and fresh-scratch runs are bitwise identical.
+#[test]
+fn pooled_scratch_does_not_change_results() {
+    let store = TrajStore::from(clustered_db(50, 11));
+    let tree = TrajTree::build(&store);
+    let mut scratch = EdwpScratch::new();
+    let mut g = TrajGen::new(3);
+    for metric in [Metric::Edwp, Metric::EdwpNormalized] {
+        for _ in 0..6 {
+            let q = g.random_walk(7);
+            let pooled = QueryBuilder::over(&tree, &store, &q)
+                .metric(metric)
+                .scratch(&mut scratch)
+                .knn(5);
+            let fresh = QueryBuilder::over(&tree, &store, &q).metric(metric).knn(5);
+            assert_eq!(pooled, fresh);
+        }
+    }
+}

@@ -4,6 +4,11 @@
 //! and construction paths (bulk-load vs incremental insert), while
 //! evaluating full EDwP on at most (and on clustered data far fewer than)
 //! `db_size` candidates.
+//!
+//! Deliberately exercises the deprecated method-matrix surface: these are
+//! the legacy-behaviour regression tests, and `tests/builder_equivalence.rs`
+//! ties the builder API to them bit-for-bit.
+#![allow(deprecated)]
 
 use proptest::prelude::*;
 use traj_core::{StPoint, Trajectory};

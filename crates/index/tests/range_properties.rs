@@ -6,6 +6,11 @@
 //!   `eps = f64::INFINITY` edges;
 //! * `batch_knn` / `batch_range` are bitwise identical to a sequential loop
 //!   of single queries, for any worker count.
+//!
+//! Deliberately exercises the deprecated method-matrix surface: these are
+//! the legacy-behaviour regression tests, and `tests/builder_equivalence.rs`
+//! ties the builder API to them bit-for-bit.
+#![allow(deprecated)]
 
 use proptest::prelude::*;
 use traj_core::{StPoint, TotalF64, Trajectory};

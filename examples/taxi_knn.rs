@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example taxi_knn`
 
 use trajrep::eval::PruningSummary;
-use trajrep::{brute_force_knn, GenConfig, TrajGen, TrajStore, TrajTree, Trajectory};
+use trajrep::{GenConfig, QueryBuilder, Session, TrajGen, TrajStore, Trajectory};
 
 /// One canonical route per (start cluster, heading); trips are noisy,
 /// resampled copies.
@@ -49,36 +49,35 @@ fn main() {
         routes,
         store.len()
     );
-    let tree = TrajTree::build(&store);
+    let session = Session::build(store);
     println!(
         "index: height {}, {} nodes",
-        tree.height(),
-        tree.node_count()
+        session.tree().height(),
+        session.tree().node_count()
     );
 
     // New trips: fresh distortions of members, answered as one batch —
-    // workers share the tree read-only, one distance scratch each. Their
-    // top-k should be dominated by trips of the same route.
+    // workers share the session's tree read-only, one distance scratch
+    // each. Their top-k should be dominated by trips of the same route.
     let k = 5;
     let probes = [3u32, 57, 120, 199, 260];
     let queries: Vec<Trajectory> = probes
         .iter()
         .map(|&probe| {
-            let base = store.get(probe).clone();
+            let base = session.store().get(probe).clone();
             let resampled = gen.resample(&base, 0.4);
             gen.perturb(&resampled, 1.0)
         })
         .collect();
-    let (answers, batch_stats) = tree.batch_knn(&store, &queries, k);
+    let batch = session.batch(&queries).collect_stats().knn(k);
 
     let mut same_route_hits = 0usize;
     let mut checked = 0usize;
-    for ((&probe, query), got) in probes.iter().zip(&queries).zip(&answers) {
-        assert_eq!(
-            *got,
-            brute_force_knn(&store, query, k),
-            "exactness violated"
-        );
+    for ((&probe, query), got) in probes.iter().zip(&queries).zip(&batch.neighbors) {
+        let reference = QueryBuilder::over(session.tree(), session.store(), query)
+            .brute_force()
+            .knn(k);
+        assert_eq!(*got, reference.neighbors, "exactness violated");
         let query_route = route_of[probe as usize];
         let same = got
             .iter()
@@ -92,6 +91,7 @@ fn main() {
         );
     }
 
+    let batch_stats = batch.stats.expect("collect_stats() was requested");
     let summary = PruningSummary::from_aggregate(&batch_stats);
     println!("\nroute purity: {same_route_hits}/{checked} neighbours shared the query's route");
     println!(

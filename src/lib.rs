@@ -5,37 +5,49 @@
 //! ICDE 2015). Re-exports the pieces most applications need:
 //!
 //! * geometry: [`Point`], [`StPoint`], [`Segment`], [`StBox`],
-//!   [`Trajectory`];
+//!   [`Trajectory`], and the error types [`CoreError`] / [`TrajError`];
 //! * distances: [`edwp`], [`edwp_avg`], [`edwp_sub`], the pooled-scratch
-//!   hot-path variants ([`EdwpScratch`], [`edwp_with_scratch`]), the
-//!   [`TrajDistance`] trait and the paper's baselines in [`baselines`];
-//! * the query engine: [`TrajStore`], [`TrajTree`] with exact
-//!   [`TrajTree::knn`] / [`TrajTree::range`] and the parallel
-//!   [`TrajTree::batch_knn`] / [`TrajTree::batch_range`], plus the
-//!   linear-scan references [`brute_force_knn`] / [`brute_force_range`];
+//!   hot-path variants ([`EdwpScratch`], [`edwp_with_scratch`],
+//!   [`edwp_avg_with_scratch`]), the [`TrajDistance`] trait and the
+//!   paper's baselines in [`baselines`];
+//! * the query surface: a [`Session`] owning [`TrajStore`], [`TrajTree`]
+//!   and pooled scratch, queried through the typed [`QueryBuilder`] /
+//!   [`BatchQueryBuilder`] — `session.query(&q).knn(10)`, `.range(eps)`,
+//!   `session.batch(&qs).threads(4).knn(k)` — with a pluggable [`Metric`]
+//!   (raw vs length-normalised EDwP), a `.brute_force()` reference mode
+//!   and `.collect_stats()` work counters, returning [`QueryResult`] /
+//!   [`BatchQueryResult`];
 //! * data generation: [`TrajGen`], [`GenConfig`];
 //! * evaluation: metric helpers under [`eval`] and the experiment harness
 //!   under [`experiments`].
 //!
+//! The pre-builder method matrix (`TrajTree::knn`, `batch_knn_with_threads`,
+//! `brute_force_knn`, …) is deprecated and forwards to the builder; see
+//! the README's migration table.
+//!
 //! See `examples/quickstart.rs` for the end-to-end flow: generate → index →
-//! query (k-NN and range) → inspect pruning statistics, and
+//! query (k-NN and range, both metrics) → inspect pruning statistics, and
 //! `examples/taxi_knn.rs` for the batched fleet workload.
 
 #![warn(missing_docs)]
 
 pub use traj_core::{
-    approx_eq, CoreError, Point, Segment, StBox, StPoint, TotalF64, Trajectory, EPSILON,
+    approx_eq, CoreError, Point, Segment, StBox, StPoint, TotalF64, TrajError, Trajectory, EPSILON,
 };
 pub use traj_dist::{
-    baselines, edwp, edwp_avg, edwp_lower_bound_boxes, edwp_lower_bound_boxes_with_scratch,
+    baselines, edwp, edwp_avg, edwp_avg_lower_bound_boxes, edwp_avg_lower_bound_boxes_with_scratch,
+    edwp_avg_lower_bound_trajectory, edwp_avg_lower_bound_trajectory_with_scratch,
+    edwp_avg_with_scratch, edwp_lower_bound_boxes, edwp_lower_bound_boxes_with_scratch,
     edwp_lower_bound_trajectory, edwp_lower_bound_trajectory_with_scratch, edwp_sub,
     edwp_sub_with_scratch, edwp_with_scratch, BoxSeq, EdwpDistance, EdwpRawDistance, EdwpScratch,
-    TrajDistance,
+    Metric, TrajDistance,
 };
 pub use traj_gen::{GenConfig, TrajGen};
+#[allow(deprecated)]
+pub use traj_index::{brute_force_knn, brute_force_range};
 pub use traj_index::{
-    brute_force_knn, brute_force_range, Neighbor, QueryStats, TrajId, TrajStore, TrajTree,
-    TrajTreeConfig,
+    BatchQueryBuilder, BatchQueryResult, Neighbor, QueryBuilder, QueryResult, QueryStats, Session,
+    TrajId, TrajStore, TrajTree, TrajTreeConfig,
 };
 
 /// Metric helpers (precision, recall, reciprocal rank, pruning summaries).
@@ -56,28 +68,131 @@ mod tests {
     fn facade_smoke_end_to_end() {
         let mut g = TrajGen::new(1);
         let store = TrajStore::from(g.database(30, 4, 8));
-        let tree = TrajTree::build(&store);
+        let mut session = Session::build(store);
         let query = g.random_walk(6);
-        let (res, stats) = tree.knn(&store, &query, 3);
-        assert_eq!(res, brute_force_knn(&store, &query, 3));
-        assert_eq!(stats.db_size, 30);
+
+        let res = session.query(&query).collect_stats().knn(3);
+        let brute = session.query(&query).brute_force().knn(3);
+        assert_eq!(res.neighbors, brute.neighbors);
+        assert_eq!(res.stats.expect("requested").db_size, 30);
         assert!(edwp(&query, &query) <= EPSILON);
 
-        // The engine surface: range + batch agree with their references.
-        let eps = res.last().expect("k=3 on 30 trajectories").distance;
-        let (in_ball, _) = tree.range(&store, &query, eps);
-        assert_eq!(in_ball, brute_force_range(&store, &query, eps));
+        // Range + batch on the same surface agree with their references.
+        let eps = res
+            .neighbors
+            .last()
+            .expect("k=3 on 30 trajectories")
+            .distance;
+        let in_ball = session.query(&query).range(eps);
+        assert_eq!(
+            in_ball.neighbors,
+            session.query(&query).brute_force().range(eps).neighbors
+        );
         let queries = [query.clone(), g.random_walk(5)];
-        let (batch, agg) = tree.batch_knn_with_threads(&store, &queries, 3, 2);
-        assert_eq!(batch[0], res);
-        assert_eq!(agg.queries, 2);
+        let batch = session.batch(&queries).threads(2).collect_stats().knn(3);
+        assert_eq!(batch.neighbors[0], res.neighbors);
+        assert_eq!(batch.stats.expect("requested").queries, 2);
+
+        // The pluggable metric: normalised rankings straight from the index,
+        // identical to the normalised brute-force reference.
+        let norm = session.query(&query).metric(Metric::EdwpNormalized).knn(3);
+        let norm_ref = session
+            .query(&query)
+            .metric(Metric::EdwpNormalized)
+            .brute_force()
+            .knn(3);
+        assert_eq!(norm.neighbors, norm_ref.neighbors);
+        let top = norm.neighbors[0];
+        let t = session
+            .store()
+            .try_get(top.id)
+            .expect("result ids are valid");
+        assert!(approx_eq(top.distance, edwp_avg(&query, t)));
 
         // Scratch-pooled kernels match the plain ones bit-for-bit.
         let mut scratch = EdwpScratch::new();
-        let other = store.get(7);
+        let other = session.store().get(7);
         assert_eq!(
             edwp_with_scratch(&query, other, &mut scratch),
             edwp(&query, other)
+        );
+    }
+
+    /// Snapshot of the facade's intended public surface. Every listed item
+    /// is *referenced*, so renaming or dropping a re-export fails this
+    /// test at compile time; growing the surface means extending this list
+    /// deliberately (and the README's API table with it).
+    #[test]
+    #[allow(deprecated)]
+    fn public_api_snapshot() {
+        use std::any::type_name;
+
+        macro_rules! value_item {
+            ($name:expr) => {{
+                let _ = $name;
+                stringify!($name)
+            }};
+        }
+
+        let types = [
+            type_name::<BatchQueryBuilder<'static>>(),
+            type_name::<BatchQueryResult>(),
+            type_name::<BoxSeq>(),
+            type_name::<CoreError>(),
+            type_name::<EdwpDistance>(),
+            type_name::<EdwpRawDistance>(),
+            type_name::<EdwpScratch>(),
+            type_name::<GenConfig>(),
+            type_name::<Metric>(),
+            type_name::<Neighbor>(),
+            type_name::<Point>(),
+            type_name::<QueryBuilder<'static>>(),
+            type_name::<QueryResult>(),
+            type_name::<QueryStats>(),
+            type_name::<Segment>(),
+            type_name::<Session>(),
+            type_name::<StBox>(),
+            type_name::<StPoint>(),
+            type_name::<TotalF64>(),
+            type_name::<TrajError>(),
+            type_name::<TrajGen>(),
+            type_name::<TrajId>(),
+            type_name::<TrajStore>(),
+            type_name::<TrajTree>(),
+            type_name::<TrajTreeConfig>(),
+            type_name::<Trajectory>(),
+            type_name::<dyn TrajDistance>(),
+        ];
+        assert_eq!(
+            types.len(),
+            27,
+            "type surface changed — update the snapshot"
+        );
+
+        let functions = [
+            value_item!(approx_eq),
+            value_item!(brute_force_knn), // deprecated, removed next release
+            value_item!(brute_force_range), // deprecated, removed next release
+            value_item!(edwp),
+            value_item!(edwp_avg),
+            value_item!(edwp_avg_lower_bound_boxes),
+            value_item!(edwp_avg_lower_bound_boxes_with_scratch),
+            value_item!(edwp_avg_lower_bound_trajectory),
+            value_item!(edwp_avg_lower_bound_trajectory_with_scratch),
+            value_item!(edwp_avg_with_scratch),
+            value_item!(edwp_lower_bound_boxes),
+            value_item!(edwp_lower_bound_boxes_with_scratch),
+            value_item!(edwp_lower_bound_trajectory),
+            value_item!(edwp_lower_bound_trajectory_with_scratch),
+            value_item!(edwp_sub),
+            value_item!(edwp_sub_with_scratch),
+            value_item!(edwp_with_scratch),
+            value_item!(EPSILON),
+        ];
+        assert_eq!(
+            functions.len(),
+            18,
+            "function/const surface changed — update the snapshot"
         );
     }
 }

@@ -219,20 +219,38 @@ impl Criterion {
     }
 }
 
-/// The workspace `target` directory. Cargo runs bench binaries with the
-/// *package* directory as CWD, so a relative `target/` would land inside the
-/// bench crate; honour `CARGO_TARGET_DIR` when set, otherwise climb from the
-/// running binary's path (`…/target/release/deps/bench-…`) to the `target`
-/// component, falling back to CWD-relative `target`.
+/// The canonical bench-output root: the **workspace** `target` directory,
+/// never a package-relative one. Cargo runs bench binaries with the
+/// *package* directory as CWD, so a bare relative `target/` would land
+/// inside the bench crate and split results across two directories (the
+/// historical `crates/bench/target/bench-results` vs
+/// `target/bench-results` split-brain). Resolution order:
+///
+/// 1. `CARGO_TARGET_DIR`, when set — cargo's own override;
+/// 2. the running binary's path (`…/target/release/deps/bench-…`), climbed
+///    to its `target` component — [`std::env::current_exe`] first, argv[0]
+///    as a fallback, so a bare/relative argv[0] no longer defeats the climb;
+/// 3. the nearest ancestor of the CWD containing a `Cargo.lock` (the
+///    workspace root marker), plus `target`.
 fn target_dir() -> std::path::PathBuf {
     if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
         return std::path::PathBuf::from(dir);
     }
-    if let Some(exe) = std::env::args().next() {
-        let exe = std::path::Path::new(&exe);
+    let exe_paths = std::env::current_exe()
+        .ok()
+        .into_iter()
+        .chain(std::env::args().next().map(std::path::PathBuf::from));
+    for exe in exe_paths {
         for dir in exe.ancestors().skip(1) {
             if dir.file_name().is_some_and(|n| n == "target") {
                 return dir.to_path_buf();
+            }
+        }
+    }
+    if let Ok(cwd) = std::env::current_dir() {
+        for dir in cwd.ancestors() {
+            if dir.join("Cargo.lock").is_file() {
+                return dir.join("target");
             }
         }
     }
@@ -347,6 +365,22 @@ mod tests {
         b.iter(|| calls += 1);
         assert_eq!(calls, 1);
         assert_eq!(b.iters, 1);
+    }
+
+    #[test]
+    fn target_dir_resolves_to_a_real_target_directory() {
+        // Under `cargo test` the test binary lives in `<target>/debug/deps`,
+        // so the exe-ancestor climb must find an absolute `target` dir (or
+        // honour an explicit CARGO_TARGET_DIR override verbatim).
+        let dir = target_dir();
+        if std::env::var("CARGO_TARGET_DIR").is_err() {
+            assert!(dir.is_absolute(), "not canonical: {}", dir.display());
+            assert!(
+                dir.file_name().is_some_and(|n| n == "target"),
+                "not a target dir: {}",
+                dir.display()
+            );
+        }
     }
 
     #[test]
