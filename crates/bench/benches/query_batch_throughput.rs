@@ -6,11 +6,12 @@
 //! any gap is pure fan-out overhead.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use traj_bench::{make_queries, make_session};
+use traj_bench::{make_queries, make_store};
 
 fn query_batch_throughput(c: &mut Criterion) {
-    let mut session = make_session(400);
-    let queries = make_queries(session.store(), 32);
+    let store = make_store(400);
+    let queries = make_queries(&store, 32);
+    let mut session = traj_index::Session::build(store);
     let k = 10;
     let mut group = c.benchmark_group("query_batch_throughput");
     group.bench_function("sequential_knn", |b| {

@@ -2,13 +2,14 @@
 //! curve should grow sublinearly on clustered data, unlike a linear scan.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use traj_bench::{make_queries, make_session};
+use traj_bench::{make_queries, make_store};
 
 fn query_vs_dbsize(c: &mut Criterion) {
     let mut group = c.benchmark_group("query_vs_dbsize");
     for size in [100usize, 300, 900] {
-        let mut session = make_session(size);
-        let queries = make_queries(session.store(), 8);
+        let store = make_store(size);
+        let queries = make_queries(&store, 8);
+        let mut session = traj_index::Session::build(store);
         group.bench_with_input(BenchmarkId::new("knn_k10", size), &size, |b, _| {
             let mut i = 0usize;
             b.iter(|| {

@@ -4,12 +4,13 @@
 //! per-node `max_len` bound costs relative to raw EDwP.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use traj_bench::{make_queries, make_session};
+use traj_bench::{make_queries, make_store};
 use traj_index::Metric;
 
 fn query_vs_k(c: &mut Criterion) {
-    let mut session = make_session(400);
-    let queries = make_queries(session.store(), 8);
+    let store = make_store(400);
+    let queries = make_queries(&store, 8);
+    let mut session = traj_index::Session::build(store);
     let mut group = c.benchmark_group("query_vs_k");
     for k in [1usize, 5, 10, 25] {
         for (label, metric) in [("knn", Metric::Edwp), ("knn_norm", Metric::EdwpNormalized)] {

@@ -41,6 +41,13 @@ pub fn make_session(size: usize) -> Session {
     Session::build(make_store(size))
 }
 
+/// A [`make_session`] database partitioned across `shards` shards — what
+/// `query_vs_shards` sweeps. Results are bitwise identical at any shard
+/// count; only the work distribution changes.
+pub fn make_sharded_session(size: usize, shards: usize) -> Session {
+    Session::builder().shards(shards).build(make_store(size))
+}
+
 /// Deterministic query workload: distorted copies of database members
 /// (resampled to 50%, noise σ 1.0), the realistic "same trip, different
 /// sampling rate" lookup.
@@ -70,5 +77,7 @@ mod tests {
         assert_eq!(qa, qb);
         assert_eq!(make_index(&a).len(), 40);
         assert_eq!(make_session(40).len(), 40);
+        let sharded = make_sharded_session(40, 4);
+        assert_eq!((sharded.len(), sharded.num_shards()), (40, 4));
     }
 }

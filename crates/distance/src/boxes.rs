@@ -233,21 +233,49 @@ pub fn edwp_lower_bound_boxes_with_scratch(
     seq: &BoxSeq,
     scratch: &mut EdwpScratch,
 ) -> f64 {
+    edwp_lower_bound_boxes_bounded(t, seq, f64::INFINITY, scratch)
+}
+
+/// Early-exit variant of [`edwp_lower_bound_boxes_with_scratch`] for search
+/// pruning: the per-segment accumulation bails as soon as the partial sum
+/// *strictly* exceeds `cutoff` (the collector's current pruning threshold),
+/// returning the partial sum.
+///
+/// Every partial sum is itself an admissible lower bound (all terms are
+/// non-negative), so the returned value can be used as a priority-queue key
+/// unchanged. The contract callers rely on:
+///
+/// * `result <= cutoff` implies the accumulation ran to completion, so
+///   `result` equals the full bound bit-for-bit;
+/// * `result > cutoff` implies the full bound also exceeds `cutoff` (the
+///   partial sum never overshoots the total), so the pruning decision is
+///   identical — only cheaper.
+///
+/// The comparison is strict so a bound that lands exactly *on* the
+/// threshold is still returned in full: the engine keeps expanding ties to
+/// preserve id-order tie-breaking against the brute-force reference.
+pub fn edwp_lower_bound_boxes_bounded(
+    t: &Trajectory,
+    seq: &BoxSeq,
+    cutoff: f64,
+    scratch: &mut EdwpScratch,
+) -> f64 {
     if seq.is_empty() {
         return f64::INFINITY;
     }
     let boxes = seq.boxes();
-    scratch
-        .query_pieces(t)
-        .iter()
-        .map(|(e, len)| {
-            let d = boxes
-                .iter()
-                .map(|b| b.closest_param_on_segment(e).1)
-                .fold(f64::INFINITY, f64::min);
-            2.0 * d * len
-        })
-        .sum()
+    let mut sum = 0.0;
+    for (e, len) in scratch.query_pieces(t) {
+        let d = boxes
+            .iter()
+            .map(|b| b.closest_param_on_segment(e).1)
+            .fold(f64::INFINITY, f64::min);
+        sum += 2.0 * d * len;
+        if sum > cutoff {
+            return sum;
+        }
+    }
+    sum
 }
 
 /// Admissible lower bound on the *length-normalised* EDwP (Eq. 4)
@@ -275,9 +303,36 @@ pub fn edwp_avg_lower_bound_boxes_with_scratch(
     max_len: f64,
     scratch: &mut EdwpScratch,
 ) -> f64 {
+    edwp_avg_lower_bound_boxes_bounded(t, seq, max_len, f64::INFINITY, scratch)
+}
+
+/// Early-exit variant of [`edwp_avg_lower_bound_boxes_with_scratch`]:
+/// `cutoff` is in the *normalised* metric's scale and is rescaled by the
+/// bound's denominator before driving the raw accumulation.
+///
+/// Unlike the raw [`edwp_lower_bound_boxes_bounded`], the
+/// "`result <= cutoff` implies full bound" guarantee does **not** carry
+/// over: the `cutoff * denom` / `raw / denom` rounding round trip can
+/// return a truncated partial at — or strictly below — `cutoff`. Partial
+/// sums remain admissible lower bounds, so using the value as a pruning
+/// key is always sound (worst case one extra tie-expansion), but do not
+/// cache a normalised bounded result as if it were the full bound.
+pub fn edwp_avg_lower_bound_boxes_bounded(
+    t: &Trajectory,
+    seq: &BoxSeq,
+    max_len: f64,
+    cutoff: f64,
+    scratch: &mut EdwpScratch,
+) -> f64 {
+    let denom = t.length() + max_len;
+    if denom <= 0.0 {
+        // Stationary query and members: edwp_avg is defined as 0 here, and
+        // the raw accumulation is irrelevant.
+        return 0.0;
+    }
     normalize_bound(
-        edwp_lower_bound_boxes_with_scratch(t, seq, scratch),
-        t.length() + max_len,
+        edwp_lower_bound_boxes_bounded(t, seq, cutoff * denom, scratch),
+        denom,
     )
 }
 
@@ -318,17 +373,31 @@ pub fn edwp_lower_bound_trajectory_with_scratch(
     s: &Trajectory,
     scratch: &mut EdwpScratch,
 ) -> f64 {
-    scratch
-        .query_pieces(t)
-        .iter()
-        .map(|(e, len)| {
-            let d = s
-                .segments()
-                .map(|f| e.closest_params(&f).2)
-                .fold(f64::INFINITY, f64::min);
-            2.0 * d * len
-        })
-        .sum()
+    edwp_lower_bound_trajectory_bounded(t, s, f64::INFINITY, scratch)
+}
+
+/// Early-exit variant of [`edwp_lower_bound_trajectory_with_scratch`] —
+/// same contract as [`edwp_lower_bound_boxes_bounded`]: bails (strictly)
+/// above `cutoff` with an admissible partial sum, and a returned value
+/// `<= cutoff` is the full bound bit-for-bit.
+pub fn edwp_lower_bound_trajectory_bounded(
+    t: &Trajectory,
+    s: &Trajectory,
+    cutoff: f64,
+    scratch: &mut EdwpScratch,
+) -> f64 {
+    let mut sum = 0.0;
+    for (e, len) in scratch.query_pieces(t) {
+        let d = s
+            .segments()
+            .map(|f| e.closest_params(&f).2)
+            .fold(f64::INFINITY, f64::min);
+        sum += 2.0 * d * len;
+        if sum > cutoff {
+            return sum;
+        }
+    }
+    sum
 }
 
 /// Admissible lower bound on the length-normalised EDwP between two
@@ -347,9 +416,25 @@ pub fn edwp_avg_lower_bound_trajectory_with_scratch(
     s: &Trajectory,
     scratch: &mut EdwpScratch,
 ) -> f64 {
+    edwp_avg_lower_bound_trajectory_bounded(t, s, f64::INFINITY, scratch)
+}
+
+/// Early-exit variant of [`edwp_avg_lower_bound_trajectory_with_scratch`]
+/// (see [`edwp_avg_lower_bound_boxes_bounded`] for the rescaled-cutoff
+/// contract).
+pub fn edwp_avg_lower_bound_trajectory_bounded(
+    t: &Trajectory,
+    s: &Trajectory,
+    cutoff: f64,
+    scratch: &mut EdwpScratch,
+) -> f64 {
+    let denom = t.length() + s.length();
+    if denom <= 0.0 {
+        return 0.0;
+    }
     normalize_bound(
-        edwp_lower_bound_trajectory_with_scratch(t, s, scratch),
-        t.length() + s.length(),
+        edwp_lower_bound_trajectory_bounded(t, s, cutoff * denom, scratch),
+        denom,
     )
 }
 

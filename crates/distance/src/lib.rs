@@ -31,9 +31,11 @@ mod edwp;
 mod matrix;
 
 pub use boxes::{
-    edwp_avg_lower_bound_boxes, edwp_avg_lower_bound_boxes_with_scratch,
-    edwp_avg_lower_bound_trajectory, edwp_avg_lower_bound_trajectory_with_scratch,
-    edwp_lower_bound_boxes, edwp_lower_bound_boxes_with_scratch, edwp_lower_bound_trajectory,
+    edwp_avg_lower_bound_boxes, edwp_avg_lower_bound_boxes_bounded,
+    edwp_avg_lower_bound_boxes_with_scratch, edwp_avg_lower_bound_trajectory,
+    edwp_avg_lower_bound_trajectory_bounded, edwp_avg_lower_bound_trajectory_with_scratch,
+    edwp_lower_bound_boxes, edwp_lower_bound_boxes_bounded, edwp_lower_bound_boxes_with_scratch,
+    edwp_lower_bound_trajectory, edwp_lower_bound_trajectory_bounded,
     edwp_lower_bound_trajectory_with_scratch, edwp_sub_boxes, BoxAlignment, BoxSeq, RepOp,
 };
 pub use edwp::reference::edwp_reference;
@@ -75,34 +77,49 @@ impl Metric {
     /// Admissible lower bound on `self.distance(q, T)` for every trajectory
     /// `T` summarised by `seq`, where `max_len` upper-bounds the length of
     /// each summarised trajectory (ignored by [`Metric::Edwp`]).
+    ///
+    /// `cutoff` is the caller's current pruning threshold (in this metric's
+    /// scale): the per-segment accumulation bails as soon as the partial
+    /// sum strictly exceeds it, returning an admissible partial — pass
+    /// `f64::INFINITY` for the full bound. The returned value is a sound
+    /// pruning key under either metric, but only the raw metric guarantees
+    /// "`result <= cutoff` implies `result` is the full bound" (see
+    /// [`edwp_lower_bound_boxes_bounded`] vs
+    /// [`edwp_avg_lower_bound_boxes_bounded`]) — don't cache results as
+    /// full bounds without checking the metric.
     #[inline]
     pub fn lower_bound_boxes(
         self,
         q: &Trajectory,
         seq: &BoxSeq,
         max_len: f64,
+        cutoff: f64,
         scratch: &mut EdwpScratch,
     ) -> f64 {
         match self {
-            Metric::Edwp => edwp_lower_bound_boxes_with_scratch(q, seq, scratch),
+            Metric::Edwp => edwp_lower_bound_boxes_bounded(q, seq, cutoff, scratch),
             Metric::EdwpNormalized => {
-                edwp_avg_lower_bound_boxes_with_scratch(q, seq, max_len, scratch)
+                edwp_avg_lower_bound_boxes_bounded(q, seq, max_len, cutoff, scratch)
             }
         }
     }
 
     /// Admissible lower bound on `self.distance(q, t)` for one concrete
-    /// candidate, tighter than the box bound.
+    /// candidate, tighter than the box bound. Same early-exit `cutoff`
+    /// contract as [`Metric::lower_bound_boxes`].
     #[inline]
     pub fn lower_bound_trajectory(
         self,
         q: &Trajectory,
         t: &Trajectory,
+        cutoff: f64,
         scratch: &mut EdwpScratch,
     ) -> f64 {
         match self {
-            Metric::Edwp => edwp_lower_bound_trajectory_with_scratch(q, t, scratch),
-            Metric::EdwpNormalized => edwp_avg_lower_bound_trajectory_with_scratch(q, t, scratch),
+            Metric::Edwp => edwp_lower_bound_trajectory_bounded(q, t, cutoff, scratch),
+            Metric::EdwpNormalized => {
+                edwp_avg_lower_bound_trajectory_bounded(q, t, cutoff, scratch)
+            }
         }
     }
 

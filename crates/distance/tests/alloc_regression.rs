@@ -10,9 +10,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use traj_dist::{
-    edwp, edwp_lower_bound_boxes, edwp_lower_bound_boxes_with_scratch, edwp_lower_bound_trajectory,
-    edwp_lower_bound_trajectory_with_scratch, edwp_sub, edwp_sub_with_scratch, edwp_with_scratch,
-    BoxSeq, EdwpScratch,
+    edwp, edwp_lower_bound_boxes, edwp_lower_bound_boxes_bounded,
+    edwp_lower_bound_boxes_with_scratch, edwp_lower_bound_trajectory,
+    edwp_lower_bound_trajectory_bounded, edwp_lower_bound_trajectory_with_scratch, edwp_sub,
+    edwp_sub_with_scratch, edwp_with_scratch, BoxSeq, EdwpScratch,
 };
 
 struct CountingAllocator;
@@ -78,6 +79,10 @@ fn scratch_kernels_are_allocation_free_after_warmup() {
             acc += edwp_sub_with_scratch(&t1, &t2, &mut scratch);
             acc += edwp_lower_bound_boxes_with_scratch(&t1, &seq, &mut scratch);
             acc += edwp_lower_bound_trajectory_with_scratch(&t1, &t2, &mut scratch);
+            // The early-exit engine kernels share the same pooled buffers:
+            // bailing early must not cost an allocation either.
+            acc += edwp_lower_bound_boxes_bounded(&t1, &seq, 0.0, &mut scratch);
+            acc += edwp_lower_bound_trajectory_bounded(&t1, &t2, 0.0, &mut scratch);
         }
         acc
     });

@@ -206,4 +206,69 @@ proptest! {
                 "coalesced lower bound {lb} > edwp {d}");
         }
     }
+
+    /// The early-exit (`*_bounded`) kernels are what the engine prunes
+    /// with: a result at or below the cutoff must be the *full* bound
+    /// bit-for-bit, a result above it must be an admissible partial that
+    /// correctly certifies the full bound is above the cutoff too.
+    #[test]
+    fn bounded_lower_bounds_honour_the_cutoff_contract(
+        ts in prop::collection::vec(trajectory(2, 6), 1..4),
+        q in trajectory(2, 6),
+        frac in 0.0..1.5f64,
+    ) {
+        let mut scratch = traj_dist::EdwpScratch::new();
+        let mut seq = BoxSeq::from_trajectories(ts.iter(), None).unwrap();
+        seq.coalesce(Some(3));
+        let max_len = ts.iter().map(|t| t.length()).fold(0.0, f64::max);
+
+        let full = traj_dist::edwp_lower_bound_boxes(&q, &seq);
+        // A cutoff below, at, and above the full bound.
+        for cutoff in [full * frac, full, f64::INFINITY] {
+            let got = traj_dist::edwp_lower_bound_boxes_bounded(&q, &seq, cutoff, &mut scratch);
+            if got <= cutoff {
+                prop_assert_eq!(got, full);
+            } else {
+                prop_assert!(got <= full, "partial sum {} overshot the full bound {}", got, full);
+                prop_assert!(full > cutoff, "bailed although the full bound is within the cutoff");
+            }
+        }
+
+        let t = &ts[0];
+        let full_poly = traj_dist::edwp_lower_bound_trajectory(&q, t);
+        for cutoff in [full_poly * frac, full_poly, f64::INFINITY] {
+            let got =
+                traj_dist::edwp_lower_bound_trajectory_bounded(&q, t, cutoff, &mut scratch);
+            if got <= cutoff {
+                prop_assert_eq!(got, full_poly);
+            } else {
+                prop_assert!(got <= full_poly);
+                prop_assert!(full_poly > cutoff);
+            }
+        }
+
+        // Normalised variants: admissible against every member at any
+        // cutoff, and exactly the plain bound when never bailing.
+        let full_norm = traj_dist::edwp_avg_lower_bound_boxes(&q, &seq, max_len);
+        prop_assert_eq!(
+            traj_dist::edwp_avg_lower_bound_boxes_bounded(
+                &q, &seq, max_len, f64::INFINITY, &mut scratch
+            ),
+            full_norm
+        );
+        let clipped = traj_dist::edwp_avg_lower_bound_boxes_bounded(
+            &q, &seq, max_len, full_norm * frac, &mut scratch,
+        );
+        for t in &ts {
+            let d = traj_dist::edwp_avg(&q, t);
+            prop_assert!(clipped <= d + 1e-6 * (1.0 + d),
+                "clipped normalised bound {clipped} > edwp_avg {d}");
+        }
+        prop_assert_eq!(
+            traj_dist::edwp_avg_lower_bound_trajectory_bounded(
+                &q, t, f64::INFINITY, &mut scratch
+            ),
+            traj_dist::edwp_avg_lower_bound_trajectory(&q, t)
+        );
+    }
 }

@@ -5,9 +5,9 @@
 //! (metrics). The experiments mirror the questions of the paper's Sec. VI
 //! at reduced scale: does the engine stay exact (for k-NN *and* range
 //! queries, sequential *and* batched, under the raw and the
-//! length-normalised EDwP metric), how much of the database does it prune,
-//! and does EDwP retrieve the original trajectory from a distorted
-//! (resampled, noisy) query?
+//! length-normalised EDwP metric, at any shard count), how much of the
+//! database does it prune, and does EDwP retrieve the original trajectory
+//! from a distorted (resampled, noisy) query?
 
 #![warn(missing_docs)]
 
@@ -15,7 +15,7 @@ use traj_core::Trajectory;
 use traj_dist::Metric;
 use traj_eval::{ids_of, reciprocal_rank, PruningSummary};
 use traj_gen::{GenConfig, TrajGen};
-use traj_index::{QueryBuilder, QueryStats, Session, TrajStore};
+use traj_index::{QueryStats, Session, TrajStore};
 
 /// Parameters of one experiment run.
 #[derive(Debug, Clone)]
@@ -37,6 +37,10 @@ pub struct ExperimentConfig {
     /// EDwP); exactness is always checked against a brute-force reference
     /// under the same metric.
     pub metric: Metric,
+    /// Number of shards the session partitions the database across
+    /// (results must be identical at any value — part of what the
+    /// experiments verify).
+    pub shards: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -49,6 +53,7 @@ impl Default for ExperimentConfig {
             resample_keep: 0.5,
             noise_sigma: 0.3,
             metric: Metric::Edwp,
+            shards: 1,
         }
     }
 }
@@ -68,9 +73,9 @@ pub struct ExperimentReport {
     /// Mean reciprocal rank of each query's original trajectory in the
     /// retrieved list (1.0 = always first).
     pub mean_reciprocal_rank: f64,
-    /// Index height.
+    /// Index height (tallest shard tree).
     pub tree_height: usize,
-    /// Index node count.
+    /// Index node count (summed over shards).
     pub tree_nodes: usize,
 }
 
@@ -114,13 +119,14 @@ fn make_fixture(config: &ExperimentConfig) -> Fixture {
         },
     );
     let store = TrajStore::from(g.database(config.db_size, 5, 14));
-    let session = Session::build(store);
+    let session = Session::builder().shards(config.shards).build(store);
+    let snap = session.snapshot();
     let mut queries = Vec::with_capacity(config.queries);
     let mut targets = Vec::with_capacity(config.queries);
     for q in 0..config.queries {
         // Query = a distorted copy of a database member.
-        let target = ((q * 37 + 11) % session.len()) as u32;
-        let original = session.store().get(target).clone();
+        let target = ((q * 37 + 11) % snap.len()) as u32;
+        let original = snap.get(target).clone();
         let resampled = g.resample(&original, config.resample_keep);
         let query = if config.noise_sigma > 0.0 {
             g.perturb(&resampled, config.noise_sigma)
@@ -156,7 +162,10 @@ pub fn knn_experiment(config: ExperimentConfig) -> ExperimentReport {
             .metric(config.metric)
             .collect_stats()
             .knn(config.k);
-        let want = QueryBuilder::over(fx.session.tree(), fx.session.store(), query)
+        let want = fx
+            .session
+            .snapshot()
+            .query(query)
             .metric(config.metric)
             .brute_force()
             .knn(config.k);
@@ -181,8 +190,8 @@ pub fn knn_experiment(config: ExperimentConfig) -> ExperimentReport {
         exactness: exact as f64 / config.queries.max(1) as f64,
         batch_consistent,
         mean_reciprocal_rank: mrr_sum / config.queries.max(1) as f64,
-        tree_height: fx.session.tree().height(),
-        tree_nodes: fx.session.tree().node_count(),
+        tree_height: fx.session.snapshot().tree_height(),
+        tree_nodes: fx.session.snapshot().node_count(),
         config,
     }
 }
@@ -210,7 +219,10 @@ pub fn range_experiment(config: ExperimentConfig, eps: f64) -> RangeReport {
             .metric(config.metric)
             .collect_stats()
             .range(eps);
-        let want = QueryBuilder::over(fx.session.tree(), fx.session.store(), query)
+        let want = fx
+            .session
+            .snapshot()
+            .query(query)
             .metric(config.metric)
             .brute_force()
             .range(eps);
@@ -283,6 +295,24 @@ mod tests {
         );
         assert!(report.batch_consistent);
         assert!(report.mean_reciprocal_rank > 0.5);
+    }
+
+    #[test]
+    fn experiment_is_exact_across_shards() {
+        for shards in [2usize, 4] {
+            let report = knn_experiment(ExperimentConfig {
+                db_size: 100,
+                queries: 6,
+                shards,
+                ..ExperimentConfig::default()
+            });
+            assert_eq!(
+                report.exactness, 1.0,
+                "{shards}-shard index diverged from brute force"
+            );
+            assert!(report.batch_consistent);
+            assert!(report.tree_nodes >= shards, "every shard builds a tree");
+        }
     }
 
     #[test]

@@ -18,7 +18,16 @@
 //! search is a fixed threshold `eps` with an append-only hit list. Adding a
 //! new query type means writing a new collector — the traversal, pruning
 //! logic, scratch pooling and statistics are inherited unchanged (see the
-//! crate docs for the recipe).
+//! crate docs for the recipe). The threshold is also threaded into every
+//! lower-bound kernel, whose per-segment accumulation bails as soon as the
+//! partial sum exceeds it (`traj_dist::edwp_lower_bound_boxes_bounded`) —
+//! partial sums are admissible, so early exit saves work without touching
+//! exactness.
+//!
+//! One traversal serves one [`crate::shard::Shard`]: scatter-gather
+//! searches run it per shard, translating the shard's local ids to global
+//! ids through a [`RoutedCollector`] so thresholds and tie-breaking work on
+//! the global id space.
 //!
 //! Exactness: every queue key is a true lower bound of the EDwP distance of
 //! every trajectory below the entry (keys are additionally clamped to be
@@ -221,9 +230,47 @@ impl Collector for RangeCollector {
     }
 }
 
-fn sort_neighbors(mut neighbors: Vec<Neighbor>) -> Vec<Neighbor> {
+/// The one result ordering every query type uses: ascending
+/// `(distance, id)` — also what the scatter-gather layer re-sorts merged
+/// per-shard partials with, so sharded results stay bitwise identical.
+pub(crate) fn sort_neighbors(mut neighbors: Vec<Neighbor>) -> Vec<Neighbor> {
     neighbors.sort_by_key(|n| (TotalF64(n.distance), n.id));
     neighbors
+}
+
+/// Adapts a collector to one shard of a scatter-gather search: offered ids
+/// are the shard's *local* ids, and the adapter rewrites them to global ids
+/// (`local * stride + shard`, the inverse of the id-hash router) before
+/// forwarding. The threshold passes through untouched, which is what makes
+/// a sequential multi-shard k-NN share one global threshold: every shard's
+/// traversal prunes against the incumbent collected over all shards so far.
+pub(crate) struct RoutedCollector<'c, C> {
+    inner: &'c mut C,
+    shard: usize,
+    stride: usize,
+}
+
+impl<'c, C: Collector> RoutedCollector<'c, C> {
+    pub(crate) fn new(inner: &'c mut C, shard: usize, stride: usize) -> Self {
+        RoutedCollector {
+            inner,
+            shard,
+            stride,
+        }
+    }
+}
+
+impl<C: Collector> Collector for RoutedCollector<'_, C> {
+    fn threshold(&self) -> f64 {
+        self.inner.threshold()
+    }
+
+    fn offer(&mut self, id: TrajId, distance: f64) {
+        self.inner.offer(
+            crate::shard::global_of(self.shard, id, self.stride),
+            distance,
+        );
+    }
 }
 
 /// Priority-queue entry: a subtree or a single trajectory, keyed by an
@@ -297,7 +344,18 @@ pub(crate) fn best_first<C: Collector>(
     let mut queue: BinaryHeap<QueueEntry<'_>> = BinaryHeap::new();
     let mut seq = 0u64;
     stats.bump_bounds();
-    let root_key = metric.lower_bound_boxes(query, root.summary(), root.max_len(), scratch);
+    // Every bound evaluation is given the collector's current threshold so
+    // its per-segment accumulation can bail early: the partial sum returned
+    // is still an admissible key, and any key above the threshold is pruned
+    // at pop time whether or not it was fully evaluated (thresholds only
+    // tighten, so the pruning decision can never be invalidated later).
+    let root_key = metric.lower_bound_boxes(
+        query,
+        root.summary(),
+        root.max_len(),
+        collector.threshold(),
+        scratch,
+    );
     push(&mut queue, &mut seq, root_key, QueueItem::Node(root));
 
     while let Some(entry) = queue.pop() {
@@ -317,6 +375,7 @@ pub(crate) fn best_first<C: Collector>(
                                 query,
                                 child.summary(),
                                 child.max_len(),
+                                collector.threshold(),
                                 scratch,
                             );
                             // Clamp to the parent key: both are valid
@@ -336,7 +395,12 @@ pub(crate) fn best_first<C: Collector>(
                             // Tighter per-trajectory refinement: exact
                             // segment-to-polyline distances instead of box
                             // distances.
-                            let lb = metric.lower_bound_trajectory(query, store.get(id), scratch);
+                            let lb = metric.lower_bound_trajectory(
+                                query,
+                                store.get(id),
+                                collector.threshold(),
+                                scratch,
+                            );
                             push(
                                 &mut queue,
                                 &mut seq,

@@ -1,13 +1,14 @@
 //! # traj-index
 //!
-//! TrajTree (Sec. V of Ranu et al., ICDE 2015): a hierarchical index over a
-//! trajectory database with an **exact** query engine — k-nearest-neighbour
-//! and range (ε) search under EDwP, single-query or parallel batch — that
-//! evaluates the full distance on only a fraction of the database.
+//! TrajTree (Sec. V of Ranu et al., ICDE 2015): a sharded hierarchical
+//! index over a trajectory database with an **exact** query engine —
+//! k-nearest-neighbour and range (ε) search under EDwP, single-query or
+//! parallel batch, with streaming ingestion that never blocks readers —
+//! that evaluates the full distance on only a fraction of the database.
 //!
 //! # Architecture
 //!
-//! * [`TrajStore`] owns the trajectories and issues dense [`TrajId`]s; the
+//! * [`TrajStore`] owns trajectories and issues dense [`TrajId`]s; the
 //!   tree stores ids only.
 //! * [`TrajTree`] is a height-balanced hierarchy. Every node carries a
 //!   coarsened [`traj_dist::BoxSeq`] (tBoxSeq) summarising exactly the
@@ -15,36 +16,46 @@
 //!   by Sort-Tile-Recursive bulk-loading ([`TrajTree::bulk_load`]) and
 //!   support incremental [`TrajTree::insert`] with the paper's
 //!   least-volume-growth descent and node splitting.
-//! * The `engine` module owns the best-first traversal, pruned by the
-//!   admissible Theorem 2 relaxation [`traj_dist::edwp_lower_bound_boxes`]
-//!   and refined through per-trajectory polyline bounds into exact EDwP
-//!   evaluations. The traversal is generic over a result *collector*, which
-//!   supplies the pruning threshold and absorbs exact distances.
+//! * The `shard` module partitions the database: one `Shard` is a
+//!   [`TrajStore`] segment plus the [`TrajTree`] over it (including the
+//!   max-length bookkeeping the normalised metric needs), routed by the
+//!   deterministic id hash `global_id mod shards`. A [`Snapshot`] is an
+//!   immutable epoch of all shards: inserts publish copy-on-write
+//!   successors, so readers never see a torn shard.
+//! * The `engine` module owns the per-shard best-first traversal, pruned
+//!   by the admissible Theorem 2 relaxation
+//!   [`traj_dist::edwp_lower_bound_boxes`] (with early-exit accumulation
+//!   against the collector's live threshold) and refined through
+//!   per-trajectory polyline bounds into exact EDwP evaluations. The
+//!   traversal is generic over a result *collector*, which supplies the
+//!   pruning threshold and absorbs exact distances.
 //! * The `session` module is the public query surface: a [`Session`] owns
-//!   store, tree and pooled scratch, and every query is phrased through the
+//!   the shards and pooled scratch, and every query is phrased through the
 //!   typed [`QueryBuilder`] / [`BatchQueryBuilder`] —
 //!   `session.query(&q).knn(10)`, `.range(eps)`,
 //!   `session.batch(&qs).threads(4).knn(k)` — with modifiers for the
 //!   [`traj_dist::Metric`] (raw vs length-normalised EDwP), the
-//!   brute-force reference, and [`QueryStats`] collection. Batch finishers
-//!   fan out over scoped worker threads (one [`traj_dist::EdwpScratch`]
-//!   per worker, results bitwise identical to a sequential loop);
-//!   per-worker stats merge (saturating) into one aggregate.
-//! * The `queries` module holds the deprecated pre-builder method matrix
-//!   (`TrajTree::knn`, `batch_range_with_threads`, …) as thin wrappers
-//!   over the builder, kept for one release.
+//!   brute-force reference, and [`QueryStats`] collection. Queries
+//!   scatter-gather: single queries share one collector (and thus one
+//!   global pruning threshold) across shards; batch finishers schedule
+//!   (query × shard) work items over scoped worker threads (one
+//!   [`traj_dist::EdwpScratch`] per worker) and merge per-shard partials —
+//!   results are bitwise identical to a sequential single-shard loop at
+//!   any shard and thread count.
 //!
 //! # Adding a new query type
 //!
 //! 1. Write a collector implementing the engine's two-method contract:
 //!    `threshold()` (the largest lower bound that could still matter — it
 //!    must never undershoot) and `offer(id, distance)` (absorb one exact
-//!    evaluation).
+//!    evaluation; ids arrive pre-routed to the global space).
 //! 2. Add a finisher on [`QueryBuilder`] (and [`BatchQueryBuilder`]) that
 //!    carries the query type's parameter, instantiates your collector and
 //!    hands it to the shared single-query executor — see
-//!    `QueryBuilder::range` in `session.rs` for the ~10-line shape. Batch
-//!    and brute-force support come with the executor for free.
+//!    `QueryBuilder::range` in `session.rs` for the ~10-line shape. Batch,
+//!    brute-force and multi-shard support come with the executor for free
+//!    (for k-NN-like collectors, also teach the batch gather step how to
+//!    merge per-shard partials).
 //!
 //! Both metrics are exact: raw EDwP admits box lower bounds directly
 //! (Theorem 2); the length-normalised variant divides that bound by
@@ -54,15 +65,16 @@
 #![warn(missing_docs)]
 
 mod engine;
-mod queries;
 mod session;
+mod shard;
 mod store;
 mod tree;
 
 pub use engine::{Neighbor, QueryStats};
-#[allow(deprecated)]
-pub use queries::{brute_force_knn, brute_force_range};
-pub use session::{BatchQueryBuilder, BatchQueryResult, QueryBuilder, QueryResult, Session};
+pub use session::{
+    BatchQueryBuilder, BatchQueryResult, QueryBuilder, QueryResult, Session, SessionBuilder,
+};
+pub use shard::Snapshot;
 pub use store::{TrajId, TrajStore};
 pub use tree::{TrajTree, TrajTreeConfig};
 

@@ -1,27 +1,48 @@
-//! The typed query surface: a [`Session`] owning database, index and
-//! pooled kernel memory, and the [`QueryBuilder`] / [`BatchQueryBuilder`]
-//! pair every query type is expressed through.
+//! The typed query surface: a [`Session`] owning a sharded database, the
+//! epoch machinery that lets inserts land while batches read, and the
+//! [`QueryBuilder`] / [`BatchQueryBuilder`] pair every query type is
+//! expressed through.
 //!
-//! One builder replaces the former method matrix (`knn`,
-//! `knn_with_scratch`, `batch_range_with_threads`, …): the query *type* is
-//! the finisher ([`QueryBuilder::knn`] / [`QueryBuilder::range`]), and
-//! every orthogonal axis is a modifier — [`QueryBuilder::metric`] (raw vs
-//! length-normalised EDwP), [`QueryBuilder::brute_force`] (linear-scan
-//! reference), [`QueryBuilder::collect_stats`] (work counters),
+//! One builder serves every combination: the query *type* is the finisher
+//! ([`QueryBuilder::knn`] / [`QueryBuilder::range`]), and every orthogonal
+//! axis is a modifier — [`QueryBuilder::metric`] (raw vs length-normalised
+//! EDwP), [`QueryBuilder::brute_force`] (linear-scan reference),
+//! [`QueryBuilder::collect_stats`] (work counters),
 //! [`BatchQueryBuilder::threads`] (parallel fan-out). Invalid combinations
 //! are unrepresentable at compile time: `eps` exists only as the `range`
 //! finisher's argument, so it cannot be set on a k-NN query, and
 //! `threads` exists only on the batch builder, so a single query cannot be
 //! given a worker count.
 //!
-//! All combinations run on the same best-first engine (or the same
-//! collectors with pruning disabled for `brute_force`), so results are
-//! bitwise identical to the deprecated method matrix — property-tested in
+//! # Scatter-gather
+//!
+//! Every query runs the same best-first engine once per
+//! [`crate::shard::Shard`] and merges through the shared collectors:
+//!
+//! * single queries walk the shards *sequentially with one collector*, so
+//!   k-NN carries one global threshold across shards — shard 2 prunes
+//!   against the incumbent found in shard 1;
+//! * batch finishers schedule **(query × shard) work items** across the
+//!   worker pool; each item fills a per-shard collector and the gather
+//!   step merges the per-shard partials (sorted by `(distance, id)`,
+//!   truncated to `k` for k-NN) — a shard's own top-k is a superset of its
+//!   contribution to the global top-k, so the merge is exact;
+//! * [`QueryStats::merge`] aggregates per-item counters (saturating).
+//!
+//! Either way the result is **bitwise identical** to a single-shard
+//! session: distances come from the same kernels on the same pairs, and
+//! ties break on global ids everywhere — property-tested across the
+//! shards × query type × threads × metric grid in
 //! `tests/builder_equivalence.rs`.
 
-use crate::engine::{best_first, Collector, KnnCollector, Neighbor, QueryStats, RangeCollector};
+use crate::engine::{
+    best_first, sort_neighbors, Collector, KnnCollector, Neighbor, QueryStats, RangeCollector,
+    RoutedCollector,
+};
+use crate::shard::{shard_of, Shard, Snapshot};
 use crate::store::{TrajId, TrajStore};
 use crate::tree::{TrajTree, TrajTreeConfig};
+use std::sync::{Arc, RwLock};
 use traj_core::Trajectory;
 use traj_dist::{EdwpScratch, Metric};
 
@@ -32,7 +53,8 @@ use traj_dist::{EdwpScratch, Metric};
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
     /// Matches, sorted by ascending `(distance, id)` under the query's
-    /// metric.
+    /// metric. Ids are global: valid with [`Snapshot::get`] on any shard
+    /// count.
     pub neighbors: Vec<Neighbor>,
     /// Work counters — `Some` iff the builder asked for
     /// [`QueryBuilder::collect_stats`].
@@ -60,8 +82,80 @@ struct Spec {
     collect_stats: bool,
 }
 
-/// A trajectory database, its TrajTree index and pooled kernel memory
-/// behind one handle — the recommended owner of the query surface.
+/// What a builder searches: either borrowed store + tree (the
+/// [`QueryBuilder::over`] entry point, always one shard) or an owned
+/// [`Snapshot`] epoch of a sharded session.
+#[derive(Debug)]
+enum Source<'a> {
+    Borrowed {
+        tree: &'a TrajTree,
+        store: &'a TrajStore,
+    },
+    Sharded(Snapshot),
+}
+
+/// One shard as the engine sees it during a scatter-gather pass, plus the
+/// routing parameters that map its local ids back to global ids.
+struct ShardView<'v> {
+    tree: &'v TrajTree,
+    store: &'v TrajStore,
+    shard: usize,
+    stride: usize,
+}
+
+impl Source<'_> {
+    /// Database size reported in [`QueryStats::db_size`] and used to clamp
+    /// `k`. For the borrowed source this preserves the historical
+    /// distinction (brute force scans the store, index searches see the
+    /// tree); sharded sessions keep store and tree in sync per shard, so
+    /// the snapshot total serves both.
+    fn total_len(&self, brute_force: bool) -> usize {
+        match self {
+            Source::Borrowed { tree, store } => {
+                if brute_force {
+                    store.len()
+                } else {
+                    tree.len()
+                }
+            }
+            Source::Sharded(snap) => snap.len(),
+        }
+    }
+
+    /// The shard views a query scatters over, in shard order.
+    fn views(&self) -> Vec<ShardView<'_>> {
+        match self {
+            Source::Borrowed { tree, store } => vec![ShardView {
+                tree,
+                store,
+                shard: 0,
+                stride: 1,
+            }],
+            Source::Sharded(snap) => snap
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(shard, s)| ShardView {
+                    tree: &s.tree,
+                    store: &s.store,
+                    shard,
+                    stride: snap.shards.len(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A sharded trajectory database, its per-shard TrajTree indexes and
+/// pooled kernel memory behind one handle — the recommended owner of the
+/// query surface.
+///
+/// The shard count is fixed at build time ([`SessionBuilder::shards`],
+/// default 1) and is invisible in results: queries scatter-gather over all
+/// shards and return exactly what a single-shard session would.
+/// [`Session::insert`] routes new trajectories by id hash and publishes a
+/// new epoch copy-on-write, so concurrent [`Session::batch`] /
+/// [`Snapshot`] readers keep reading the epoch they started on.
 ///
 /// ```
 /// use traj_core::Trajectory;
@@ -86,89 +180,259 @@ struct Spec {
 /// assert_eq!(norm.neighbors[0].id, 0);
 /// assert!(norm.stats.unwrap().edwp_evaluations <= 2);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct Session {
-    store: TrajStore,
-    tree: TrajTree,
+    /// The live epoch. Readers clone the outer `Arc` (a [`Snapshot`]);
+    /// [`Session::insert`] swaps in the next epoch under the write lock.
+    shards: RwLock<Arc<Vec<Arc<Shard>>>>,
+    num_shards: usize,
+    config: TrajTreeConfig,
     scratch: EdwpScratch,
 }
 
-impl Session {
-    /// Indexes `store` with a default-configuration bulk load.
-    pub fn build(store: TrajStore) -> Self {
-        Session::with_config(store, TrajTreeConfig::default())
+impl Default for Session {
+    /// An empty default-configuration single-shard session.
+    fn default() -> Self {
+        Session::build(TrajStore::new())
     }
+}
 
-    /// Indexes `store` with an explicit [`TrajTreeConfig`] bulk load.
-    pub fn with_config(store: TrajStore, config: TrajTreeConfig) -> Self {
-        let tree = TrajTree::bulk_load(&store, config);
-        Session::from_parts(store, tree)
-    }
-
-    /// Wraps an existing store and index. `tree` must index exactly the
-    /// trajectories of `store` (the standing engine precondition: an id in
-    /// the store but not the tree is invisible to index searches).
-    pub fn from_parts(store: TrajStore, tree: TrajTree) -> Self {
+impl Clone for Session {
+    /// An O(shards) fork: the clone shares the current epoch's shard data
+    /// and diverges copy-on-write on the first insert to either side.
+    fn clone(&self) -> Self {
         Session {
-            store,
-            tree,
+            shards: RwLock::new(self.snapshot().shards),
+            num_shards: self.num_shards,
+            config: self.config.clone(),
+            scratch: EdwpScratch::new(),
+        }
+    }
+}
+
+impl Session {
+    /// Starts configuring a session: `Session::builder().shards(4)
+    /// .config(cfg).build(store)`.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// Indexes `store` as a single shard with a default-configuration bulk
+    /// load.
+    pub fn build(store: TrajStore) -> Self {
+        Session::builder().build(store)
+    }
+
+    /// Indexes `store` as a single shard with an explicit
+    /// [`TrajTreeConfig`] bulk load.
+    pub fn with_config(store: TrajStore, config: TrajTreeConfig) -> Self {
+        Session::builder().config(config).build(store)
+    }
+
+    /// Wraps an existing store and index as a single-shard session. `tree`
+    /// must index exactly the trajectories of `store` (the standing engine
+    /// precondition: an id in the store but not the tree is invisible to
+    /// index searches).
+    pub fn from_parts(store: TrajStore, tree: TrajTree) -> Self {
+        let config = tree.config().clone();
+        let shard = Arc::new(Shard { store, tree });
+        Session {
+            shards: RwLock::new(Arc::new(vec![shard])),
+            num_shards: 1,
+            config,
             scratch: EdwpScratch::new(),
         }
     }
 
-    /// Releases the store and index (e.g. to rebuild with another config).
-    pub fn into_parts(self) -> (TrajStore, TrajTree) {
-        (self.store, self.tree)
+    /// Releases the database as one [`TrajStore`] in global-id order (e.g.
+    /// to rebuild with another configuration or shard count). Trajectories
+    /// still shared with outstanding snapshots are cloned.
+    pub fn into_store(self) -> TrajStore {
+        let shards = self.shards.into_inner().expect("shard epoch lock poisoned");
+        let snap = Snapshot { shards };
+        let mut out = TrajStore::new();
+        for (_, t) in snap.iter() {
+            out.insert(t.clone());
+        }
+        out
     }
 
-    /// Adds a trajectory to the database *and* the index, returning its id.
-    pub fn insert(&mut self, t: Trajectory) -> TrajId {
-        let id = self.store.insert(t);
-        self.tree.insert(&self.store, id);
+    /// Adds a trajectory to the routed shard's segment *and* index,
+    /// returning its global id — the streaming-ingestion entry point.
+    ///
+    /// # Consistency contract
+    ///
+    /// * Inserts are serialized (the session's writer lock) and atomic: a
+    ///   trajectory is visible in a shard's store iff it is in that
+    ///   shard's tree.
+    /// * Readers are epoch-guarded: the new trajectory is built into a
+    ///   copy-on-write successor of the routed shard
+    ///   ([`Arc::make_mut`] — in place when no snapshot holds the shard,
+    ///   a clone of only that shard otherwise) and published atomically.
+    ///   A [`Session::batch`] or [`Snapshot`] that started earlier keeps
+    ///   reading its original epoch — it never observes a torn shard or a
+    ///   partially visible insert.
+    /// * An insert *happens-before* every snapshot taken after it returns
+    ///   (the `RwLock` synchronises publication), so
+    ///   `session.insert(t); session.query(&q)` always sees `t`.
+    /// * Inserts briefly block snapshot *acquisition* (never queries
+    ///   already running); raise [`SessionBuilder::shards`] to shrink the
+    ///   copied unit and spread insert load.
+    pub fn insert(&self, t: Trajectory) -> TrajId {
+        let mut guard = self.shards.write().expect("shard epoch lock poisoned");
+        let id = guard.iter().map(|s| s.len()).sum::<usize>() as TrajId;
+        let state = Arc::make_mut(&mut *guard);
+        let shard = Arc::make_mut(&mut state[shard_of(id, self.num_shards)]);
+        shard.insert(t);
         id
     }
 
-    /// The underlying trajectory database.
-    pub fn store(&self) -> &TrajStore {
-        &self.store
+    /// The current epoch: an immutable, shareable view of every shard.
+    /// Queries on the snapshot ([`Snapshot::query`] / [`Snapshot::batch`])
+    /// are unaffected by later inserts.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            shards: self
+                .shards
+                .read()
+                .expect("shard epoch lock poisoned")
+                .clone(),
+        }
     }
 
-    /// The underlying TrajTree index.
-    pub fn tree(&self) -> &TrajTree {
-        &self.tree
-    }
-
-    /// Number of indexed trajectories.
+    /// Number of indexed trajectories (current epoch).
     pub fn len(&self) -> usize {
-        self.store.len()
+        self.snapshot().len()
     }
 
     /// `true` when the session holds no trajectories.
     pub fn is_empty(&self) -> bool {
-        self.store.is_empty()
+        self.snapshot().is_empty()
     }
 
-    /// Starts a single query against this session. The builder runs on the
-    /// session's pooled scratch, so consecutive queries are allocation-free
-    /// inside the distance kernels.
+    /// Number of shards the database is partitioned across.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The tree configuration every shard was built with.
+    pub fn config(&self) -> &TrajTreeConfig {
+        &self.config
+    }
+
+    /// Starts a single query against the current epoch. The builder runs
+    /// on the session's pooled scratch, so consecutive queries are
+    /// allocation-free inside the distance kernels.
     ///
     /// Finish with [`QueryBuilder::knn`] or [`QueryBuilder::range`].
     pub fn query<'s>(&'s mut self, query: &'s Trajectory) -> QueryBuilder<'s> {
-        QueryBuilder::over(&self.tree, &self.store, query).scratch(&mut self.scratch)
+        let Session {
+            shards, scratch, ..
+        } = self;
+        let snap = Snapshot {
+            shards: shards.get_mut().expect("shard epoch lock poisoned").clone(),
+        };
+        QueryBuilder {
+            source: Source::Sharded(snap),
+            query,
+            scratch: Some(scratch),
+            spec: Spec::default(),
+        }
     }
 
-    /// Starts a batch of queries against this session; workers pool one
-    /// scratch each. Finish with [`BatchQueryBuilder::knn`] or
-    /// [`BatchQueryBuilder::range`].
-    pub fn batch<'s>(&'s self, queries: &'s [Trajectory]) -> BatchQueryBuilder<'s> {
-        BatchQueryBuilder::over(&self.tree, &self.store, queries)
+    /// Starts a batch of queries against the epoch current *now* (the
+    /// whole batch reads one consistent epoch even while inserts land);
+    /// workers pool one scratch each. Finish with
+    /// [`BatchQueryBuilder::knn`] or [`BatchQueryBuilder::range`].
+    pub fn batch<'s>(&self, queries: &'s [Trajectory]) -> BatchQueryBuilder<'s> {
+        self.snapshot().batch(queries)
     }
 }
 
-/// Builder for one query; construct via [`Session::query`] (or
-/// [`QueryBuilder::over`] when store and tree are owned elsewhere), chain
-/// modifiers, and finish with [`QueryBuilder::knn`] or
-/// [`QueryBuilder::range`].
+/// Configures and builds a [`Session`]: shard count and tree
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    shards: usize,
+    config: TrajTreeConfig,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            shards: 1,
+            config: TrajTreeConfig::default(),
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Number of shards to partition the database across (default 1;
+    /// clamped to at least 1). Results are bitwise identical at any shard
+    /// count — raise it to spread batch work items across cores and to
+    /// shrink the unit an insert copies under concurrent readers.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The [`TrajTreeConfig`] every shard tree is bulk-loaded with.
+    pub fn config(mut self, config: TrajTreeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Scatters `store` round-robin across the shards (global id `g` goes
+    /// to shard `g mod shards`) and bulk-loads one tree per shard.
+    pub fn build(self, store: TrajStore) -> Session {
+        let SessionBuilder { shards: n, config } = self;
+        let mut parts: Vec<Vec<Trajectory>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, t) in store.into_vec().into_iter().enumerate() {
+            parts[i % n].push(t);
+        }
+        let shards: Vec<Arc<Shard>> = parts
+            .into_iter()
+            .map(|part| Arc::new(Shard::bulk(part, config.clone())))
+            .collect();
+        Session {
+            shards: RwLock::new(Arc::new(shards)),
+            num_shards: n,
+            config,
+            scratch: EdwpScratch::new(),
+        }
+    }
+}
+
+impl Snapshot {
+    /// Starts a single query against this epoch (a fresh kernel scratch
+    /// per finisher unless [`QueryBuilder::scratch`] supplies a pooled
+    /// one). Unlike [`Session::query`], this needs no exclusive borrow, so
+    /// any number of reader threads can query one epoch concurrently.
+    pub fn query<'s>(&self, query: &'s Trajectory) -> QueryBuilder<'s> {
+        QueryBuilder {
+            source: Source::Sharded(self.clone()),
+            query,
+            scratch: None,
+            spec: Spec::default(),
+        }
+    }
+
+    /// Starts a batch of queries against this epoch; workers pool one
+    /// scratch each.
+    pub fn batch<'s>(&self, queries: &'s [Trajectory]) -> BatchQueryBuilder<'s> {
+        BatchQueryBuilder {
+            source: Source::Sharded(self.clone()),
+            queries,
+            threads: None,
+            spec: Spec::default(),
+        }
+    }
+}
+
+/// Builder for one query; construct via [`Session::query`],
+/// [`Snapshot::query`], or [`QueryBuilder::over`] when store and tree are
+/// owned elsewhere; chain modifiers, and finish with [`QueryBuilder::knn`]
+/// or [`QueryBuilder::range`].
 ///
 /// ```
 /// use traj_core::Trajectory;
@@ -184,21 +448,19 @@ impl Session {
 /// ```
 #[derive(Debug)]
 pub struct QueryBuilder<'a> {
-    tree: &'a TrajTree,
-    store: &'a TrajStore,
+    source: Source<'a>,
     query: &'a Trajectory,
     scratch: Option<&'a mut EdwpScratch>,
     spec: Spec,
 }
 
 impl<'a> QueryBuilder<'a> {
-    /// A builder over borrowed store and tree — the entry point the
-    /// deprecated `TrajTree` method matrix wraps. `store` must be the
-    /// store `tree` indexes, with every one of its trajectories inserted.
+    /// A builder over borrowed store and tree — one shard, no epoch
+    /// machinery. `store` must be the store `tree` indexes, with every one
+    /// of its trajectories inserted.
     pub fn over(tree: &'a TrajTree, store: &'a TrajStore, query: &'a Trajectory) -> Self {
         QueryBuilder {
-            tree,
-            store,
+            source: Source::Borrowed { tree, store },
             query,
             scratch: None,
             spec: Spec::default(),
@@ -237,18 +499,18 @@ impl<'a> QueryBuilder<'a> {
 
     /// Finishes as a k-nearest-neighbour query: the `k` trajectories
     /// closest to the query, ascending `(distance, id)`. Exact: identical
-    /// to the brute-force reference under the same metric.
+    /// to the brute-force reference under the same metric, at any shard
+    /// count.
     #[must_use = "running a k-NN query only to drop its result does no work worth paying for"]
     pub fn knn(self, k: usize) -> QueryResult {
         let QueryBuilder {
-            tree,
-            store,
+            source,
             query,
             scratch,
             spec,
         } = self;
         with_scratch(scratch, |scratch| {
-            exec_single(tree, store, query, spec, QueryKind::Knn(k), scratch)
+            exec_single(&source, query, spec, QueryKind::Knn(k), scratch)
         })
     }
 
@@ -258,27 +520,25 @@ impl<'a> QueryBuilder<'a> {
     #[must_use = "running a range query only to drop its result does no work worth paying for"]
     pub fn range(self, eps: f64) -> QueryResult {
         let QueryBuilder {
-            tree,
-            store,
+            source,
             query,
             scratch,
             spec,
         } = self;
         with_scratch(scratch, |scratch| {
-            exec_single(tree, store, query, spec, QueryKind::Range(eps), scratch)
+            exec_single(&source, query, spec, QueryKind::Range(eps), scratch)
         })
     }
 }
 
 /// Builder for a batch of queries answered in parallel; construct via
-/// [`Session::batch`] (or [`BatchQueryBuilder::over`]), chain modifiers,
-/// finish with [`BatchQueryBuilder::knn`] or [`BatchQueryBuilder::range`].
-/// Results are bitwise identical to a sequential loop of single queries,
-/// for any worker count.
+/// [`Session::batch`], [`Snapshot::batch`], or [`BatchQueryBuilder::over`];
+/// chain modifiers, finish with [`BatchQueryBuilder::knn`] or
+/// [`BatchQueryBuilder::range`]. Results are bitwise identical to a
+/// sequential loop of single queries, for any worker and shard count.
 #[derive(Debug)]
 pub struct BatchQueryBuilder<'a> {
-    tree: &'a TrajTree,
-    store: &'a TrajStore,
+    source: Source<'a>,
     queries: &'a [Trajectory],
     threads: Option<usize>,
     spec: Spec,
@@ -289,17 +549,16 @@ impl<'a> BatchQueryBuilder<'a> {
     /// [`QueryBuilder::over`]).
     pub fn over(tree: &'a TrajTree, store: &'a TrajStore, queries: &'a [Trajectory]) -> Self {
         BatchQueryBuilder {
-            tree,
-            store,
+            source: Source::Borrowed { tree, store },
             queries,
             threads: None,
             spec: Spec::default(),
         }
     }
 
-    /// Explicit worker count, clamped to `1..=queries.len()` (default: one
-    /// worker per available CPU). Parallelism changes only which thread
-    /// runs a query, never what it computes.
+    /// Explicit worker count, clamped to `1..=(queries × shards)` work
+    /// items (default: one worker per available CPU). Parallelism changes
+    /// only which thread runs a work item, never what it computes.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
         self
@@ -335,22 +594,75 @@ impl<'a> BatchQueryBuilder<'a> {
         self.run(QueryKind::Range(eps))
     }
 
+    /// Scatter-gather scheduling: every (query, shard) pair is one work
+    /// item, items are chunked contiguously over scoped workers (one
+    /// pooled scratch each), and the gather step merges each query's
+    /// per-shard partials. Chunking (rather than work-stealing) keeps the
+    /// mapping from item to result slot trivially deterministic.
     fn run(self, kind: QueryKind) -> BatchQueryResult {
-        let threads = self.threads.unwrap_or_else(default_threads);
-        let spec = Spec {
-            collect_stats: true,
-            ..self.spec
-        };
-        let (neighbors, stats) = batch_queries(self.queries, threads, |query, scratch| {
-            let result = exec_single(self.tree, self.store, query, spec, kind, scratch);
-            (
-                result.neighbors,
-                result.stats.expect("collect_stats forced on"),
-            )
+        let BatchQueryBuilder {
+            source,
+            queries,
+            threads,
+            spec,
+        } = self;
+        if queries.is_empty() {
+            return BatchQueryResult {
+                neighbors: Vec::new(),
+                stats: spec.collect_stats.then_some(QueryStats::default()),
+            };
+        }
+        let total = source.total_len(spec.brute_force);
+        let views = source.views();
+        let items: Vec<(usize, usize)> = (0..queries.len())
+            .flat_map(|q| (0..views.len()).map(move |v| (q, v)))
+            .collect();
+        let threads = threads
+            .unwrap_or_else(default_threads)
+            .clamp(1, items.len());
+        let chunk = items.len().div_ceil(threads);
+
+        let mut slots: Vec<Option<(Vec<Neighbor>, QueryStats)>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        std::thread::scope(|scope| {
+            for (item_chunk, slot_chunk) in items.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                let views = &views;
+                scope.spawn(move || {
+                    let mut scratch = EdwpScratch::new();
+                    for (&(qi, vi), slot) in item_chunk.iter().zip(slot_chunk.iter_mut()) {
+                        *slot = Some(run_item(
+                            &views[vi],
+                            &queries[qi],
+                            spec,
+                            kind,
+                            total,
+                            vi,
+                            &mut scratch,
+                        ));
+                    }
+                });
+            }
         });
+
+        // Gather: slots are query-major, `views.len()` partials per query.
+        let mut agg = QueryStats::default();
+        let mut neighbors = Vec::with_capacity(queries.len());
+        for per_query in slots.chunks_mut(views.len()) {
+            let mut merged = Vec::new();
+            for slot in per_query {
+                let (partial, stats) = slot.take().expect("every chunk worker fills its slots");
+                merged.extend(partial);
+                agg.merge(&stats);
+            }
+            let mut merged = sort_neighbors(merged);
+            if let QueryKind::Knn(k) = kind {
+                merged.truncate(k.min(total));
+            }
+            neighbors.push(merged);
+        }
         BatchQueryResult {
             neighbors,
-            stats: self.spec.collect_stats.then_some(stats),
+            stats: spec.collect_stats.then_some(agg),
         }
     }
 }
@@ -371,21 +683,17 @@ fn with_scratch<R>(scratch: Option<&mut EdwpScratch>, f: impl FnOnce(&mut EdwpSc
     }
 }
 
-/// The one code path every single query runs through, index-pruned or
-/// brute-force, either metric, either query kind.
+/// The one code path every single query runs through: one collector,
+/// driven over every shard in sequence (the shared global threshold),
+/// index-pruned or brute-force, either metric, either query kind.
 fn exec_single(
-    tree: &TrajTree,
-    store: &TrajStore,
+    source: &Source<'_>,
     query: &Trajectory,
     spec: Spec,
     kind: QueryKind,
     scratch: &mut EdwpScratch,
 ) -> QueryResult {
-    let db_size = if spec.brute_force {
-        store.len()
-    } else {
-        tree.len()
-    };
+    let db_size = source.total_len(spec.brute_force);
     let mut stats = QueryStats::for_search(db_size);
     let neighbors = match kind {
         QueryKind::Knn(k) => {
@@ -394,29 +702,17 @@ fn exec_single(
                 Vec::new()
             } else {
                 let mut collector = KnnCollector::new(k);
-                drive(
-                    tree,
-                    store,
-                    query,
-                    spec,
-                    &mut collector,
-                    scratch,
-                    &mut stats,
-                );
+                for view in source.views() {
+                    drive(&view, query, spec, &mut collector, scratch, &mut stats);
+                }
                 collector.into_neighbors()
             }
         }
         QueryKind::Range(eps) => {
             let mut collector = RangeCollector::new(eps);
-            drive(
-                tree,
-                store,
-                query,
-                spec,
-                &mut collector,
-                scratch,
-                &mut stats,
-            );
+            for view in source.views() {
+                drive(&view, query, spec, &mut collector, scratch, &mut stats);
+            }
             collector.into_neighbors()
         }
     };
@@ -426,74 +722,78 @@ fn exec_single(
     }
 }
 
-/// Feeds a collector from the best-first engine, or from a pruning-free
-/// linear scan for `brute_force` — the two differ only in which candidates
-/// pay for a full distance evaluation, never in what is computed for them.
+/// One (query, shard) work item of a batch: a per-shard collector filled
+/// over one view. `view_idx == 0` carries the query's count so the merged
+/// [`QueryStats::queries`] equals the batch size.
+fn run_item(
+    view: &ShardView<'_>,
+    query: &Trajectory,
+    spec: Spec,
+    kind: QueryKind,
+    total: usize,
+    view_idx: usize,
+    scratch: &mut EdwpScratch,
+) -> (Vec<Neighbor>, QueryStats) {
+    let mut stats = QueryStats {
+        db_size: total,
+        queries: usize::from(view_idx == 0),
+        ..QueryStats::default()
+    };
+    let neighbors = match kind {
+        QueryKind::Knn(k) => {
+            let k = k.min(total);
+            if k == 0 {
+                Vec::new()
+            } else {
+                let mut collector = KnnCollector::new(k);
+                drive(view, query, spec, &mut collector, scratch, &mut stats);
+                collector.into_neighbors()
+            }
+        }
+        QueryKind::Range(eps) => {
+            let mut collector = RangeCollector::new(eps);
+            drive(view, query, spec, &mut collector, scratch, &mut stats);
+            collector.into_neighbors()
+        }
+    };
+    (neighbors, stats)
+}
+
+/// Feeds a collector from one shard's best-first engine, or from a
+/// pruning-free linear scan of that shard for `brute_force` — the two
+/// differ only in which candidates pay for a full distance evaluation,
+/// never in what is computed for them. Local ids are rewritten to global
+/// ids by the [`RoutedCollector`].
 fn drive<C: Collector>(
-    tree: &TrajTree,
-    store: &TrajStore,
+    view: &ShardView<'_>,
     query: &Trajectory,
     spec: Spec,
     collector: &mut C,
     scratch: &mut EdwpScratch,
     stats: &mut QueryStats,
 ) {
+    let mut routed = RoutedCollector::new(collector, view.shard, view.stride);
     if spec.brute_force {
-        for (id, t) in store.iter() {
+        for (local, t) in view.store.iter() {
             stats.bump_edwp();
-            collector.offer(id, spec.metric.distance(query, t, scratch));
+            routed.offer(local, spec.metric.distance(query, t, scratch));
         }
     } else {
-        best_first(tree, store, query, spec.metric, collector, scratch, stats);
+        best_first(
+            view.tree,
+            view.store,
+            query,
+            spec.metric,
+            &mut routed,
+            scratch,
+            stats,
+        );
     }
 }
 
 /// Default batch fan-out: one worker per available CPU.
 fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
-/// Shared batch driver: splits `queries` into contiguous chunks, runs each
-/// chunk on a scoped worker with its own [`EdwpScratch`], and merges the
-/// per-query stats. Chunking (rather than work-stealing) keeps the mapping
-/// from query to result slot trivially deterministic.
-pub(crate) fn batch_queries<R, F>(
-    queries: &[Trajectory],
-    threads: usize,
-    run: F,
-) -> (Vec<R>, QueryStats)
-where
-    R: Send,
-    F: Fn(&Trajectory, &mut EdwpScratch) -> (R, QueryStats) + Sync,
-{
-    let mut agg = QueryStats::default();
-    if queries.is_empty() {
-        return (Vec::new(), agg);
-    }
-    let threads = threads.clamp(1, queries.len());
-    let chunk = queries.len().div_ceil(threads);
-    let mut slots: Vec<Option<(R, QueryStats)>> = Vec::with_capacity(queries.len());
-    slots.resize_with(queries.len(), || None);
-    std::thread::scope(|scope| {
-        for (query_chunk, slot_chunk) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-            let run = &run;
-            scope.spawn(move || {
-                let mut scratch = EdwpScratch::new();
-                for (query, slot) in query_chunk.iter().zip(slot_chunk.iter_mut()) {
-                    *slot = Some(run(query, &mut scratch));
-                }
-            });
-        }
-    });
-    let results = slots
-        .into_iter()
-        .map(|slot| {
-            let (result, stats) = slot.expect("every chunk worker fills its slots");
-            agg.merge(&stats);
-            result
-        })
-        .collect();
-    (results, agg)
 }
 
 #[cfg(test)]
@@ -522,13 +822,74 @@ mod tests {
         assert!(!session.is_empty());
         let id = session.insert(Trajectory::from_xy(&[(1.0, 1.0), (3.0, 1.0)]));
         assert_eq!(id, 20);
-        assert_eq!(session.tree().len(), 21);
-        let q = session.store().get(id).clone();
+        assert!(session.snapshot().node_count() >= 1);
+        let q = session.snapshot().get(id).clone();
         let res = session.query(&q).knn(1);
         assert_eq!(res.neighbors[0].id, id);
         assert!(res.stats.is_none(), "stats only on collect_stats()");
-        let (store, tree) = session.into_parts();
-        assert_eq!(store.len(), tree.len());
+        let store = session.into_store();
+        assert_eq!(store.len(), 21);
+        assert_eq!(store.get(20).first().p.y, 1.0);
+    }
+
+    #[test]
+    fn insert_routes_round_robin_and_keeps_global_ids() {
+        let session = Session::builder().shards(3).build(TrajStore::new());
+        for i in 0..10u32 {
+            let id = session.insert(Trajectory::from_xy(&[
+                (i as f64, 0.0),
+                (i as f64 + 1.0, 1.0),
+            ]));
+            assert_eq!(id, i, "global ids are dense in insert order");
+        }
+        let snap = session.snapshot();
+        assert_eq!(snap.num_shards(), 3);
+        for (g, t) in snap.iter() {
+            assert_eq!(t.first().p.x, g as f64, "id {g} routed to the wrong slot");
+        }
+        // Reassembly preserves global order across shards.
+        let store = session.into_store();
+        assert_eq!(store.len(), 10);
+        for (g, t) in store.iter() {
+            assert_eq!(t.first().p.x, g as f64);
+        }
+    }
+
+    #[test]
+    fn sharded_results_match_single_shard() {
+        let store = two_cluster_store();
+        let mut single = Session::build(store.clone());
+        let q = Trajectory::from_xy(&[(1.0, 0.5), (5.0, 1.5)]);
+        let want_knn = single.query(&q).knn(5);
+        let want_range = single.query(&q).range(750.0);
+        for shards in [2usize, 3, 4, 16] {
+            let mut sharded = Session::builder().shards(shards).build(store.clone());
+            assert_eq!(sharded.num_shards(), shards);
+            assert_eq!(
+                sharded.query(&q).knn(5).neighbors,
+                want_knn.neighbors,
+                "knn diverged at {shards} shards"
+            );
+            assert_eq!(
+                sharded.query(&q).range(750.0).neighbors,
+                want_range.neighbors,
+                "range diverged at {shards} shards"
+            );
+            let batch = sharded.batch(std::slice::from_ref(&q)).threads(4).knn(5);
+            assert_eq!(batch.neighbors[0], want_knn.neighbors);
+        }
+    }
+
+    #[test]
+    fn session_clone_forks_copy_on_write() {
+        let session = Session::builder().shards(2).build(two_cluster_store());
+        let fork = session.clone();
+        session.insert(Trajectory::from_xy(&[(9.0, 9.0), (11.0, 9.0)]));
+        assert_eq!(session.len(), 21);
+        assert_eq!(fork.len(), 20, "fork must not see the original's insert");
+        fork.insert(Trajectory::from_xy(&[(1.0, 2.0), (3.0, 2.0)]));
+        assert_eq!(fork.len(), 21);
+        assert_eq!(session.len(), 21);
     }
 
     #[test]
@@ -560,8 +921,8 @@ mod tests {
         let q = Trajectory::from_xy(&[(1.0, 0.5), (5.0, 1.5)]);
         let norm = session.query(&q).metric(Metric::EdwpNormalized).knn(5);
         let mut scratch = EdwpScratch::new();
-        let mut want: Vec<Neighbor> = session
-            .store()
+        let snap = session.snapshot();
+        let mut want: Vec<Neighbor> = snap
             .iter()
             .map(|(id, t)| Neighbor {
                 id,
@@ -589,14 +950,23 @@ mod tests {
             .collect();
         let batch = session.batch(&queries).threads(3).collect_stats().knn(4);
         assert_eq!(batch.stats.unwrap().queries, 5);
+        let snap = session.snapshot();
         for (q, got) in queries.iter().zip(&batch.neighbors) {
-            let single = QueryBuilder::over(session.tree(), session.store(), q).knn(4);
+            let single = snap.query(q).knn(4);
             assert_eq!(*got, single.neighbors);
         }
         // Range finisher through the same surface.
         let balls = session.batch(&queries).threads(2).range(1e6);
         assert_eq!(balls.neighbors.len(), 5);
         assert!(balls.stats.is_none());
+    }
+
+    #[test]
+    fn batch_on_empty_query_slice() {
+        let session = Session::build(two_cluster_store());
+        let res = session.batch(&[]).collect_stats().knn(5);
+        assert!(res.neighbors.is_empty());
+        assert_eq!(res.stats.unwrap().queries, 0);
     }
 
     #[test]

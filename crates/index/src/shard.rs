@@ -1,0 +1,228 @@
+//! The sharded storage/index layer: the [`Shard`] unit, the deterministic
+//! id-hash router, and the immutable [`Snapshot`] epoch every query reads.
+//!
+//! # Sharding model
+//!
+//! A [`crate::Session`] partitions its database across `n` shards, each a
+//! self-contained `(TrajStore segment, TrajTree, max-len bookkeeping)`
+//! unit with its own dense *local* ids. The router is pure arithmetic over
+//! the dense global id space:
+//!
+//! ```text
+//! shard(g)  = g mod n          local(g)  = g div n
+//! global(s, l) = l · n + s
+//! ```
+//!
+//! Because global ids are issued densely in insertion order, routing by
+//! `g mod n` deals ids round-robin: shard `s` holds globals
+//! `s, s + n, s + 2n, …` in order, so a trajectory's local slot is exactly
+//! `g div n` — no per-id lookup tables, and the mapping survives any
+//! number of inserts.
+//!
+//! # Epochs
+//!
+//! Shards are immutable once published: the session's live state is an
+//! `Arc<Vec<Arc<Shard>>>`, and a [`Snapshot`] is one atomic clone of that
+//! outer `Arc`. Inserts build the next epoch copy-on-write
+//! ([`std::sync::Arc::make_mut`] — in place when no snapshot holds the
+//! shard, a clone of only the routed shard otherwise) and publish it by
+//! swapping the outer `Arc`, so a snapshot taken before an insert keeps
+//! reading the pre-insert epoch for as long as it lives. See
+//! [`crate::Session::insert`] for the full consistency contract.
+
+use crate::store::{TrajId, TrajStore};
+use crate::tree::{TrajTree, TrajTreeConfig};
+use std::sync::Arc;
+use traj_core::{TrajError, Trajectory};
+
+/// One shard: a [`TrajStore`] segment with dense local ids and the
+/// [`TrajTree`] indexing exactly that segment (including its per-node
+/// max-length bookkeeping for the normalised metric).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Shard {
+    pub(crate) store: TrajStore,
+    pub(crate) tree: TrajTree,
+}
+
+impl Shard {
+    /// Bulk-loads a shard over its segment's trajectories (local id order).
+    pub(crate) fn bulk(trajs: Vec<Trajectory>, config: TrajTreeConfig) -> Self {
+        let store = TrajStore::from(trajs);
+        let tree = TrajTree::bulk_load(&store, config);
+        Shard { store, tree }
+    }
+
+    /// Appends one trajectory to the segment and the index, returning its
+    /// *local* id.
+    pub(crate) fn insert(&mut self, t: Trajectory) -> TrajId {
+        let local = self.store.insert(t);
+        self.tree.insert(&self.store, local);
+        local
+    }
+
+    /// Number of trajectories in this shard.
+    pub(crate) fn len(&self) -> usize {
+        self.store.len()
+    }
+}
+
+/// The id-hash router: which shard a global id lives in.
+#[inline]
+pub(crate) fn shard_of(id: TrajId, shards: usize) -> usize {
+    id as usize % shards
+}
+
+/// The router's local slot for a global id.
+#[inline]
+pub(crate) fn local_of(id: TrajId, shards: usize) -> TrajId {
+    id / shards as TrajId
+}
+
+/// Inverse router: the global id of `local` in `shard`.
+#[inline]
+pub(crate) fn global_of(shard: usize, local: TrajId, shards: usize) -> TrajId {
+    local * shards as TrajId + shard as TrajId
+}
+
+/// An immutable epoch of a [`crate::Session`]'s sharded database: every
+/// query scatter-gathers over exactly the shards captured here, so results
+/// are stable no matter how many inserts land concurrently.
+///
+/// Snapshots are cheap (`n + 1` `Arc` clones, no data copied) and `Send` +
+/// `Sync`: clone one per reader thread, or share one behind a reference.
+/// Queries run through [`Snapshot::query`] / [`Snapshot::batch`] — same
+/// builders, same bitwise results as the owning session at the epoch the
+/// snapshot was taken.
+///
+/// ```
+/// use traj_core::Trajectory;
+/// use traj_index::{Session, TrajStore};
+///
+/// let mut store = TrajStore::new();
+/// store.insert(Trajectory::from_xy(&[(0.0, 0.0), (5.0, 0.0)]));
+/// let session = Session::builder().shards(2).build(store);
+/// let epoch = session.snapshot();
+/// session.insert(Trajectory::from_xy(&[(0.0, 1.0), (5.0, 1.0)]));
+/// assert_eq!(epoch.len(), 1); // the snapshot still reads the old epoch
+/// assert_eq!(session.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub(crate) shards: Arc<Vec<Arc<Shard>>>,
+}
+
+impl Snapshot {
+    /// Total number of trajectories across all shards of this epoch.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// `true` when the epoch holds no trajectories.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.store.is_empty())
+    }
+
+    /// Number of shards (fixed at session build time, never 0).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The trajectory with the given global id — the panicking convenience
+    /// for ids known valid in this epoch (e.g. ids straight out of one of
+    /// its query results). See [`Snapshot::try_get`] for the fallible
+    /// variant.
+    ///
+    /// # Panics
+    /// Panics when `id` is not part of this epoch.
+    #[inline]
+    pub fn get(&self, id: TrajId) -> &Trajectory {
+        let n = self.shards.len();
+        self.shards[shard_of(id, n)].store.get(local_of(id, n))
+    }
+
+    /// The trajectory with the given global id, or
+    /// [`TrajError::UnknownId`] for ids this epoch does not contain.
+    pub fn try_get(&self, id: TrajId) -> Result<&Trajectory, TrajError> {
+        let n = self.shards.len();
+        self.shards[shard_of(id, n)]
+            .store
+            .try_get(local_of(id, n))
+            .map_err(|_| TrajError::UnknownId {
+                id,
+                len: self.len(),
+            })
+    }
+
+    /// All `(global id, trajectory)` pairs in ascending global-id order —
+    /// i.e. insertion order, independent of the shard count.
+    pub fn iter(&self) -> impl Iterator<Item = (TrajId, &Trajectory)> {
+        (0..self.len() as TrajId).map(move |id| (id, self.get(id)))
+    }
+
+    /// Height of the tallest shard tree (0 when empty).
+    pub fn tree_height(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.tree.height())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total node count across all shard trees.
+    pub fn node_count(&self) -> usize {
+        self.shards.iter().map(|s| s.tree.node_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_is_a_bijection_on_dense_ids() {
+        for shards in [1usize, 2, 3, 4, 7] {
+            let mut counts = vec![0u32; shards];
+            for g in 0u32..50 {
+                let s = shard_of(g, shards);
+                let l = local_of(g, shards);
+                assert_eq!(global_of(s, l, shards), g);
+                // Dense ids fill each shard's local slots in order.
+                assert_eq!(l, counts[s]);
+                counts[s] += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_routes_global_ids() {
+        let trajs: Vec<Trajectory> = (0..7)
+            .map(|i| Trajectory::from_xy(&[(i as f64, 0.0), (i as f64 + 1.0, 1.0)]))
+            .collect();
+        let shards: Vec<Arc<Shard>> = (0..3)
+            .map(|s| {
+                let part: Vec<Trajectory> = trajs
+                    .iter()
+                    .enumerate()
+                    .filter(|(g, _)| g % 3 == s)
+                    .map(|(_, t)| t.clone())
+                    .collect();
+                Arc::new(Shard::bulk(part, TrajTreeConfig::default()))
+            })
+            .collect();
+        let snap = Snapshot {
+            shards: Arc::new(shards),
+        };
+        assert_eq!(snap.len(), 7);
+        assert_eq!(snap.num_shards(), 3);
+        for (g, t) in snap.iter() {
+            assert_eq!(t.first().p.x, g as f64, "global id {g} routed wrongly");
+        }
+        assert_eq!(snap.try_get(3).unwrap(), snap.get(3));
+        assert_eq!(
+            snap.try_get(7).unwrap_err(),
+            TrajError::UnknownId { id: 7, len: 7 }
+        );
+        assert!(snap.tree_height() >= 1);
+        assert!(snap.node_count() >= 3);
+    }
+}

@@ -3,10 +3,12 @@ use traj_core::{TrajError, Trajectory};
 /// Identifier of a trajectory inside a [`TrajStore`]; dense, starting at 0.
 pub type TrajId = u32;
 
-/// Append-only owner of the trajectory database. The [`crate::TrajTree`]
-/// index stores only [`TrajId`]s and borrows the store during construction
-/// and search, so multiple indexes (or index generations) can share one
-/// store without copying trajectories.
+/// Append-only owner of a trajectory database — either the whole corpus
+/// (what callers hand to [`crate::Session::build`]) or one shard's segment
+/// with local ids (how a sharded session stores it internally). The
+/// [`crate::TrajTree`] index stores only [`TrajId`]s and borrows the store
+/// during construction and search, so multiple indexes (or index
+/// generations) can share one store without copying trajectories.
 #[derive(Debug, Clone, Default)]
 pub struct TrajStore {
     trajs: Vec<Trajectory>,
@@ -67,6 +69,12 @@ impl TrajStore {
     /// All `(id, trajectory)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (TrajId, &Trajectory)> {
         self.trajs.iter().enumerate().map(|(i, t)| (i as TrajId, t))
+    }
+
+    /// Consumes the store into its trajectories in id order — what the
+    /// session builder scatters across shard segments.
+    pub fn into_vec(self) -> Vec<Trajectory> {
+        self.trajs
     }
 }
 

@@ -99,8 +99,10 @@ impl Node {
 }
 
 /// The TrajTree index (Sec. V): a height-balanced hierarchy of tBoxSeq
-/// summaries over a [`TrajStore`], supporting bulk-loading, incremental
-/// insertion and exact best-first k-NN search (see [`TrajTree::knn`]).
+/// summaries over a [`TrajStore`], supporting bulk-loading and incremental
+/// insertion. Exact best-first searches run through the query surface —
+/// [`crate::QueryBuilder::over`] for a borrowed tree, or a
+/// [`crate::Session`] which shards the database across several trees.
 ///
 /// Every node's summary is built over exactly the set of trajectories in
 /// its subtree, so the admissible bound

@@ -1,19 +1,18 @@
-//! The builder-API contract: every combination the typed query surface can
-//! express — k-NN / range × index / brute-force × threads 1/2/4 × raw /
-//! length-normalised metric — is **bitwise identical** to the
-//! corresponding deprecated legacy method (where one exists) and to the
-//! brute-force reference. This is what lets the method matrix be deleted
-//! next release without any behaviour change.
-#![allow(deprecated)]
+//! The sharded-surface contract: every combination the typed query surface
+//! can express — k-NN / range × index / brute-force × shards 1/2/4 ×
+//! threads 1/4 × raw / length-normalised metric — is **bitwise identical**
+//! to the borrowed single-shard builder and to an independent manual scan,
+//! and inserts land while concurrent batches keep reading a stable epoch.
+//! This is what makes the shard count an invisible deployment knob.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
 
 use proptest::prelude::*;
 use traj_core::{StPoint, Trajectory};
 use traj_dist::{edwp_avg_with_scratch, EdwpScratch, Metric};
 use traj_gen::{GenConfig, TrajGen};
-use traj_index::{
-    brute_force_knn, brute_force_range, BatchQueryBuilder, Neighbor, QueryBuilder, Session,
-    TrajStore, TrajTree,
-};
+use traj_index::{Neighbor, QueryBuilder, Session, TrajStore, TrajTree};
 
 /// A uniformly random trajectory in a 100×100 region.
 fn trajectory(min_pts: usize, max_pts: usize) -> impl Strategy<Value = Trajectory> {
@@ -42,12 +41,16 @@ fn clustered_db(size: usize, seed: u64) -> Vec<Trajectory> {
     g.database(size, 4, 10)
 }
 
-/// Ground truth independent of the engine *and* the builder's brute-force
-/// path: a hand-rolled linear scan under the given metric.
-fn manual_scan(store: &TrajStore, query: &Trajectory, metric: Metric) -> Vec<Neighbor> {
+/// Ground truth independent of the engine, the shard router *and* the
+/// builder's brute-force path: a hand-rolled linear scan under the given
+/// metric over any `(id, trajectory)` iteration.
+fn manual_scan<'a>(
+    items: impl Iterator<Item = (u32, &'a Trajectory)>,
+    query: &Trajectory,
+    metric: Metric,
+) -> Vec<Neighbor> {
     let mut scratch = EdwpScratch::new();
-    let mut all: Vec<Neighbor> = store
-        .iter()
+    let mut all: Vec<Neighbor> = items
         .map(|(id, t)| Neighbor {
             id,
             distance: match metric {
@@ -66,75 +69,76 @@ fn manual_scan(store: &TrajStore, query: &Trajectory, metric: Metric) -> Vec<Nei
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(10))]
 
-    /// Single-query grid: for both metrics, index == builder brute force ==
-    /// manual scan; for the raw metric additionally == the legacy methods.
+    /// Single-query grid over shards 1/2/4: for both metrics, every
+    /// sharded session's index and brute-force answers equal the borrowed
+    /// single-shard builder and the manual scan — k-NN and range.
     #[test]
-    fn builder_equals_legacy_and_brute_force(
+    fn shard_grid_single_queries_are_bitwise_identical(
         size in 25usize..70,
         seed in 0u64..500,
         query in trajectory(2, 8),
     ) {
-        let store = TrajStore::from(clustered_db(size, seed));
+        let db = clustered_db(size, seed);
+        let store = TrajStore::from(db.clone());
         let tree = TrajTree::build(&store);
         let k = 7usize;
         for metric in [Metric::Edwp, Metric::EdwpNormalized] {
-            let truth = manual_scan(&store, &query, metric);
+            let truth = manual_scan(store.iter(), &query, metric);
             let eps = truth[truth.len() / 2].distance; // median: nontrivial ball
-
-            let indexed = QueryBuilder::over(&tree, &store, &query)
-                .metric(metric)
-                .collect_stats()
-                .knn(k);
-            let brute = QueryBuilder::over(&tree, &store, &query)
-                .metric(metric)
-                .brute_force()
-                .knn(k);
-            prop_assert_eq!(&indexed.neighbors, &brute.neighbors);
-            prop_assert_eq!(&indexed.neighbors, &truth[..k.min(truth.len())].to_vec());
-            let stats = indexed.stats.expect("requested");
-            prop_assert!(stats.edwp_evaluations <= stats.db_size);
-
-            let in_ball = QueryBuilder::over(&tree, &store, &query)
-                .metric(metric)
-                .range(eps);
-            let brute_ball = QueryBuilder::over(&tree, &store, &query)
-                .metric(metric)
-                .brute_force()
-                .range(eps);
+            let want_knn = truth[..k.min(truth.len())].to_vec();
             let want_ball: Vec<Neighbor> = truth
                 .iter()
                 .copied()
                 .filter(|n| n.distance <= eps)
                 .collect();
-            prop_assert_eq!(&in_ball.neighbors, &brute_ball.neighbors);
-            prop_assert_eq!(&in_ball.neighbors, &want_ball);
 
-            if metric == Metric::Edwp {
-                let (legacy_knn, _) = tree.knn(&store, &query, k);
-                prop_assert_eq!(&indexed.neighbors, &legacy_knn);
-                prop_assert_eq!(&brute.neighbors, &brute_force_knn(&store, &query, k));
-                let (legacy_range, _) = tree.range(&store, &query, eps);
-                prop_assert_eq!(&in_ball.neighbors, &legacy_range);
-                prop_assert_eq!(&brute_ball.neighbors, &brute_force_range(&store, &query, eps));
+            // The borrowed entry point is the single-shard reference.
+            let borrowed = QueryBuilder::over(&tree, &store, &query)
+                .metric(metric)
+                .collect_stats()
+                .knn(k);
+            prop_assert_eq!(&borrowed.neighbors, &want_knn);
+            let stats = borrowed.stats.expect("requested");
+            prop_assert!(stats.edwp_evaluations <= stats.db_size);
+
+            for shards in [1usize, 2, 4] {
+                let mut session = Session::builder()
+                    .shards(shards)
+                    .build(TrajStore::from(db.clone()));
+                let indexed = session.query(&query).metric(metric).collect_stats().knn(k);
+                prop_assert_eq!(&indexed.neighbors, &want_knn);
+                prop_assert_eq!(indexed.stats.expect("requested").db_size, size);
+                let brute = session.query(&query).metric(metric).brute_force().knn(k);
+                prop_assert_eq!(&brute.neighbors, &want_knn);
+
+                let in_ball = session.query(&query).metric(metric).range(eps);
+                prop_assert_eq!(&in_ball.neighbors, &want_ball);
+                let brute_ball = session
+                    .query(&query)
+                    .metric(metric)
+                    .brute_force()
+                    .range(eps);
+                prop_assert_eq!(&brute_ball.neighbors, &want_ball);
             }
         }
     }
 
-    /// Batch grid: knn/range × threads 1/2/4 × both metrics, bitwise equal
-    /// to a sequential loop of single-builder queries and (raw metric) to
-    /// the legacy batch methods.
+    /// Batch grid: shards 1/2/4 × knn/range × threads 1/4 × both metrics,
+    /// bitwise equal to a sequential loop of borrowed single-shard
+    /// queries, with per-item stats merging to the batch size.
     #[test]
-    fn batch_builder_equals_sequential_and_legacy(
+    fn shard_grid_batches_are_bitwise_identical(
         size in 25usize..60,
         seed in 0u64..500,
         queries in prop::collection::vec(trajectory(2, 7), 3..8),
     ) {
-        let store = TrajStore::from(clustered_db(size, seed));
+        let db = clustered_db(size, seed);
+        let store = TrajStore::from(db.clone());
         let tree = TrajTree::build(&store);
         let k = 5usize;
-        let eps = manual_scan(&store, &queries[0], Metric::Edwp)[size / 2].distance;
+        let eps = manual_scan(store.iter(), &queries[0], Metric::Edwp)[size / 2].distance;
         for metric in [Metric::Edwp, Metric::EdwpNormalized] {
             let seq_knn: Vec<Vec<Neighbor>> = queries
                 .iter()
@@ -149,49 +153,52 @@ proptest! {
                         .neighbors
                 })
                 .collect();
-            for threads in [1usize, 2, 4] {
-                let batch_knn = BatchQueryBuilder::over(&tree, &store, &queries)
-                    .metric(metric)
-                    .threads(threads)
-                    .collect_stats()
-                    .knn(k);
-                prop_assert_eq!(&batch_knn.neighbors, &seq_knn);
-                prop_assert_eq!(
-                    batch_knn.stats.expect("requested").queries,
-                    queries.len()
-                );
-                let batch_range = BatchQueryBuilder::over(&tree, &store, &queries)
-                    .metric(metric)
-                    .threads(threads)
-                    .range(eps);
-                prop_assert_eq!(&batch_range.neighbors, &seq_range);
-
-                if metric == Metric::Edwp {
-                    let (legacy_knn, _) =
-                        tree.batch_knn_with_threads(&store, &queries, k, threads);
-                    prop_assert_eq!(&batch_knn.neighbors, &legacy_knn);
-                    let (legacy_range, _) =
-                        tree.batch_range_with_threads(&store, &queries, eps, threads);
-                    prop_assert_eq!(&batch_range.neighbors, &legacy_range);
+            for shards in [1usize, 2, 4] {
+                let session = Session::builder()
+                    .shards(shards)
+                    .build(TrajStore::from(db.clone()));
+                for threads in [1usize, 4] {
+                    let batch_knn = session
+                        .batch(&queries)
+                        .metric(metric)
+                        .threads(threads)
+                        .collect_stats()
+                        .knn(k);
+                    prop_assert_eq!(&batch_knn.neighbors, &seq_knn);
+                    prop_assert_eq!(
+                        batch_knn.stats.expect("requested").queries,
+                        queries.len()
+                    );
+                    let batch_range = session
+                        .batch(&queries)
+                        .metric(metric)
+                        .threads(threads)
+                        .range(eps);
+                    prop_assert_eq!(&batch_range.neighbors, &seq_range);
                 }
             }
         }
     }
 
-    /// The normalised metric stays exact after incremental inserts — the
-    /// insert-path max_len bookkeeping is what admissibility rides on.
+    /// The normalised metric stays exact after routed incremental inserts
+    /// at every shard count — the insert-path max_len bookkeeping is what
+    /// admissibility rides on, now per shard.
     #[test]
     fn normalized_knn_exact_after_inserts(
         db in prop::collection::vec(trajectory(2, 6), 20..41),
         extra in prop::collection::vec(trajectory(2, 6), 5..12),
         query in trajectory(2, 6),
+        shards in 1usize..4,
     ) {
-        let mut session = Session::build(TrajStore::from(db));
+        let mut session = Session::builder()
+            .shards(shards)
+            .build(TrajStore::from(db));
         for t in extra {
             let _ = session.insert(t);
         }
         let got = session.query(&query).metric(Metric::EdwpNormalized).knn(6);
-        let truth = manual_scan(session.store(), &query, Metric::EdwpNormalized);
+        let snap = session.snapshot();
+        let truth = manual_scan(snap.iter(), &query, Metric::EdwpNormalized);
         prop_assert_eq!(&got.neighbors, &truth[..6.min(truth.len())].to_vec());
     }
 }
@@ -215,4 +222,99 @@ fn pooled_scratch_does_not_change_results() {
             assert_eq!(pooled, fresh);
         }
     }
+}
+
+/// The acceptance-criteria concurrency test: a batch query running on
+/// another thread while `Session::insert` lands returns exactly the
+/// pre-insert epoch's results, and a batch started after the inserts sees
+/// every new trajectory.
+#[test]
+fn insert_while_query_reads_a_stable_epoch() {
+    let session = Session::builder()
+        .shards(2)
+        .build(TrajStore::from(clustered_db(60, 9)));
+    let mut g = TrajGen::new(42);
+    let queries: Vec<Trajectory> = (0..6).map(|_| g.random_walk(7)).collect();
+    let extra: Vec<Trajectory> = (0..40).map(|_| g.random_walk(6)).collect();
+
+    // Pin the pre-insert epoch and its expected answers.
+    let epoch = session.snapshot();
+    let expected = epoch.batch(&queries).threads(2).knn(5);
+
+    let barrier = Barrier::new(2);
+    std::thread::scope(|scope| {
+        let reader = scope.spawn(|| {
+            barrier.wait();
+            // Runs while the main thread inserts into the same session.
+            epoch.batch(&queries).threads(2).knn(5)
+        });
+        barrier.wait();
+        for t in extra.clone() {
+            session.insert(t);
+        }
+        let got = reader.join().expect("reader thread panicked");
+        assert_eq!(
+            got.neighbors, expected.neighbors,
+            "concurrent batch saw a mutated epoch"
+        );
+    });
+
+    // The inserts all landed, and post-insert batches see the new epoch.
+    assert_eq!(session.len(), 100);
+    let post = session.batch(&queries).threads(2).knn(5);
+    let snap = session.snapshot();
+    assert_eq!(snap.len(), 100);
+    for (q, got) in queries.iter().zip(&post.neighbors) {
+        let want = manual_scan(snap.iter(), q, Metric::Edwp);
+        assert_eq!(*got, want[..5].to_vec(), "post-insert batch missed data");
+    }
+}
+
+/// Torn-shard stress: readers repeatedly snapshot and verify their epoch
+/// is internally consistent (index answers == manual scan over the *same*
+/// snapshot) while a writer streams inserts. A reader observing a
+/// half-published shard — store and tree out of sync, or a partially
+/// copied segment — would diverge here.
+#[test]
+fn concurrent_inserts_never_tear_an_epoch() {
+    let session = Session::builder()
+        .shards(4)
+        .build(TrajStore::from(clustered_db(40, 3)));
+    let mut g = TrajGen::new(7);
+    let query = g.random_walk(6);
+    let extras: Vec<Trajectory> = (0..120).map(|_| g.random_walk(5)).collect();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut checks = 0usize;
+                    loop {
+                        let snap = session.snapshot();
+                        let got = snap.query(&query).knn(4).neighbors;
+                        let want = manual_scan(snap.iter(), &query, Metric::Edwp);
+                        assert_eq!(
+                            got,
+                            want[..4.min(want.len())].to_vec(),
+                            "torn epoch observed after {checks} consistent reads"
+                        );
+                        checks += 1;
+                        if stop.load(Ordering::Relaxed) {
+                            return checks;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in extras.clone() {
+            session.insert(t);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            let checks = r.join().expect("reader thread panicked");
+            assert!(checks >= 1);
+        }
+    });
+    assert_eq!(session.len(), 160);
 }

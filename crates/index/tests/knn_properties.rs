@@ -5,15 +5,37 @@
 //! evaluating full EDwP on at most (and on clustered data far fewer than)
 //! `db_size` candidates.
 //!
-//! Deliberately exercises the deprecated method-matrix surface: these are
-//! the legacy-behaviour regression tests, and `tests/builder_equivalence.rs`
-//! ties the builder API to them bit-for-bit.
-#![allow(deprecated)]
+//! Exercises the borrowed [`QueryBuilder::over`] entry point directly, so
+//! the tree-level contract is tested below the session/shard layer;
+//! `tests/builder_equivalence.rs` ties the full sharded surface to it
+//! bit-for-bit.
 
 use proptest::prelude::*;
 use traj_core::{StPoint, Trajectory};
 use traj_gen::{GenConfig, TrajGen};
-use traj_index::{brute_force_knn, TrajStore, TrajTree, TrajTreeConfig};
+use traj_index::{Neighbor, QueryBuilder, QueryStats, TrajStore, TrajTree, TrajTreeConfig};
+
+/// Index k-NN through the borrowed builder, with stats.
+fn knn(
+    tree: &TrajTree,
+    store: &TrajStore,
+    query: &Trajectory,
+    k: usize,
+) -> (Vec<Neighbor>, QueryStats) {
+    let r = QueryBuilder::over(tree, store, query)
+        .collect_stats()
+        .knn(k);
+    (r.neighbors, r.stats.expect("collect_stats() requested"))
+}
+
+/// Reference linear scan through the same builder with pruning disabled.
+fn brute_force_knn(store: &TrajStore, query: &Trajectory, k: usize) -> Vec<Neighbor> {
+    let tree = TrajTree::default();
+    QueryBuilder::over(&tree, store, query)
+        .brute_force()
+        .knn(k)
+        .neighbors
+}
 
 /// A uniformly random trajectory in a 100×100 region.
 fn trajectory(min_pts: usize, max_pts: usize) -> impl Strategy<Value = Trajectory> {
@@ -45,7 +67,7 @@ fn clustered_db(size: usize, seed: u64) -> Vec<Trajectory> {
 
 fn assert_knn_exact(store: &TrajStore, tree: &TrajTree, query: &Trajectory) {
     for k in [1usize, 5, 10] {
-        let (got, stats) = tree.knn(store, query, k);
+        let (got, stats) = knn(tree, store, query, k);
         let want = brute_force_knn(store, query, k);
         assert_eq!(
             got.len(),
@@ -161,7 +183,7 @@ fn clustered_queries_prune_most_of_the_database() {
     let mut queries = 0usize;
     for _ in 0..10 {
         let query = g.random_walk(8);
-        let (got, stats) = tree.knn(&store, &query, 5);
+        let (got, stats) = knn(&tree, &store, &query, 5);
         assert_eq!(got, brute_force_knn(&store, &query, 5));
         total_evals += stats.edwp_evaluations;
         queries += 1;
@@ -186,7 +208,7 @@ fn variant_queries_retrieve_their_original() {
         let original = store.get(id).clone();
         let resampled = g.resample(&original, 0.5);
         let variant = g.perturb(&resampled, 0.2);
-        let (res, _) = tree.knn(&store, &variant, 1);
+        let (res, _) = knn(&tree, &store, &variant, 1);
         assert_eq!(res, brute_force_knn(&store, &variant, 1));
         if res[0].id == id {
             hits += 1;

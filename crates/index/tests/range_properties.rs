@@ -1,22 +1,43 @@
 //! The range-query and batch-query correctness contracts:
 //!
-//! * `tree.range(q, eps)` returns exactly the brute-force filter — same
-//!   ids, same distances, ascending `(distance, id)` order — on randomized
-//!   uniform and clustered databases, including the `eps = 0` and
+//! * `.range(eps)` returns exactly the brute-force filter — same ids, same
+//!   distances, ascending `(distance, id)` order — on randomized uniform
+//!   and clustered databases, including the `eps = 0` and
 //!   `eps = f64::INFINITY` edges;
-//! * `batch_knn` / `batch_range` are bitwise identical to a sequential loop
-//!   of single queries, for any worker count.
+//! * batch `.knn(k)` / `.range(eps)` are bitwise identical to a sequential
+//!   loop of single queries, for any worker count.
 //!
-//! Deliberately exercises the deprecated method-matrix surface: these are
-//! the legacy-behaviour regression tests, and `tests/builder_equivalence.rs`
-//! ties the builder API to them bit-for-bit.
-#![allow(deprecated)]
+//! Exercises the borrowed [`QueryBuilder::over`] / [`BatchQueryBuilder::over`]
+//! entry points, below the session/shard layer; the sharded surface is
+//! tied to these in `tests/builder_equivalence.rs`.
 
 use proptest::prelude::*;
 use traj_core::{StPoint, TotalF64, Trajectory};
 use traj_dist::edwp;
 use traj_gen::{GenConfig, TrajGen};
-use traj_index::{brute_force_range, Neighbor, TrajStore, TrajTree};
+use traj_index::{BatchQueryBuilder, Neighbor, QueryBuilder, QueryStats, TrajStore, TrajTree};
+
+/// Index range search through the borrowed builder, with stats.
+fn range(
+    tree: &TrajTree,
+    store: &TrajStore,
+    query: &Trajectory,
+    eps: f64,
+) -> (Vec<Neighbor>, QueryStats) {
+    let r = QueryBuilder::over(tree, store, query)
+        .collect_stats()
+        .range(eps);
+    (r.neighbors, r.stats.expect("collect_stats() requested"))
+}
+
+/// Reference linear scan through the same builder with pruning disabled.
+fn brute_force_range(store: &TrajStore, query: &Trajectory, eps: f64) -> Vec<Neighbor> {
+    let tree = TrajTree::default();
+    QueryBuilder::over(&tree, store, query)
+        .brute_force()
+        .range(eps)
+        .neighbors
+}
 
 /// A uniformly random trajectory in a 100×100 region.
 fn trajectory(min_pts: usize, max_pts: usize) -> impl Strategy<Value = Trajectory> {
@@ -73,7 +94,7 @@ fn quantile_eps(store: &TrajStore, query: &Trajectory, sel: f64) -> f64 {
 }
 
 fn assert_range_exact(store: &TrajStore, tree: &TrajTree, query: &Trajectory, eps: f64) {
-    let (got, stats) = tree.range(store, query, eps);
+    let (got, stats) = range(tree, store, query, eps);
     let manual = manual_range_filter(store, query, eps);
     assert_eq!(
         got, manual,
@@ -138,7 +159,7 @@ fn range_zero_eps_finds_exact_members() {
     let tree = TrajTree::build(&store);
     for id in [0u32, 17, 41] {
         let member = store.get(id).clone();
-        let (got, _) = tree.range(&store, &member, 0.0);
+        let (got, _) = range(&tree, &store, &member, 0.0);
         assert!(got.iter().any(|n| n.id == id), "member {id} not found");
         assert!(got.iter().all(|n| n.distance == 0.0));
         assert_eq!(got, manual_range_filter(&store, &member, 0.0));
@@ -152,7 +173,7 @@ fn range_infinite_eps_returns_whole_db() {
     let tree = TrajTree::build(&store);
     let mut g = TrajGen::new(8);
     let query = g.random_walk(6);
-    let (got, _) = tree.range(&store, &query, f64::INFINITY);
+    let (got, _) = range(&tree, &store, &query, f64::INFINITY);
     assert_eq!(got.len(), store.len());
     assert_eq!(got, manual_range_filter(&store, &query, f64::INFINITY));
 }
@@ -174,15 +195,22 @@ fn batch_queries_are_bitwise_identical_to_sequential() {
     );
     let queries: Vec<Trajectory> = (0..12).map(|_| g.random_walk(7)).collect();
 
-    let seq_knn: Vec<Vec<Neighbor>> = queries.iter().map(|q| tree.knn(&store, q, 6).0).collect();
+    let seq_knn: Vec<Vec<Neighbor>> = queries
+        .iter()
+        .map(|q| QueryBuilder::over(&tree, &store, q).knn(6).neighbors)
+        .collect();
     let eps = quantile_eps(&store, &queries[0], 0.3);
     let seq_range: Vec<Vec<Neighbor>> = queries
         .iter()
-        .map(|q| tree.range(&store, q, eps).0)
+        .map(|q| QueryBuilder::over(&tree, &store, q).range(eps).neighbors)
         .collect();
 
     for threads in [1usize, 2, 4, 7] {
-        let (batch_knn, knn_stats) = tree.batch_knn_with_threads(&store, &queries, 6, threads);
+        let res = BatchQueryBuilder::over(&tree, &store, &queries)
+            .threads(threads)
+            .collect_stats()
+            .knn(6);
+        let (batch_knn, knn_stats) = (res.neighbors, res.stats.expect("requested"));
         // Vec<Neighbor> equality is f64 PartialEq — i.e. bitwise for these
         // finite distances — plus id equality, in order.
         assert_eq!(
@@ -192,8 +220,11 @@ fn batch_queries_are_bitwise_identical_to_sequential() {
         assert_eq!(knn_stats.queries, queries.len());
         assert_eq!(knn_stats.db_size, store.len());
 
-        let (batch_range, range_stats) =
-            tree.batch_range_with_threads(&store, &queries, eps, threads);
+        let res = BatchQueryBuilder::over(&tree, &store, &queries)
+            .threads(threads)
+            .collect_stats()
+            .range(eps);
+        let (batch_range, range_stats) = (res.neighbors, res.stats.expect("requested"));
         assert_eq!(
             batch_range, seq_range,
             "batch_range diverged at {threads} workers"
@@ -211,11 +242,14 @@ fn batch_stats_equal_summed_sequential_stats() {
     let mut g = TrajGen::new(77);
     let queries: Vec<Trajectory> = (0..9).map(|_| g.random_walk(6)).collect();
 
-    let mut want = traj_index::QueryStats::default();
+    let mut want = QueryStats::default();
     for q in &queries {
-        let (_, s) = tree.knn(&store, q, 4);
-        want.merge(&s);
+        let r = QueryBuilder::over(&tree, &store, q).collect_stats().knn(4);
+        want.merge(&r.stats.expect("requested"));
     }
-    let (_, got) = tree.batch_knn_with_threads(&store, &queries, 4, 4);
-    assert_eq!(got, want);
+    let got = BatchQueryBuilder::over(&tree, &store, &queries)
+        .threads(4)
+        .collect_stats()
+        .knn(4);
+    assert_eq!(got.stats.expect("requested"), want);
 }

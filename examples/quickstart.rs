@@ -25,17 +25,18 @@ fn main() {
     // 2. Open a session: bulk-loads the TrajTree and pools the kernel
     //    scratch every query of this session reuses.
     let mut session = Session::build(store);
+    let snap = session.snapshot();
     println!(
         "index:    height {}, {} nodes, leaf capacity {}",
-        session.tree().height(),
-        session.tree().node_count(),
-        session.tree().config().leaf_capacity
+        snap.tree_height(),
+        snap.node_count(),
+        session.config().leaf_capacity
     );
 
     // 3. Query with a distorted copy of a database member: half the
     //    samples dropped (inconsistent sampling rate) plus GPS-style noise.
     let target = 137u32;
-    let resampled = gen.resample(session.store().get(target), 0.5);
+    let resampled = gen.resample(snap.get(target), 0.5);
     let query = gen.perturb(&resampled, 0.4);
     let k = 5;
     let result = session.query(&query).collect_stats().knn(k);
@@ -108,4 +109,20 @@ fn main() {
             if n.id == target { "   <- original" } else { "" }
         );
     }
+
+    // 7. Sharding is an invisible deployment knob: partition the same
+    //    database across 4 shards and every answer is bit-for-bit the
+    //    same — queries scatter over the shards under one global pruning
+    //    threshold and gather into one result.
+    let mut sharded = Session::builder().shards(4).build(session.into_store());
+    let sharded_top = sharded.query(&query).knn(k);
+    assert_eq!(
+        sharded_top.neighbors, result.neighbors,
+        "sharding changed a result"
+    );
+    println!(
+        "\nsharded:   {} shards answer identically (top id {})",
+        sharded.num_shards(),
+        sharded_top.neighbors[0].id
+    );
 }

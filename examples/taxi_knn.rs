@@ -1,13 +1,14 @@
-//! Taxi-style batch k-NN workload: a fleet of vehicles repeats a handful of
-//! "routes" with per-trip noise and wildly different GPS sampling rates;
-//! the engine must retrieve trips of the same route for a batch of new
-//! trips — fanned out over worker threads — exactly and without scanning
-//! the fleet.
+//! Taxi-style sharded fleet workload: a fleet of vehicles repeats a
+//! handful of "routes" with per-trip noise and wildly different GPS
+//! sampling rates; the engine must retrieve trips of the same route for a
+//! batch of new trips — (query × shard) work items fanned out over worker
+//! threads — exactly and without scanning the fleet, while *new trips
+//! stream in concurrently* without disturbing the running batch's epoch.
 //!
 //! Run with: `cargo run --release --example taxi_knn`
 
 use trajrep::eval::PruningSummary;
-use trajrep::{GenConfig, QueryBuilder, Session, TrajGen, TrajStore, Trajectory};
+use trajrep::{GenConfig, Session, TrajGen, TrajStore, Trajectory};
 
 /// One canonical route per (start cluster, heading); trips are noisy,
 /// resampled copies.
@@ -49,34 +50,59 @@ fn main() {
         routes,
         store.len()
     );
-    let session = Session::build(store);
+
+    // Shard the fleet 4 ways: trips are dealt round-robin across four
+    // (segment, TrajTree) shards, and every query scatter-gathers over
+    // them — results are bit-for-bit what a single tree would return.
+    let session = Session::builder().shards(4).build(store);
+    let epoch = session.snapshot();
     println!(
-        "index: height {}, {} nodes",
-        session.tree().height(),
-        session.tree().node_count()
+        "index: {} shards, tallest tree height {}, {} nodes total",
+        epoch.num_shards(),
+        epoch.tree_height(),
+        epoch.node_count()
     );
 
     // New trips: fresh distortions of members, answered as one batch —
-    // workers share the session's tree read-only, one distance scratch
-    // each. Their top-k should be dominated by trips of the same route.
+    // every (query, shard) pair is one work item, workers own one
+    // distance scratch each. Their top-k should be dominated by trips of
+    // the same route.
     let k = 5;
     let probes = [3u32, 57, 120, 199, 260];
     let queries: Vec<Trajectory> = probes
         .iter()
         .map(|&probe| {
-            let base = session.store().get(probe).clone();
+            let base = epoch.get(probe).clone();
             let resampled = gen.resample(&base, 0.4);
             gen.perturb(&resampled, 1.0)
         })
         .collect();
-    let batch = session.batch(&queries).collect_stats().knn(k);
+
+    // Streaming ingestion: while the batch runs against its epoch, a
+    // writer thread keeps inserting tonight's new trips. The epoch guard
+    // (copy-on-write shards) means the batch never sees a torn shard —
+    // it answers exactly as of the moment it started.
+    let late_arrivals: Vec<Trajectory> = (0..50).map(|_| gen.random_walk(18)).collect();
+    let (batch, inserted) = std::thread::scope(|scope| {
+        let reader = scope.spawn(|| epoch.batch(&queries).collect_stats().knn(k));
+        let mut inserted = 0usize;
+        for trip in late_arrivals {
+            session.insert(trip);
+            inserted += 1;
+        }
+        (reader.join().expect("batch thread"), inserted)
+    });
+    println!(
+        "\nstreaming: {inserted} trips inserted while the batch ran \
+         (epoch still {} trips, session now {})",
+        epoch.len(),
+        session.len()
+    );
 
     let mut same_route_hits = 0usize;
     let mut checked = 0usize;
     for ((&probe, query), got) in probes.iter().zip(&queries).zip(&batch.neighbors) {
-        let reference = QueryBuilder::over(session.tree(), session.store(), query)
-            .brute_force()
-            .knn(k);
+        let reference = epoch.query(query).brute_force().knn(k);
         assert_eq!(*got, reference.neighbors, "exactness violated");
         let query_route = route_of[probe as usize];
         let same = got

@@ -10,24 +10,24 @@
 //!   hot-path variants ([`EdwpScratch`], [`edwp_with_scratch`],
 //!   [`edwp_avg_with_scratch`]), the [`TrajDistance`] trait and the
 //!   paper's baselines in [`baselines`];
-//! * the query surface: a [`Session`] owning [`TrajStore`], [`TrajTree`]
-//!   and pooled scratch, queried through the typed [`QueryBuilder`] /
-//!   [`BatchQueryBuilder`] — `session.query(&q).knn(10)`, `.range(eps)`,
+//! * the query surface: a sharded [`Session`] (built via
+//!   [`Session::builder`] with `.shards(n)`, default 1) owning per-shard
+//!   [`TrajStore`] segments, [`TrajTree`] indexes and pooled scratch,
+//!   queried through the typed [`QueryBuilder`] / [`BatchQueryBuilder`] —
+//!   `session.query(&q).knn(10)`, `.range(eps)`,
 //!   `session.batch(&qs).threads(4).knn(k)` — with a pluggable [`Metric`]
 //!   (raw vs length-normalised EDwP), a `.brute_force()` reference mode
 //!   and `.collect_stats()` work counters, returning [`QueryResult`] /
-//!   [`BatchQueryResult`];
+//!   [`BatchQueryResult`]. [`Session::insert`] streams new trajectories in
+//!   while concurrent readers keep a stable epoch ([`Snapshot`]);
 //! * data generation: [`TrajGen`], [`GenConfig`];
 //! * evaluation: metric helpers under [`eval`] and the experiment harness
 //!   under [`experiments`].
 //!
-//! The pre-builder method matrix (`TrajTree::knn`, `batch_knn_with_threads`,
-//! `brute_force_knn`, …) is deprecated and forwards to the builder; see
-//! the README's migration table.
-//!
 //! See `examples/quickstart.rs` for the end-to-end flow: generate → index →
-//! query (k-NN and range, both metrics) → inspect pruning statistics, and
-//! `examples/taxi_knn.rs` for the batched fleet workload.
+//! query (k-NN and range, both metrics, sharded and not) → inspect pruning
+//! statistics, and `examples/taxi_knn.rs` for the sharded fleet workload
+//! with streaming ingestion.
 
 #![warn(missing_docs)]
 
@@ -35,19 +35,19 @@ pub use traj_core::{
     approx_eq, CoreError, Point, Segment, StBox, StPoint, TotalF64, TrajError, Trajectory, EPSILON,
 };
 pub use traj_dist::{
-    baselines, edwp, edwp_avg, edwp_avg_lower_bound_boxes, edwp_avg_lower_bound_boxes_with_scratch,
-    edwp_avg_lower_bound_trajectory, edwp_avg_lower_bound_trajectory_with_scratch,
-    edwp_avg_with_scratch, edwp_lower_bound_boxes, edwp_lower_bound_boxes_with_scratch,
-    edwp_lower_bound_trajectory, edwp_lower_bound_trajectory_with_scratch, edwp_sub,
+    baselines, edwp, edwp_avg, edwp_avg_lower_bound_boxes, edwp_avg_lower_bound_boxes_bounded,
+    edwp_avg_lower_bound_boxes_with_scratch, edwp_avg_lower_bound_trajectory,
+    edwp_avg_lower_bound_trajectory_bounded, edwp_avg_lower_bound_trajectory_with_scratch,
+    edwp_avg_with_scratch, edwp_lower_bound_boxes, edwp_lower_bound_boxes_bounded,
+    edwp_lower_bound_boxes_with_scratch, edwp_lower_bound_trajectory,
+    edwp_lower_bound_trajectory_bounded, edwp_lower_bound_trajectory_with_scratch, edwp_sub,
     edwp_sub_with_scratch, edwp_with_scratch, BoxSeq, EdwpDistance, EdwpRawDistance, EdwpScratch,
     Metric, TrajDistance,
 };
 pub use traj_gen::{GenConfig, TrajGen};
-#[allow(deprecated)]
-pub use traj_index::{brute_force_knn, brute_force_range};
 pub use traj_index::{
     BatchQueryBuilder, BatchQueryResult, Neighbor, QueryBuilder, QueryResult, QueryStats, Session,
-    TrajId, TrajStore, TrajTree, TrajTreeConfig,
+    SessionBuilder, Snapshot, TrajId, TrajStore, TrajTree, TrajTreeConfig,
 };
 
 /// Metric helpers (precision, recall, reciprocal rank, pruning summaries).
@@ -102,20 +102,33 @@ mod tests {
             .brute_force()
             .knn(3);
         assert_eq!(norm.neighbors, norm_ref.neighbors);
+        let snap = session.snapshot();
         let top = norm.neighbors[0];
-        let t = session
-            .store()
-            .try_get(top.id)
-            .expect("result ids are valid");
+        let t = snap.try_get(top.id).expect("result ids are valid");
         assert!(approx_eq(top.distance, edwp_avg(&query, t)));
 
         // Scratch-pooled kernels match the plain ones bit-for-bit.
         let mut scratch = EdwpScratch::new();
-        let other = session.store().get(7);
+        let other = snap.get(7);
         assert_eq!(
             edwp_with_scratch(&query, other, &mut scratch),
             edwp(&query, other)
         );
+
+        // Sharding is invisible in results: a 4-shard session over the same
+        // data answers bit-for-bit identically, while inserts stream in
+        // without disturbing a previously captured epoch.
+        let sharded = Session::builder()
+            .shards(4)
+            .build(TrajStore::from(g.database(30, 4, 8)));
+        let epoch = sharded.snapshot();
+        sharded.insert(query.clone());
+        assert_eq!(epoch.len(), 30);
+        assert_eq!(sharded.len(), 31);
+        let pinned = epoch.query(&query).knn(3);
+        let live = sharded.snapshot().query(&query).knn(3);
+        assert_eq!(live.neighbors[0].id, 30, "self-match on the new insert");
+        assert_ne!(pinned.neighbors, live.neighbors);
     }
 
     /// Snapshot of the facade's intended public surface. Every listed item
@@ -123,7 +136,6 @@ mod tests {
     /// test at compile time; growing the surface means extending this list
     /// deliberately (and the README's API table with it).
     #[test]
-    #[allow(deprecated)]
     fn public_api_snapshot() {
         use std::any::type_name;
 
@@ -151,6 +163,8 @@ mod tests {
             type_name::<QueryStats>(),
             type_name::<Segment>(),
             type_name::<Session>(),
+            type_name::<SessionBuilder>(),
+            type_name::<Snapshot>(),
             type_name::<StBox>(),
             type_name::<StPoint>(),
             type_name::<TotalF64>(),
@@ -165,24 +179,26 @@ mod tests {
         ];
         assert_eq!(
             types.len(),
-            27,
+            29,
             "type surface changed — update the snapshot"
         );
 
         let functions = [
             value_item!(approx_eq),
-            value_item!(brute_force_knn), // deprecated, removed next release
-            value_item!(brute_force_range), // deprecated, removed next release
             value_item!(edwp),
             value_item!(edwp_avg),
             value_item!(edwp_avg_lower_bound_boxes),
+            value_item!(edwp_avg_lower_bound_boxes_bounded),
             value_item!(edwp_avg_lower_bound_boxes_with_scratch),
             value_item!(edwp_avg_lower_bound_trajectory),
+            value_item!(edwp_avg_lower_bound_trajectory_bounded),
             value_item!(edwp_avg_lower_bound_trajectory_with_scratch),
             value_item!(edwp_avg_with_scratch),
             value_item!(edwp_lower_bound_boxes),
+            value_item!(edwp_lower_bound_boxes_bounded),
             value_item!(edwp_lower_bound_boxes_with_scratch),
             value_item!(edwp_lower_bound_trajectory),
+            value_item!(edwp_lower_bound_trajectory_bounded),
             value_item!(edwp_lower_bound_trajectory_with_scratch),
             value_item!(edwp_sub),
             value_item!(edwp_sub_with_scratch),
@@ -191,7 +207,7 @@ mod tests {
         ];
         assert_eq!(
             functions.len(),
-            18,
+            20,
             "function/const surface changed — update the snapshot"
         );
     }
