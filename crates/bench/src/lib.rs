@@ -62,6 +62,22 @@ pub fn make_queries(store: &TrajStore, count: usize) -> Vec<Trajectory> {
         .collect()
 }
 
+/// Deterministic *partial-trip* query workload for the sub-trajectory
+/// mode: the middle half of a stored trip, perturbed — what
+/// `query_vs_sub` drives through `.sub().knn(k)`.
+pub fn make_sub_queries(store: &TrajStore, count: usize) -> Vec<Trajectory> {
+    let mut g = TrajGen::new(BENCH_SEED ^ 0x5B);
+    (0..count)
+        .map(|i| {
+            let target = ((i * 29 + 5) % store.len()) as u32;
+            let host = store.get(target);
+            let n = host.num_points();
+            let piece = host.sub_trajectory(n / 4, (3 * n / 4).max(n / 4 + 1));
+            g.perturb(&piece, 1.0)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +91,7 @@ mod tests {
         let qa = make_queries(&a, 3);
         let qb = make_queries(&b, 3);
         assert_eq!(qa, qb);
+        assert_eq!(make_sub_queries(&a, 3), make_sub_queries(&b, 3));
         assert_eq!(make_index(&a).len(), 40);
         assert_eq!(make_session(40).len(), 40);
         let sharded = make_sharded_session(40, 4);

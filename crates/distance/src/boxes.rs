@@ -336,6 +336,91 @@ pub fn edwp_avg_lower_bound_boxes_bounded(
     )
 }
 
+/// Provably admissible lower bound on the **sub-trajectory** distance
+/// `EDwP_sub(t, T)` (Sec. IV-B, Eq. 6) for every trajectory `T` summarised
+/// by `seq` — the bound that makes index-backed sub-trajectory search
+/// exact.
+///
+/// Numerically this is [`edwp_lower_bound_boxes`] — and that identity *is*
+/// the theorem: the Theorem 2 relaxation is one-sided. Every edit of an
+/// optimal `EDwP_sub` alignment still consumes a piece of the query (the
+/// query is fully consumed in sub mode; only `T`'s prefix and suffix are
+/// skipped, and skipped pieces appear in **no** cost term), and every
+/// stored-side anchor of a costed edit lies on `T`, inside the union of
+/// `seq`'s boxes. Each edit therefore costs at least
+/// `2 · min_b dist(piece, b) · len(piece)`, and the pieces of each query
+/// segment tile its length:
+/// `EDwP_sub(t, T) ≥ Σ_i 2 · len(e_i) · min_b dist(e_i, b)`. Since the
+/// derivation never charges the stored side's coverage, discarding `T`'s
+/// unmatched portions costs the bound nothing.
+///
+/// Contrast with [`edwp_sub_boxes`]: that DP's canonical interpolated
+/// anchors can overshoot the true optimum on coalesced boxes (>40%
+/// observed), so it is only *approximately* admissible and stays
+/// construction-only. This bound never exceeds `EDwP_sub(t, T)`
+/// (property-tested, including after incremental merges), so best-first
+/// sub-trajectory search pruned with it returns exactly the brute-force
+/// `edwp_sub` scan.
+pub fn edwp_sub_lower_bound_boxes(t: &Trajectory, seq: &BoxSeq) -> f64 {
+    edwp_lower_bound_boxes(t, seq)
+}
+
+/// [`edwp_sub_lower_bound_boxes`] with caller-pooled working memory (see
+/// [`edwp_lower_bound_boxes_with_scratch`]). Identical value to the plain
+/// function.
+pub fn edwp_sub_lower_bound_boxes_with_scratch(
+    t: &Trajectory,
+    seq: &BoxSeq,
+    scratch: &mut EdwpScratch,
+) -> f64 {
+    edwp_sub_lower_bound_boxes_bounded(t, seq, f64::INFINITY, scratch)
+}
+
+/// Early-exit variant of [`edwp_sub_lower_bound_boxes_with_scratch`] —
+/// the same accumulation and therefore the exact cutoff contract of
+/// [`edwp_lower_bound_boxes_bounded`]: partial sums are admissible against
+/// `EDwP_sub` (every term under-counts one costed edit), bailing happens
+/// strictly above `cutoff`, and a returned value `<= cutoff` is the full
+/// bound bit-for-bit.
+pub fn edwp_sub_lower_bound_boxes_bounded(
+    t: &Trajectory,
+    seq: &BoxSeq,
+    cutoff: f64,
+    scratch: &mut EdwpScratch,
+) -> f64 {
+    edwp_lower_bound_boxes_bounded(t, seq, cutoff, scratch)
+}
+
+/// The per-candidate refinement of [`edwp_sub_lower_bound_boxes`]:
+/// admissible against `EDwP_sub(t, s)` with exact segment-to-polyline
+/// distances, tighter than the box bound. Numerically
+/// [`edwp_lower_bound_trajectory`] — the same one-sided derivation applies
+/// verbatim with `s`'s polyline in place of the box union.
+pub fn edwp_sub_lower_bound_trajectory(t: &Trajectory, s: &Trajectory) -> f64 {
+    edwp_lower_bound_trajectory(t, s)
+}
+
+/// [`edwp_sub_lower_bound_trajectory`] with caller-pooled working memory.
+/// Identical value to the plain function.
+pub fn edwp_sub_lower_bound_trajectory_with_scratch(
+    t: &Trajectory,
+    s: &Trajectory,
+    scratch: &mut EdwpScratch,
+) -> f64 {
+    edwp_sub_lower_bound_trajectory_bounded(t, s, f64::INFINITY, scratch)
+}
+
+/// Early-exit variant of [`edwp_sub_lower_bound_trajectory_with_scratch`];
+/// same cutoff contract as [`edwp_sub_lower_bound_boxes_bounded`].
+pub fn edwp_sub_lower_bound_trajectory_bounded(
+    t: &Trajectory,
+    s: &Trajectory,
+    cutoff: f64,
+    scratch: &mut EdwpScratch,
+) -> f64 {
+    edwp_lower_bound_trajectory_bounded(t, s, cutoff, scratch)
+}
+
 /// Divides a raw lower bound by a normalisation denominator, preserving
 /// admissibility at the edges: a non-positive denominator means both sides
 /// are stationary, where `edwp_avg` is defined as 0.
@@ -802,6 +887,43 @@ mod tests {
         let seq = BoxSeq::from_trajectory(&a);
         assert!(approx_eq(edwp_lower_bound_boxes(&a, &seq), 0.0));
         assert!(approx_eq(edwp_lower_bound_trajectory(&a, &a), 0.0));
+    }
+
+    #[test]
+    fn sub_lower_bound_is_admissible_against_edwp_sub() {
+        // The sub-mode bound must stay below EDwP_sub — a strictly smaller
+        // target than EDwP, which edwp_sub_boxes misses on coarse boxes.
+        let t1 = t(&[(0.0, 0.0), (0.0, 8.0), (8.0, 8.0)]);
+        let t2 = t(&[(2.0, 0.0), (2.0, 7.0), (7.0, 7.0)]);
+        let mut seq = BoxSeq::from_trajectories([&t1, &t2].into_iter(), None).unwrap();
+        seq.coalesce(Some(2));
+        // A short probe matching only a *portion* of the members.
+        let q = t(&[(1.0, 1.0), (1.0, 5.0)]);
+        let lb = edwp_sub_lower_bound_boxes(&q, &seq);
+        for member in [&t1, &t2] {
+            let d = crate::edwp_sub(&q, member);
+            assert!(lb <= d + 1e-9, "sub box bound {lb} > edwp_sub {d}");
+            let poly = edwp_sub_lower_bound_trajectory(&q, member);
+            assert!(poly <= d + 1e-9, "sub polyline bound {poly} > edwp_sub {d}");
+        }
+    }
+
+    #[test]
+    fn sub_lower_bound_matches_whole_bound_accumulation() {
+        // The identity the admissibility proof rests on: the one-sided
+        // Theorem 2 relaxation never charges stored-side coverage, so the
+        // sub-mode entry points evaluate the same accumulation bitwise.
+        let q = t(&[(5.0, 5.0), (9.0, 9.0)]);
+        let s = t(&[(0.0, 0.0), (1.0, 4.0), (4.0, 1.0)]);
+        let seq = BoxSeq::from_trajectory(&s);
+        assert_eq!(
+            edwp_sub_lower_bound_boxes(&q, &seq),
+            edwp_lower_bound_boxes(&q, &seq)
+        );
+        assert_eq!(
+            edwp_sub_lower_bound_trajectory(&q, &s),
+            edwp_lower_bound_trajectory(&q, &s)
+        );
     }
 
     #[test]

@@ -31,6 +31,30 @@ pub fn edwp_sub_with_scratch(t: &Trajectory, s: &Trajectory, scratch: &mut EdwpS
     run_dp(t, s, DpMode::Sub, scratch)
 }
 
+/// Length-normalised `EDwP_sub`:
+/// `edwp_sub(t, s) / (length(t) + length(s))` — the sub-trajectory analogue
+/// of [`crate::edwp_avg`] (Eq. 4), what `Metric::EdwpNormalized` answers
+/// sub-mode queries with.
+///
+/// The denominator uses the *whole* stored trajectory's length, not the
+/// matched portion's (which only the DP's argmin knows): rankings therefore
+/// favour both a cheap embedding *and* a short host. Returns 0 when both
+/// trajectories are stationary, matching [`crate::edwp_avg`]'s convention.
+pub fn edwp_sub_avg(t: &Trajectory, s: &Trajectory) -> f64 {
+    edwp_sub_avg_with_scratch(t, s, &mut EdwpScratch::new())
+}
+
+/// [`edwp_sub_avg`] with caller-pooled working memory; identical value, and
+/// allocation-free once `scratch` is warm.
+pub fn edwp_sub_avg_with_scratch(t: &Trajectory, s: &Trajectory, scratch: &mut EdwpScratch) -> f64 {
+    let denom = t.length() + s.length();
+    if denom > 0.0 {
+        edwp_sub_with_scratch(t, s, scratch) / denom
+    } else {
+        0.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +130,47 @@ mod tests {
         let short = t(&[(10.0, 1.0), (20.0, 1.0)]);
         // Short inside long: cheap. Long against short: must stretch.
         assert!(edwp_sub(&short, &long) < edwp_sub(&long, &short));
+    }
+
+    #[test]
+    fn avg_normalises_by_both_full_lengths() {
+        let long = t(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (30.0, 0.0)]);
+        let short = t(&[(10.0, 1.0), (20.0, 1.0)]);
+        let raw = edwp_sub(&short, &long);
+        assert!(approx_eq(
+            edwp_sub_avg(&short, &long),
+            raw / (short.length() + long.length())
+        ));
+        // Scratch-pooled entry point is bitwise identical.
+        let mut scratch = crate::EdwpScratch::new();
+        assert_eq!(
+            edwp_sub_avg_with_scratch(&short, &long, &mut scratch),
+            edwp_sub_avg(&short, &long)
+        );
+    }
+
+    #[test]
+    fn avg_of_stationary_pair_is_zero() {
+        let a = t(&[(3.0, 3.0), (3.0, 3.0)]);
+        let b = t(&[(3.0, 3.0), (3.0, 3.0), (3.0, 3.0)]);
+        assert_eq!(edwp_sub_avg(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn degenerate_stationary_queries_stay_finite() {
+        // Zero-length (geometrically single-point) and repeated-point
+        // queries must flow through the sub DP without panicking or
+        // producing non-finite values — the shapes the query surface's
+        // degenerate-input hardening rides on.
+        let host = t(&[(0.0, 0.0), (5.0, 0.0), (10.0, 0.0)]);
+        for q in [
+            t(&[(4.0, 1.0), (4.0, 1.0)]),
+            t(&[(4.0, 1.0), (4.0, 1.0), (4.0, 1.0)]),
+        ] {
+            let d = edwp_sub(&q, &host);
+            assert!(d.is_finite() && d >= 0.0, "got {d}");
+            assert!(edwp_sub(&host, &q).is_finite());
+            assert!(edwp_sub_avg(&q, &host).is_finite());
+        }
     }
 }

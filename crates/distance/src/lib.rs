@@ -5,11 +5,15 @@
 //!
 //! The centrepiece is [`edwp`] — *Edit Distance with Projections* — together
 //! with its length-normalised variant [`edwp_avg`] (Eq. 4, used throughout
-//! the paper's experiments) and the sub-trajectory variant [`edwp_sub`]
-//! (Sec. IV-B). The `boxes` module provides tBoxSeq summaries
-//! ([`BoxSeq`]), their construction-time alignment ([`edwp_sub_boxes`]),
-//! and the admissible pruning bounds the TrajTree index searches with
-//! ([`edwp_lower_bound_boxes`], [`edwp_lower_bound_trajectory`]).
+//! the paper's experiments) and the sub-trajectory variants [`edwp_sub`] /
+//! [`edwp_sub_avg`] (Sec. IV-B). The `boxes` module provides tBoxSeq
+//! summaries ([`BoxSeq`]), their construction-time alignment
+//! ([`edwp_sub_boxes`] — only *approximately* admissible, see its docs),
+//! and the provably admissible pruning bounds the TrajTree index searches
+//! with: [`edwp_lower_bound_boxes`] / [`edwp_lower_bound_trajectory`] for
+//! whole-trajectory queries and [`edwp_sub_lower_bound_boxes`] /
+//! [`edwp_sub_lower_bound_trajectory`] for sub-trajectory ([`QueryMode::Sub`])
+//! queries.
 //!
 //! The `baselines` module reimplements every comparison technique of the
 //! paper: DTW, LCSS, ERP, EDR, DISSIM and MA, all behind the common
@@ -36,13 +40,51 @@ pub use boxes::{
     edwp_avg_lower_bound_trajectory_bounded, edwp_avg_lower_bound_trajectory_with_scratch,
     edwp_lower_bound_boxes, edwp_lower_bound_boxes_bounded, edwp_lower_bound_boxes_with_scratch,
     edwp_lower_bound_trajectory, edwp_lower_bound_trajectory_bounded,
-    edwp_lower_bound_trajectory_with_scratch, edwp_sub_boxes, BoxAlignment, BoxSeq, RepOp,
+    edwp_lower_bound_trajectory_with_scratch, edwp_sub_boxes, edwp_sub_lower_bound_boxes,
+    edwp_sub_lower_bound_boxes_bounded, edwp_sub_lower_bound_boxes_with_scratch,
+    edwp_sub_lower_bound_trajectory, edwp_sub_lower_bound_trajectory_bounded,
+    edwp_sub_lower_bound_trajectory_with_scratch, BoxAlignment, BoxSeq, RepOp,
 };
 pub use edwp::reference::edwp_reference;
-pub use edwp::sub::{edwp_sub, edwp_sub_with_scratch};
+pub use edwp::sub::{edwp_sub, edwp_sub_avg, edwp_sub_avg_with_scratch, edwp_sub_with_scratch};
 pub use edwp::{edwp, edwp_avg, edwp_avg_with_scratch, edwp_with_scratch, EdwpScratch};
 
 use traj_core::Trajectory;
+
+/// What a query matches against — the second pluggable axis of the query
+/// surface, orthogonal to [`Metric`].
+///
+/// [`QueryMode::Whole`] compares the query against each stored trajectory
+/// end-to-end (EDwP, Sec. III). [`QueryMode::Sub`] compares it against the
+/// best-matching contiguous *portion* of each stored trajectory
+/// (`EDwP_sub`, Sec. IV-B): the stored prefix and suffix are skipped for
+/// free, so a short probe embeds cheaply into a long host — the
+/// partial-trip lookup and motif-discovery workload.
+///
+/// Both modes are exact under both metrics: sub-mode pruning uses
+/// [`edwp_sub_lower_bound_boxes`], whose one-sided derivation makes the
+/// Theorem 2 relaxation admissible against `EDwP_sub` as well.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum QueryMode {
+    /// Whole-trajectory matching: distances are `edwp` / `edwp_avg`.
+    #[default]
+    Whole,
+    /// Sub-trajectory matching: distances are [`edwp_sub`] /
+    /// [`edwp_sub_avg`] — asymmetric by design (query first, stored
+    /// trajectory second).
+    Sub,
+}
+
+impl QueryMode {
+    /// Short display name (`"whole"` / `"sub"`), for reports and bench
+    /// labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryMode::Whole => "whole",
+            QueryMode::Sub => "sub",
+        }
+    }
+}
 
 /// The distance a query is answered under — the pluggable-metric axis of
 /// the query builder API. Both variants are exact and admissibly
@@ -64,19 +106,35 @@ pub enum Metric {
 }
 
 impl Metric {
-    /// The exact distance between two trajectories under this metric, via
-    /// caller-pooled kernel memory.
+    /// The exact distance from query `a` to stored trajectory `b` under
+    /// this metric in the given [`QueryMode`], via caller-pooled kernel
+    /// memory. Argument order matters in [`QueryMode::Sub`]: the *query*
+    /// is fully consumed, `b`'s prefix/suffix are skipped for free.
     #[inline]
-    pub fn distance(self, a: &Trajectory, b: &Trajectory, scratch: &mut EdwpScratch) -> f64 {
-        match self {
-            Metric::Edwp => edwp_with_scratch(a, b, scratch),
-            Metric::EdwpNormalized => edwp_avg_with_scratch(a, b, scratch),
+    pub fn distance(
+        self,
+        mode: QueryMode,
+        a: &Trajectory,
+        b: &Trajectory,
+        scratch: &mut EdwpScratch,
+    ) -> f64 {
+        match (self, mode) {
+            (Metric::Edwp, QueryMode::Whole) => edwp_with_scratch(a, b, scratch),
+            (Metric::Edwp, QueryMode::Sub) => edwp_sub_with_scratch(a, b, scratch),
+            (Metric::EdwpNormalized, QueryMode::Whole) => edwp_avg_with_scratch(a, b, scratch),
+            (Metric::EdwpNormalized, QueryMode::Sub) => edwp_sub_avg_with_scratch(a, b, scratch),
         }
     }
 
-    /// Admissible lower bound on `self.distance(q, T)` for every trajectory
-    /// `T` summarised by `seq`, where `max_len` upper-bounds the length of
-    /// each summarised trajectory (ignored by [`Metric::Edwp`]).
+    /// Admissible lower bound on `self.distance(mode, q, T, ..)` for every
+    /// trajectory `T` summarised by `seq`, where `max_len` upper-bounds the
+    /// length of each summarised trajectory (ignored by [`Metric::Edwp`]).
+    ///
+    /// The bound is **mode-independent**: the one-sided Theorem 2
+    /// relaxation never charges stored-side coverage, so the same
+    /// accumulation lower-bounds `edwp` and `edwp_sub` alike (see
+    /// [`edwp_sub_lower_bound_boxes`] — sub-mode dispatch goes through the
+    /// named sub entry points so the admissibility claim has an anchor).
     ///
     /// `cutoff` is the caller's current pruning threshold (in this metric's
     /// scale): the per-segment accumulation bails as soon as the partial
@@ -90,34 +148,51 @@ impl Metric {
     #[inline]
     pub fn lower_bound_boxes(
         self,
+        mode: QueryMode,
         q: &Trajectory,
         seq: &BoxSeq,
         max_len: f64,
         cutoff: f64,
         scratch: &mut EdwpScratch,
     ) -> f64 {
-        match self {
-            Metric::Edwp => edwp_lower_bound_boxes_bounded(q, seq, cutoff, scratch),
-            Metric::EdwpNormalized => {
+        match (self, mode) {
+            (Metric::Edwp, QueryMode::Whole) => {
+                edwp_lower_bound_boxes_bounded(q, seq, cutoff, scratch)
+            }
+            (Metric::Edwp, QueryMode::Sub) => {
+                edwp_sub_lower_bound_boxes_bounded(q, seq, cutoff, scratch)
+            }
+            // The normalised bound divides the (mode-independent) raw
+            // accumulation by `length(q) + max_len`; `max_len >=
+            // length(s)` makes that the largest denominator either
+            // normalised distance can have — admissible in both modes.
+            (Metric::EdwpNormalized, _) => {
                 edwp_avg_lower_bound_boxes_bounded(q, seq, max_len, cutoff, scratch)
             }
         }
     }
 
-    /// Admissible lower bound on `self.distance(q, t)` for one concrete
-    /// candidate, tighter than the box bound. Same early-exit `cutoff`
-    /// contract as [`Metric::lower_bound_boxes`].
+    /// Admissible lower bound on `self.distance(mode, q, t, ..)` for one
+    /// concrete candidate, tighter than the box bound. Mode-independent
+    /// like [`Metric::lower_bound_boxes`], same early-exit `cutoff`
+    /// contract.
     #[inline]
     pub fn lower_bound_trajectory(
         self,
+        mode: QueryMode,
         q: &Trajectory,
         t: &Trajectory,
         cutoff: f64,
         scratch: &mut EdwpScratch,
     ) -> f64 {
-        match self {
-            Metric::Edwp => edwp_lower_bound_trajectory_bounded(q, t, cutoff, scratch),
-            Metric::EdwpNormalized => {
+        match (self, mode) {
+            (Metric::Edwp, QueryMode::Whole) => {
+                edwp_lower_bound_trajectory_bounded(q, t, cutoff, scratch)
+            }
+            (Metric::Edwp, QueryMode::Sub) => {
+                edwp_sub_lower_bound_trajectory_bounded(q, t, cutoff, scratch)
+            }
+            (Metric::EdwpNormalized, _) => {
                 edwp_avg_lower_bound_trajectory_bounded(q, t, cutoff, scratch)
             }
         }

@@ -13,7 +13,11 @@ use traj_dist::{
     edwp, edwp_lower_bound_boxes, edwp_lower_bound_boxes_bounded,
     edwp_lower_bound_boxes_with_scratch, edwp_lower_bound_trajectory,
     edwp_lower_bound_trajectory_bounded, edwp_lower_bound_trajectory_with_scratch, edwp_sub,
-    edwp_sub_with_scratch, edwp_with_scratch, BoxSeq, EdwpScratch,
+    edwp_sub_avg, edwp_sub_avg_with_scratch, edwp_sub_lower_bound_boxes,
+    edwp_sub_lower_bound_boxes_bounded, edwp_sub_lower_bound_boxes_with_scratch,
+    edwp_sub_lower_bound_trajectory, edwp_sub_lower_bound_trajectory_bounded,
+    edwp_sub_lower_bound_trajectory_with_scratch, edwp_sub_with_scratch, edwp_with_scratch, BoxSeq,
+    EdwpScratch,
 };
 
 struct CountingAllocator;
@@ -67,8 +71,11 @@ fn scratch_kernels_are_allocation_free_after_warmup() {
     scratch.set_query(&t1);
     let warm_edwp = edwp_with_scratch(&t1, &t2, &mut scratch);
     let warm_sub = edwp_sub_with_scratch(&t1, &t2, &mut scratch);
+    let warm_sub_avg = edwp_sub_avg_with_scratch(&t1, &t2, &mut scratch);
     let warm_boxes = edwp_lower_bound_boxes_with_scratch(&t1, &seq, &mut scratch);
     let warm_poly = edwp_lower_bound_trajectory_with_scratch(&t1, &t2, &mut scratch);
+    let warm_sub_boxes = edwp_sub_lower_bound_boxes_with_scratch(&t1, &seq, &mut scratch);
+    let warm_sub_poly = edwp_sub_lower_bound_trajectory_with_scratch(&t1, &t2, &mut scratch);
 
     // The hard requirement: warm scratch calls never touch the heap.
     let (sum, allocs) = counting(|| {
@@ -79,10 +86,18 @@ fn scratch_kernels_are_allocation_free_after_warmup() {
             acc += edwp_sub_with_scratch(&t1, &t2, &mut scratch);
             acc += edwp_lower_bound_boxes_with_scratch(&t1, &seq, &mut scratch);
             acc += edwp_lower_bound_trajectory_with_scratch(&t1, &t2, &mut scratch);
+            // The sub-trajectory query mode's kernels pool the same
+            // buffers: the distance, its normalised variant and both
+            // admissible sub bounds must stay allocation-free too.
+            acc += edwp_sub_avg_with_scratch(&t1, &t2, &mut scratch);
+            acc += edwp_sub_lower_bound_boxes_with_scratch(&t1, &seq, &mut scratch);
+            acc += edwp_sub_lower_bound_trajectory_with_scratch(&t1, &t2, &mut scratch);
             // The early-exit engine kernels share the same pooled buffers:
             // bailing early must not cost an allocation either.
             acc += edwp_lower_bound_boxes_bounded(&t1, &seq, 0.0, &mut scratch);
             acc += edwp_lower_bound_trajectory_bounded(&t1, &t2, 0.0, &mut scratch);
+            acc += edwp_sub_lower_bound_boxes_bounded(&t1, &seq, 0.0, &mut scratch);
+            acc += edwp_sub_lower_bound_trajectory_bounded(&t1, &t2, 0.0, &mut scratch);
         }
         acc
     });
@@ -96,8 +111,11 @@ fn scratch_kernels_are_allocation_free_after_warmup() {
     // allocating wrapper bit-for-bit.
     assert_eq!(warm_edwp, edwp(&t1, &t2));
     assert_eq!(warm_sub, edwp_sub(&t1, &t2));
+    assert_eq!(warm_sub_avg, edwp_sub_avg(&t1, &t2));
     assert_eq!(warm_boxes, edwp_lower_bound_boxes(&t1, &seq));
     assert_eq!(warm_poly, edwp_lower_bound_trajectory(&t1, &t2));
+    assert_eq!(warm_sub_boxes, edwp_sub_lower_bound_boxes(&t1, &seq));
+    assert_eq!(warm_sub_poly, edwp_sub_lower_bound_trajectory(&t1, &t2));
 
     // And the plain wrappers do allocate — the regression guard is
     // meaningful only if the counter actually sees this crate's traffic.

@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use traj_core::{StPoint, Trajectory};
-use traj_dist::{edwp, edwp_avg, edwp_reference, edwp_sub, BoxSeq};
+use traj_dist::{edwp, edwp_avg, edwp_reference, edwp_sub, edwp_sub_avg, BoxSeq};
 
 /// Strategy: a random trajectory with `n` points in a 100×100 box and
 /// unit-spaced timestamps.
@@ -204,6 +204,112 @@ proptest! {
             let d = edwp(&q, t);
             prop_assert!(lb <= d + 1e-6 * (1.0 + d),
                 "coalesced lower bound {lb} > edwp {d}");
+        }
+    }
+
+    /// The sub-trajectory index bound (what `.sub()` queries prune with):
+    /// `edwp_sub_lower_bound_boxes(q, seq) <= edwp_sub(q, t)` for **every**
+    /// trajectory summarised by the sequence — a strictly stronger claim
+    /// than Theorem 2's `<= edwp(q, t)`, and exactly what the
+    /// approximately-admissible `edwp_sub_boxes` fails on coarse boxes.
+    /// Checked on bulk-built sequences, after aggressive coalescing, and
+    /// after *incremental* merges (the insert path).
+    #[test]
+    fn sub_box_lower_bound_is_admissible_against_edwp_sub(
+        ts in prop::collection::vec(trajectory(2, 6), 1..4),
+        extra in trajectory(2, 6),
+        q in trajectory(2, 6),
+    ) {
+        let mut seq = BoxSeq::from_trajectories(ts.iter(), None).unwrap();
+        seq.coalesce(Some(3));
+        for t in &ts {
+            let d = edwp_sub(&q, t);
+            let lb = traj_dist::edwp_sub_lower_bound_boxes(&q, &seq);
+            prop_assert!(lb <= d + 1e-6 * (1.0 + d),
+                "sub box bound {lb} > edwp_sub {d}");
+        }
+        // Incremental insert: merging one more trajectory must leave the
+        // bound admissible for old and new members alike.
+        let mut seq = seq.merge_trajectory(&extra);
+        seq.coalesce(Some(3));
+        let lb = traj_dist::edwp_sub_lower_bound_boxes(&q, &seq);
+        for t in ts.iter().chain(std::iter::once(&extra)) {
+            let d = edwp_sub(&q, t);
+            prop_assert!(lb <= d + 1e-6 * (1.0 + d),
+                "post-merge sub box bound {lb} > edwp_sub {d}");
+        }
+    }
+
+    /// The per-candidate sub refinement and the normalised sub dispatch:
+    /// both stay below the (normalised) sub distance of the concrete
+    /// trajectory.
+    #[test]
+    fn sub_polyline_and_normalised_bounds_are_admissible(
+        q in trajectory(2, 7),
+        t in trajectory(2, 7),
+    ) {
+        let d = edwp_sub(&q, &t);
+        let lb = traj_dist::edwp_sub_lower_bound_trajectory(&q, &t);
+        prop_assert!(lb <= d + 1e-6 * (1.0 + d),
+            "sub polyline bound {lb} > edwp_sub {d}");
+        // The normalised sub distance divides by length(q) + length(t);
+        // the Metric dispatch reuses edwp_avg_lower_bound_trajectory,
+        // which must therefore stay below edwp_sub_avg as well.
+        let dn = edwp_sub_avg(&q, &t);
+        let lbn = traj_dist::edwp_avg_lower_bound_trajectory(&q, &t);
+        prop_assert!(lbn <= dn + 1e-6 * (1.0 + dn),
+            "normalised bound {lbn} > edwp_sub_avg {dn}");
+        // And the box form with a (possibly loose) max_len.
+        let seq = BoxSeq::from_trajectory(&t);
+        let lbb = traj_dist::edwp_avg_lower_bound_boxes(&q, &seq, t.length() + 1.0);
+        prop_assert!(lbb <= dn + 1e-6 * (1.0 + dn),
+            "normalised sub box bound {lbb} > edwp_sub_avg {dn}");
+    }
+
+    /// Cutoff contract of the sub `_bounded` kernels (what the engine's
+    /// early exit relies on): at or below the cutoff the full bound comes
+    /// back bit-for-bit; above it, an admissible partial that certifies
+    /// the full bound is above the cutoff too.
+    #[test]
+    fn sub_bounded_kernels_honour_the_cutoff_contract(
+        ts in prop::collection::vec(trajectory(2, 6), 1..4),
+        q in trajectory(2, 6),
+        frac in 0.0..1.5f64,
+    ) {
+        let mut scratch = traj_dist::EdwpScratch::new();
+        let mut seq = BoxSeq::from_trajectories(ts.iter(), None).unwrap();
+        seq.coalesce(Some(3));
+
+        let full = traj_dist::edwp_sub_lower_bound_boxes(&q, &seq);
+        for cutoff in [full * frac, full, f64::INFINITY] {
+            let got =
+                traj_dist::edwp_sub_lower_bound_boxes_bounded(&q, &seq, cutoff, &mut scratch);
+            if got <= cutoff {
+                prop_assert_eq!(got, full);
+            } else {
+                prop_assert!(got <= full,
+                    "partial sum {} overshot the full sub bound {}", got, full);
+                prop_assert!(full > cutoff,
+                    "bailed although the full sub bound is within the cutoff");
+            }
+            // Every return value — truncated or not — stays admissible.
+            for t in &ts {
+                let d = edwp_sub(&q, t);
+                prop_assert!(got <= d + 1e-6 * (1.0 + d));
+            }
+        }
+
+        let t = &ts[0];
+        let full_poly = traj_dist::edwp_sub_lower_bound_trajectory(&q, t);
+        for cutoff in [full_poly * frac, full_poly, f64::INFINITY] {
+            let got = traj_dist::edwp_sub_lower_bound_trajectory_bounded(
+                &q, t, cutoff, &mut scratch);
+            if got <= cutoff {
+                prop_assert_eq!(got, full_poly);
+            } else {
+                prop_assert!(got <= full_poly);
+                prop_assert!(full_poly > cutoff);
+            }
         }
     }
 

@@ -12,7 +12,7 @@
 #![warn(missing_docs)]
 
 use traj_core::Trajectory;
-use traj_dist::Metric;
+use traj_dist::{Metric, QueryMode};
 use traj_eval::{ids_of, reciprocal_rank, PruningSummary};
 use traj_gen::{GenConfig, TrajGen};
 use traj_index::{QueryStats, Session, TrajStore};
@@ -37,6 +37,10 @@ pub struct ExperimentConfig {
     /// EDwP); exactness is always checked against a brute-force reference
     /// under the same metric.
     pub metric: Metric,
+    /// Whether queries match whole stored trajectories or their
+    /// best-matching contiguous portions (`EDwP_sub`) — the `.sub()`
+    /// builder axis; exactness is checked under the same mode.
+    pub mode: QueryMode,
     /// Number of shards the session partitions the database across
     /// (results must be identical at any value — part of what the
     /// experiments verify).
@@ -53,6 +57,7 @@ impl Default for ExperimentConfig {
             resample_keep: 0.5,
             noise_sigma: 0.3,
             metric: Metric::Edwp,
+            mode: QueryMode::Whole,
             shards: 1,
         }
     }
@@ -124,9 +129,17 @@ fn make_fixture(config: &ExperimentConfig) -> Fixture {
     let mut queries = Vec::with_capacity(config.queries);
     let mut targets = Vec::with_capacity(config.queries);
     for q in 0..config.queries {
-        // Query = a distorted copy of a database member.
+        // Query = a distorted copy of a database member — of its middle
+        // *portion* in sub mode, the partial-trip lookup the mode is for.
         let target = ((q * 37 + 11) % snap.len()) as u32;
-        let original = snap.get(target).clone();
+        let member = snap.get(target);
+        let original = match config.mode {
+            QueryMode::Whole => member.clone(),
+            QueryMode::Sub => {
+                let n = member.num_points();
+                member.sub_trajectory(n / 4, (3 * n / 4).max(n / 4 + 1))
+            }
+        };
         let resampled = g.resample(&original, config.resample_keep);
         let query = if config.noise_sigma > 0.0 {
             g.perturb(&resampled, config.noise_sigma)
@@ -160,6 +173,7 @@ pub fn knn_experiment(config: ExperimentConfig) -> ExperimentReport {
             .session
             .query(query)
             .metric(config.metric)
+            .mode(config.mode)
             .collect_stats()
             .knn(config.k);
         let want = fx
@@ -167,6 +181,7 @@ pub fn knn_experiment(config: ExperimentConfig) -> ExperimentReport {
             .snapshot()
             .query(query)
             .metric(config.metric)
+            .mode(config.mode)
             .brute_force()
             .knn(config.k);
         if got.neighbors == want.neighbors {
@@ -181,6 +196,7 @@ pub fn knn_experiment(config: ExperimentConfig) -> ExperimentReport {
         .session
         .batch(&fx.queries)
         .metric(config.metric)
+        .mode(config.mode)
         .threads(4)
         .knn(config.k);
     let batch_consistent = batched.neighbors == sequential;
@@ -217,6 +233,7 @@ pub fn range_experiment(config: ExperimentConfig, eps: f64) -> RangeReport {
             .session
             .query(query)
             .metric(config.metric)
+            .mode(config.mode)
             .collect_stats()
             .range(eps);
         let want = fx
@@ -224,6 +241,7 @@ pub fn range_experiment(config: ExperimentConfig, eps: f64) -> RangeReport {
             .snapshot()
             .query(query)
             .metric(config.metric)
+            .mode(config.mode)
             .brute_force()
             .range(eps);
         if got.neighbors == want.neighbors {
@@ -241,6 +259,7 @@ pub fn range_experiment(config: ExperimentConfig, eps: f64) -> RangeReport {
         .session
         .batch(&fx.queries)
         .metric(config.metric)
+        .mode(config.mode)
         .threads(4)
         .range(eps);
     let batch_consistent = batched.neighbors == sequential;
@@ -295,6 +314,46 @@ mod tests {
         );
         assert!(report.batch_consistent);
         assert!(report.mean_reciprocal_rank > 0.5);
+    }
+
+    #[test]
+    fn experiment_is_exact_in_sub_mode() {
+        // The index-backed sub-trajectory path: distorted partial trips
+        // must retrieve exactly what a brute-force edwp_sub scan retrieves,
+        // sequentially and batched, while pruning more than half of the
+        // database on this clustered fixture.
+        for shards in [1usize, 2] {
+            let report = knn_experiment(ExperimentConfig {
+                db_size: 120,
+                queries: 8,
+                mode: QueryMode::Sub,
+                shards,
+                ..ExperimentConfig::default()
+            });
+            assert_eq!(
+                report.exactness, 1.0,
+                "{shards}-shard sub-mode index diverged from brute force"
+            );
+            assert!(report.batch_consistent, "sub-mode batch diverged");
+            assert!(
+                report.pruning.mean_pruning_ratio > 0.5,
+                "sub-mode pruning too weak: {}",
+                report.pruning.mean_pruning_ratio
+            );
+            assert!(report.mean_reciprocal_rank > 0.3);
+        }
+        // Range finisher under sub mode, same exactness contract.
+        let range = range_experiment(
+            ExperimentConfig {
+                db_size: 100,
+                queries: 6,
+                mode: QueryMode::Sub,
+                ..ExperimentConfig::default()
+            },
+            2000.0,
+        );
+        assert_eq!(range.exactness, 1.0, "sub-mode range diverged");
+        assert!(range.batch_consistent);
     }
 
     #[test]

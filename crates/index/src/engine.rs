@@ -29,23 +29,28 @@
 //! ids through a [`RoutedCollector`] so thresholds and tie-breaking work on
 //! the global id space.
 //!
-//! Exactness: every queue key is a true lower bound of the EDwP distance of
-//! every trajectory below the entry (keys are additionally clamped to be
-//! monotone along refinement paths), so when the queue's minimum exceeds
-//! the collector's threshold, no unexplored trajectory can change the
-//! result. Ties on the threshold keep expanding so id-order tie-breaking
-//! matches the brute-force reference exactly.
+//! Exactness: every queue key is a true lower bound of the query's
+//! metric-and-mode distance (whole-trajectory EDwP or sub-trajectory
+//! `EDwP_sub` — the Theorem 2 relaxation is one-sided, so the same
+//! accumulation is admissible for both, see
+//! [`traj_dist::edwp_sub_lower_bound_boxes`]) of every trajectory below
+//! the entry (keys are additionally clamped to be monotone along
+//! refinement paths), so when the queue's minimum exceeds the collector's
+//! threshold, no unexplored trajectory can change the result. Ties on the
+//! threshold keep expanding so id-order tie-breaking matches the
+//! brute-force reference exactly.
 
 use crate::store::{TrajId, TrajStore};
 use crate::tree::{Node, TrajTree};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use traj_core::{TotalF64, Trajectory};
-use traj_dist::{EdwpScratch, Metric};
+use traj_dist::{EdwpScratch, Metric, QueryMode};
 
 /// One query answer: a trajectory id and its exact distance to the query
-/// under the query's [`Metric`] (raw EDwP unless the builder selected
-/// [`Metric::EdwpNormalized`]).
+/// under the query's [`Metric`] and [`QueryMode`] (whole-trajectory raw
+/// EDwP unless the builder selected [`Metric::EdwpNormalized`] and/or
+/// sub-trajectory matching via `.sub()`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Neighbor {
     /// Id of the matched trajectory.
@@ -307,6 +312,14 @@ impl Ord for QueueEntry<'_> {
     }
 }
 
+/// The (metric, mode) pair one search answers under — the two pluggable
+/// matching axes, bundled so they travel together through the traversal.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Matching {
+    pub(crate) metric: Metric,
+    pub(crate) mode: QueryMode,
+}
+
 /// Runs one best-first search over `tree`, feeding every exact evaluation
 /// into `collector` and every unit of work into `stats`.
 ///
@@ -318,11 +331,12 @@ pub(crate) fn best_first<C: Collector>(
     tree: &TrajTree,
     store: &TrajStore,
     query: &Trajectory,
-    metric: Metric,
+    matching: Matching,
     collector: &mut C,
     scratch: &mut EdwpScratch,
     stats: &mut QueryStats,
 ) {
+    let Matching { metric, mode } = matching;
     let Some(root) = tree.root.as_ref() else {
         return;
     };
@@ -350,6 +364,7 @@ pub(crate) fn best_first<C: Collector>(
     // at pop time whether or not it was fully evaluated (thresholds only
     // tighten, so the pruning decision can never be invalidated later).
     let root_key = metric.lower_bound_boxes(
+        mode,
         query,
         root.summary(),
         root.max_len(),
@@ -372,6 +387,7 @@ pub(crate) fn best_first<C: Collector>(
                         for child in children {
                             stats.bump_bounds();
                             let lb = metric.lower_bound_boxes(
+                                mode,
                                 query,
                                 child.summary(),
                                 child.max_len(),
@@ -396,6 +412,7 @@ pub(crate) fn best_first<C: Collector>(
                             // segment-to-polyline distances instead of box
                             // distances.
                             let lb = metric.lower_bound_trajectory(
+                                mode,
                                 query,
                                 store.get(id),
                                 collector.threshold(),
@@ -413,7 +430,7 @@ pub(crate) fn best_first<C: Collector>(
             }
             QueueItem::Traj(id) => {
                 stats.bump_edwp();
-                collector.offer(id, metric.distance(query, store.get(id), scratch));
+                collector.offer(id, metric.distance(mode, query, store.get(id), scratch));
             }
         }
     }

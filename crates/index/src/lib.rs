@@ -33,8 +33,10 @@
 //!   the shards and pooled scratch, and every query is phrased through the
 //!   typed [`QueryBuilder`] / [`BatchQueryBuilder`] —
 //!   `session.query(&q).knn(10)`, `.range(eps)`,
+//!   `session.query(&q).sub().knn(k)` (sub-trajectory matching),
 //!   `session.batch(&qs).threads(4).knn(k)` — with modifiers for the
 //!   [`traj_dist::Metric`] (raw vs length-normalised EDwP), the
+//!   [`traj_dist::QueryMode`] (whole vs best-portion `EDwP_sub`), the
 //!   brute-force reference, and [`QueryStats`] collection. Queries
 //!   scatter-gather: single queries share one collector (and thus one
 //!   global pruning threshold) across shards; batch finishers schedule
@@ -57,10 +59,20 @@
 //!    (for k-NN-like collectors, also teach the batch gather step how to
 //!    merge per-shard partials).
 //!
-//! Both metrics are exact: raw EDwP admits box lower bounds directly
-//! (Theorem 2); the length-normalised variant divides that bound by
-//! `length(query) + max_len(node)`, where every node's `max_len` (the
-//! longest trajectory in its subtree) is maintained by build and insert.
+//! A new *matching semantics* (rather than a new result shape) is a
+//! [`traj_dist::QueryMode`] instead: sub-trajectory search added no
+//! collector at all — a `mode` field on the builders' shared spec, a
+//! distance + admissible-bound dispatch arm in `traj_dist::Metric`, and
+//! every finisher/metric/shard/thread/brute-force combination came for
+//! free. See the README's "adding a query type" walkthrough.
+//!
+//! Both metrics and both modes are exact: raw EDwP admits box lower
+//! bounds directly (Theorem 2); the length-normalised variant divides
+//! that bound by `length(query) + max_len(node)`, where every node's
+//! `max_len` (the longest trajectory in its subtree) is maintained by
+//! build and insert; and sub-trajectory matching reuses the same
+//! (one-sided, hence mode-independent) accumulation via
+//! [`traj_dist::edwp_sub_lower_bound_boxes`].
 
 #![warn(missing_docs)]
 
@@ -78,6 +90,6 @@ pub use shard::Snapshot;
 pub use store::{TrajId, TrajStore};
 pub use tree::{TrajTree, TrajTreeConfig};
 
-// The metric axis is part of the query surface; re-export it so callers
-// of this crate alone can name it.
-pub use traj_dist::Metric;
+// The metric and mode axes are part of the query surface; re-export them
+// so callers of this crate alone can name them.
+pub use traj_dist::{Metric, QueryMode};

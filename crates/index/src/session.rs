@@ -6,7 +6,9 @@
 //! One builder serves every combination: the query *type* is the finisher
 //! ([`QueryBuilder::knn`] / [`QueryBuilder::range`]), and every orthogonal
 //! axis is a modifier — [`QueryBuilder::metric`] (raw vs length-normalised
-//! EDwP), [`QueryBuilder::brute_force`] (linear-scan reference),
+//! EDwP), [`QueryBuilder::sub`] (sub-trajectory matching: the query
+//! against the best contiguous portion of each stored trajectory),
+//! [`QueryBuilder::brute_force`] (linear-scan reference),
 //! [`QueryBuilder::collect_stats`] (work counters),
 //! [`BatchQueryBuilder::threads`] (parallel fan-out). Invalid combinations
 //! are unrepresentable at compile time: `eps` exists only as the `range`
@@ -36,15 +38,15 @@
 //! `tests/builder_equivalence.rs`.
 
 use crate::engine::{
-    best_first, sort_neighbors, Collector, KnnCollector, Neighbor, QueryStats, RangeCollector,
-    RoutedCollector,
+    best_first, sort_neighbors, Collector, KnnCollector, Matching, Neighbor, QueryStats,
+    RangeCollector, RoutedCollector,
 };
 use crate::shard::{shard_of, Shard, Snapshot};
 use crate::store::{TrajId, TrajStore};
 use crate::tree::{TrajTree, TrajTreeConfig};
 use std::sync::{Arc, RwLock};
 use traj_core::Trajectory;
-use traj_dist::{EdwpScratch, Metric};
+use traj_dist::{EdwpScratch, Metric, QueryMode};
 
 /// Result of a single query: the matched neighbours (ascending
 /// `(distance, id)`) and, when [`QueryBuilder::collect_stats`] was
@@ -78,6 +80,7 @@ pub struct BatchQueryResult {
 #[derive(Debug, Clone, Copy, Default)]
 struct Spec {
     metric: Metric,
+    mode: QueryMode,
     brute_force: bool,
     collect_stats: bool,
 }
@@ -384,8 +387,15 @@ impl SessionBuilder {
 
     /// Scatters `store` round-robin across the shards (global id `g` goes
     /// to shard `g mod shards`) and bulk-loads one tree per shard.
+    ///
+    /// Relies on the invariant that `self.shards >= 1`
+    /// ([`SessionBuilder::shards`] clamps, the default is 1, and the field
+    /// is private), so a count of 0 can never reach the `g mod n` router —
+    /// which would panic on every insert and lookup; regression-tested in
+    /// `tests/sub_and_edge_properties.rs`.
     pub fn build(self, store: TrajStore) -> Session {
         let SessionBuilder { shards: n, config } = self;
+        debug_assert!(n >= 1, "SessionBuilder::shards maintains n >= 1");
         let mut parts: Vec<Vec<Trajectory>> = (0..n).map(|_| Vec::new()).collect();
         for (i, t) in store.into_vec().into_iter().enumerate() {
             parts[i % n].push(t);
@@ -483,9 +493,29 @@ impl<'a> QueryBuilder<'a> {
         self
     }
 
+    /// Answers the query in the given [`QueryMode`] (default:
+    /// whole-trajectory matching). [`QueryBuilder::sub`] is the idiomatic
+    /// shorthand for [`QueryMode::Sub`].
+    pub fn mode(mut self, mode: QueryMode) -> Self {
+        self.spec.mode = mode;
+        self
+    }
+
+    /// Matches the query against the best contiguous *portion* of each
+    /// stored trajectory (`EDwP_sub`, Sec. IV-B) instead of end-to-end:
+    /// `session.query(&probe).sub().knn(k)` is the partial-trip lookup.
+    /// Distances (and any range `eps`) are in the sub metric's scale —
+    /// `edwp_sub` for [`Metric::Edwp`], `edwp_sub_avg` for
+    /// [`Metric::EdwpNormalized`]. Exact: index answers equal the
+    /// brute-force `edwp_sub` scan bitwise, at any shard count.
+    pub fn sub(self) -> Self {
+        self.mode(QueryMode::Sub)
+    }
+
     /// Answers with the linear-scan reference instead of the index: every
     /// stored trajectory gets a full distance evaluation. Same collectors,
     /// no pruning — the ground truth index searches are tested against.
+    /// Composes with every mode and metric, including `.sub()`.
     pub fn brute_force(mut self) -> Self {
         self.spec.brute_force = true;
         self
@@ -515,8 +545,15 @@ impl<'a> QueryBuilder<'a> {
     }
 
     /// Finishes as a range query: every trajectory within `eps`
-    /// (inclusive) of the query under the chosen metric, ascending
-    /// `(distance, id)`.
+    /// (inclusive) of the query under the chosen metric and mode,
+    /// ascending `(distance, id)`.
+    ///
+    /// Edge contract (shared bitwise by the indexed, brute-force and batch
+    /// paths): a NaN or strictly negative `eps` matches nothing and
+    /// returns an empty result without scanning — distances are
+    /// non-negative and NaN compares false to everything. `-0.0` behaves
+    /// as `0.0` (inclusive zero-radius ball), `f64::INFINITY` returns the
+    /// whole database.
     #[must_use = "running a range query only to drop its result does no work worth paying for"]
     pub fn range(self, eps: f64) -> QueryResult {
         let QueryBuilder {
@@ -570,6 +607,19 @@ impl<'a> BatchQueryBuilder<'a> {
         self
     }
 
+    /// Answers every query in the given [`QueryMode`] (default:
+    /// whole-trajectory matching).
+    pub fn mode(mut self, mode: QueryMode) -> Self {
+        self.spec.mode = mode;
+        self
+    }
+
+    /// Sub-trajectory matching for the whole batch — see
+    /// [`QueryBuilder::sub`].
+    pub fn sub(self) -> Self {
+        self.mode(QueryMode::Sub)
+    }
+
     /// Answers with the linear-scan reference instead of the index.
     pub fn brute_force(mut self) -> Self {
         self.spec.brute_force = true;
@@ -588,7 +638,8 @@ impl<'a> BatchQueryBuilder<'a> {
         self.run(QueryKind::Knn(k))
     }
 
-    /// Finishes as a range query per input query.
+    /// Finishes as a range query per input query — same `eps` edge
+    /// contract as [`QueryBuilder::range`] (NaN/negative match nothing).
     #[must_use = "running a batch query only to drop its result does no work worth paying for"]
     pub fn range(self, eps: f64) -> BatchQueryResult {
         self.run(QueryKind::Range(eps))
@@ -675,6 +726,18 @@ enum QueryKind {
     Range(f64),
 }
 
+/// The documented range edge contract: an `eps` that can match anything.
+/// Rejects NaN and strict negatives up front (distances are non-negative;
+/// NaN compares false to everything) so the indexed, brute-force and batch
+/// paths all short-circuit to the same empty result instead of scanning —
+/// under NaN the engine's `bound > threshold` cutoff never fires, so a
+/// traversal would needlessly visit the entire tree. `-0.0 >= 0.0` holds,
+/// so `-0.0` keeps behaving as the inclusive zero-radius ball.
+#[inline]
+fn eps_can_match(eps: f64) -> bool {
+    eps >= 0.0
+}
+
 /// Runs a closure with the caller's pooled scratch, or a fresh one.
 fn with_scratch<R>(scratch: Option<&mut EdwpScratch>, f: impl FnOnce(&mut EdwpScratch) -> R) -> R {
     match scratch {
@@ -709,11 +772,15 @@ fn exec_single(
             }
         }
         QueryKind::Range(eps) => {
-            let mut collector = RangeCollector::new(eps);
-            for view in source.views() {
-                drive(&view, query, spec, &mut collector, scratch, &mut stats);
+            if eps_can_match(eps) {
+                let mut collector = RangeCollector::new(eps);
+                for view in source.views() {
+                    drive(&view, query, spec, &mut collector, scratch, &mut stats);
+                }
+                collector.into_neighbors()
+            } else {
+                Vec::new()
             }
-            collector.into_neighbors()
         }
     };
     QueryResult {
@@ -751,9 +818,13 @@ fn run_item(
             }
         }
         QueryKind::Range(eps) => {
-            let mut collector = RangeCollector::new(eps);
-            drive(view, query, spec, &mut collector, scratch, &mut stats);
-            collector.into_neighbors()
+            if eps_can_match(eps) {
+                let mut collector = RangeCollector::new(eps);
+                drive(view, query, spec, &mut collector, scratch, &mut stats);
+                collector.into_neighbors()
+            } else {
+                Vec::new()
+            }
         }
     };
     (neighbors, stats)
@@ -776,14 +847,17 @@ fn drive<C: Collector>(
     if spec.brute_force {
         for (local, t) in view.store.iter() {
             stats.bump_edwp();
-            routed.offer(local, spec.metric.distance(query, t, scratch));
+            routed.offer(local, spec.metric.distance(spec.mode, query, t, scratch));
         }
     } else {
         best_first(
             view.tree,
             view.store,
             query,
-            spec.metric,
+            Matching {
+                metric: spec.metric,
+                mode: spec.mode,
+            },
             &mut routed,
             scratch,
             stats,

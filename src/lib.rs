@@ -6,9 +6,10 @@
 //!
 //! * geometry: [`Point`], [`StPoint`], [`Segment`], [`StBox`],
 //!   [`Trajectory`], and the error types [`CoreError`] / [`TrajError`];
-//! * distances: [`edwp`], [`edwp_avg`], [`edwp_sub`], the pooled-scratch
-//!   hot-path variants ([`EdwpScratch`], [`edwp_with_scratch`],
-//!   [`edwp_avg_with_scratch`]), the [`TrajDistance`] trait and the
+//! * distances: [`edwp`], [`edwp_avg`], [`edwp_sub`], [`edwp_sub_avg`],
+//!   the pooled-scratch hot-path variants ([`EdwpScratch`],
+//!   [`edwp_with_scratch`], [`edwp_avg_with_scratch`],
+//!   [`edwp_sub_with_scratch`]), the [`TrajDistance`] trait and the
 //!   paper's baselines in [`baselines`];
 //! * the query surface: a sharded [`Session`] (built via
 //!   [`Session::builder`] with `.shards(n)`, default 1) owning per-shard
@@ -16,7 +17,10 @@
 //!   queried through the typed [`QueryBuilder`] / [`BatchQueryBuilder`] —
 //!   `session.query(&q).knn(10)`, `.range(eps)`,
 //!   `session.batch(&qs).threads(4).knn(k)` — with a pluggable [`Metric`]
-//!   (raw vs length-normalised EDwP), a `.brute_force()` reference mode
+//!   (raw vs length-normalised EDwP), a [`QueryMode`] axis
+//!   (`.sub()` matches the query against the best contiguous *portion*
+//!   of each stored trajectory — the partial-trip lookup), a
+//!   `.brute_force()` reference mode
 //!   and `.collect_stats()` work counters, returning [`QueryResult`] /
 //!   [`BatchQueryResult`]. [`Session::insert`] streams new trajectories in
 //!   while concurrent readers keep a stable epoch ([`Snapshot`]);
@@ -41,8 +45,11 @@ pub use traj_dist::{
     edwp_avg_with_scratch, edwp_lower_bound_boxes, edwp_lower_bound_boxes_bounded,
     edwp_lower_bound_boxes_with_scratch, edwp_lower_bound_trajectory,
     edwp_lower_bound_trajectory_bounded, edwp_lower_bound_trajectory_with_scratch, edwp_sub,
-    edwp_sub_with_scratch, edwp_with_scratch, BoxSeq, EdwpDistance, EdwpRawDistance, EdwpScratch,
-    Metric, TrajDistance,
+    edwp_sub_avg, edwp_sub_avg_with_scratch, edwp_sub_lower_bound_boxes,
+    edwp_sub_lower_bound_boxes_bounded, edwp_sub_lower_bound_boxes_with_scratch,
+    edwp_sub_lower_bound_trajectory, edwp_sub_lower_bound_trajectory_bounded,
+    edwp_sub_lower_bound_trajectory_with_scratch, edwp_sub_with_scratch, edwp_with_scratch, BoxSeq,
+    EdwpDistance, EdwpRawDistance, EdwpScratch, Metric, QueryMode, TrajDistance,
 };
 pub use traj_gen::{GenConfig, TrajGen};
 pub use traj_index::{
@@ -115,6 +122,22 @@ mod tests {
             edwp(&query, other)
         );
 
+        // Sub-trajectory matching: a stored trip's middle portion finds its
+        // host at (near-)zero sub distance, exactly as the brute-force
+        // edwp_sub scan ranks it.
+        let host_id = 3u32;
+        let host = snap.get(host_id);
+        let piece = host.sub_trajectory(1, host.num_points() - 2);
+        let sub_hits = session.query(&piece).sub().knn(3);
+        let sub_ref = session.query(&piece).sub().brute_force().knn(3);
+        assert_eq!(sub_hits.neighbors, sub_ref.neighbors);
+        assert!(
+            sub_hits.neighbors.iter().any(|n| n.id == host_id),
+            "host trip missing from sub-trajectory top-3"
+        );
+        let top = sub_hits.neighbors[0];
+        assert!(approx_eq(top.distance, edwp_sub(&piece, snap.get(top.id))));
+
         // Sharding is invisible in results: a 4-shard session over the same
         // data answers bit-for-bit identically, while inserts stream in
         // without disturbing a previously captured epoch.
@@ -159,6 +182,7 @@ mod tests {
             type_name::<Neighbor>(),
             type_name::<Point>(),
             type_name::<QueryBuilder<'static>>(),
+            type_name::<QueryMode>(),
             type_name::<QueryResult>(),
             type_name::<QueryStats>(),
             type_name::<Segment>(),
@@ -179,7 +203,7 @@ mod tests {
         ];
         assert_eq!(
             types.len(),
-            29,
+            30,
             "type surface changed — update the snapshot"
         );
 
@@ -201,13 +225,21 @@ mod tests {
             value_item!(edwp_lower_bound_trajectory_bounded),
             value_item!(edwp_lower_bound_trajectory_with_scratch),
             value_item!(edwp_sub),
+            value_item!(edwp_sub_avg),
+            value_item!(edwp_sub_avg_with_scratch),
+            value_item!(edwp_sub_lower_bound_boxes),
+            value_item!(edwp_sub_lower_bound_boxes_bounded),
+            value_item!(edwp_sub_lower_bound_boxes_with_scratch),
+            value_item!(edwp_sub_lower_bound_trajectory),
+            value_item!(edwp_sub_lower_bound_trajectory_bounded),
+            value_item!(edwp_sub_lower_bound_trajectory_with_scratch),
             value_item!(edwp_sub_with_scratch),
             value_item!(edwp_with_scratch),
             value_item!(EPSILON),
         ];
         assert_eq!(
             functions.len(),
-            20,
+            28,
             "function/const surface changed — update the snapshot"
         );
     }
