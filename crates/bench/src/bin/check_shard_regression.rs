@@ -1,0 +1,129 @@
+//! Regression guard over `query_vs_shards` bench results.
+//!
+//! Reads the JSON summary the vendored criterion shim writes to
+//! `target/bench-results/query_vs_shards.json` and asserts that sharding
+//! the store does not regress query latency: the 4-shard `single_knn` and
+//! `batch_knn_t4` rows must each stay within `slack × ` their 1-shard
+//! counterparts. PR 5 shipped with 4 shards ~1.7x slower on single k-NN
+//! (sequential scatter under per-shard thresholds); the forest / shared-
+//! threshold traversal removed that, and this binary keeps it removed.
+//!
+//! Usage: `cargo run -p traj-bench --bin check_shard_regression [path]`.
+//! Without an argument the file is located via `CARGO_TARGET_DIR` or by
+//! walking up from the current directory to the workspace `Cargo.lock`.
+//! `TRAJ_SHARD_SLACK` overrides the allowed ratio (default 1.25; CI's
+//! 1 ms-budget smoke runs are noisy and set a looser value). Exits 1
+//! with the offending ratios on failure.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const DEFAULT_SLACK: f64 = 1.25;
+const GUARDED_ROWS: [&str; 2] = ["single_knn", "batch_knn_t4"];
+
+fn main() -> ExitCode {
+    let path = match std::env::args().nth(1).map(PathBuf::from) {
+        Some(p) => p,
+        None => match locate_results() {
+            Some(p) => p,
+            None => {
+                eprintln!(
+                    "check_shard_regression: could not locate \
+                     target/bench-results/query_vs_shards.json; run \
+                     `cargo bench -p traj-bench --bench query_vs_shards` first \
+                     or pass the path explicitly"
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "check_shard_regression: cannot read {}: {e}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let slack = match std::env::var("TRAJ_SHARD_SLACK") {
+        Ok(s) => match s.parse::<f64>() {
+            Ok(v) if v.is_finite() && v > 0.0 => v,
+            _ => {
+                eprintln!("check_shard_regression: invalid TRAJ_SHARD_SLACK {s:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => DEFAULT_SLACK,
+    };
+
+    println!("checking {} (slack {slack}x)", path.display());
+    let mut failed = false;
+    for row in GUARDED_ROWS {
+        let base = mean_ns(&text, row, 1);
+        let sharded = mean_ns(&text, row, 4);
+        let (base, sharded) = match (base, sharded) {
+            (Some(b), Some(s)) => (b, s),
+            _ => {
+                eprintln!("FAIL {row}: missing 1-shard or 4-shard entry in results file");
+                failed = true;
+                continue;
+            }
+        };
+        let ratio = sharded / base;
+        let verdict = if ratio <= slack { "ok  " } else { "FAIL" };
+        println!(
+            "{verdict} {row}: 4 shards {:.3} ms vs 1 shard {:.3} ms (ratio {ratio:.2}, limit {slack})",
+            sharded / 1e6,
+            base / 1e6,
+        );
+        if ratio > slack {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("check_shard_regression: sharded queries regressed past the slack limit");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Pull `mean_ns` for `query_vs_shards/<row>/<shards>` out of the summary
+/// JSON. The shim writes one flat `{"name": ..., "mean_ns": ..., ...}`
+/// object per line, so a keyed scan is enough — no JSON dependency needed.
+fn mean_ns(text: &str, row: &str, shards: usize) -> Option<f64> {
+    let name = format!("\"query_vs_shards/{row}/{shards}\"");
+    let line = text.lines().find(|l| l.contains(&name))?;
+    let rest = line.split("\"mean_ns\":").nth(1)?;
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+/// `$CARGO_TARGET_DIR/bench-results/query_vs_shards.json`, or the same
+/// under `<workspace root>/target` found by walking up to a `Cargo.lock` —
+/// mirroring how the criterion shim picks its output directory.
+fn locate_results() -> Option<PathBuf> {
+    let rel = Path::new("bench-results").join("query_vs_shards.json");
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        let p = Path::new(&dir).join(&rel);
+        if p.is_file() {
+            return Some(p);
+        }
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            let p = dir.join("target").join(&rel);
+            return p.is_file().then_some(p);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

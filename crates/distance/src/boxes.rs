@@ -33,6 +33,7 @@
 //! `edwp_sub_boxes` remains the construction-time alignment cost for
 //! [`BoxSeq::merge_trajectory`], where admissibility is irrelevant.
 
+use crate::cutoff::Cutoff;
 use crate::edwp::EdwpScratch;
 use crate::matrix::Matrix;
 use traj_core::{Segment, StBox, StPoint, Trajectory};
@@ -233,23 +234,29 @@ pub fn edwp_lower_bound_boxes_with_scratch(
     seq: &BoxSeq,
     scratch: &mut EdwpScratch,
 ) -> f64 {
-    edwp_lower_bound_boxes_bounded(t, seq, f64::INFINITY, scratch)
+    edwp_lower_bound_boxes_bounded(t, seq, f64::INFINITY.into(), scratch)
 }
 
 /// Early-exit variant of [`edwp_lower_bound_boxes_with_scratch`] for search
 /// pruning: the per-segment accumulation bails as soon as the partial sum
-/// *strictly* exceeds `cutoff` (the collector's current pruning threshold),
-/// returning the partial sum.
+/// *strictly* exceeds the cutoff's current value (the collector's pruning
+/// threshold), returning the partial sum.
+///
+/// `cutoff` is a [`Cutoff`]: a plain constant (`threshold.into()`), or a
+/// live [`Cutoff::shared`] atomic re-loaded at every accumulation step, so
+/// a threshold another search worker tightens mid-kernel deepens this
+/// kernel's early exit immediately.
 ///
 /// Every partial sum is itself an admissible lower bound (all terms are
 /// non-negative), so the returned value can be used as a priority-queue key
 /// unchanged. The contract callers rely on:
 ///
-/// * `result <= cutoff` implies the accumulation ran to completion, so
-///   `result` equals the full bound bit-for-bit;
-/// * `result > cutoff` implies the full bound also exceeds `cutoff` (the
-///   partial sum never overshoots the total), so the pruning decision is
-///   identical — only cheaper.
+/// * `result <= cutoff.current()` (evaluated after the call; shared
+///   cutoffs only ever tighten) implies the accumulation ran to
+///   completion, so `result` equals the full bound bit-for-bit;
+/// * a bailed result implies the full bound also exceeds the cutoff value
+///   the bail compared against (the partial sum never overshoots the
+///   total), so the pruning decision is identical — only cheaper.
 ///
 /// The comparison is strict so a bound that lands exactly *on* the
 /// threshold is still returned in full: the engine keeps expanding ties to
@@ -257,7 +264,7 @@ pub fn edwp_lower_bound_boxes_with_scratch(
 pub fn edwp_lower_bound_boxes_bounded(
     t: &Trajectory,
     seq: &BoxSeq,
-    cutoff: f64,
+    cutoff: Cutoff<'_>,
     scratch: &mut EdwpScratch,
 ) -> f64 {
     if seq.is_empty() {
@@ -266,16 +273,50 @@ pub fn edwp_lower_bound_boxes_bounded(
     let boxes = seq.boxes();
     let mut sum = 0.0;
     for (e, len) in scratch.query_pieces(t) {
-        let d = boxes
-            .iter()
-            .map(|b| b.closest_param_on_segment(e).1)
-            .fold(f64::INFINITY, f64::min);
+        // The minimum over boxes is computed with a cheap prescreen: the
+        // axis-aligned distance between the segment's bounding box and a
+        // summary box never exceeds the true segment-to-box distance, so a
+        // box whose prescreen already matches or exceeds the running
+        // minimum cannot improve it — the exact edge computation is
+        // skipped without changing the minimum (compared squared, no
+        // sqrt). A zero minimum ends the sweep: distances are
+        // non-negative.
+        let (exlo, exhi) = minmax(e.a.p.x, e.b.p.x);
+        let (eylo, eyhi) = minmax(e.a.p.y, e.b.p.y);
+        let mut d = f64::INFINITY;
+        let mut d2 = f64::INFINITY;
+        for b in boxes {
+            let dx = (b.lo.x - exhi).max(exlo - b.hi.x).max(0.0);
+            let dy = (b.lo.y - eyhi).max(eylo - b.hi.y).max(0.0);
+            if dx * dx + dy * dy >= d2 {
+                continue;
+            }
+            let v = b.closest_param_on_segment(e).1;
+            if v < d {
+                d = v;
+                d2 = v * v;
+                if v == 0.0 {
+                    break;
+                }
+            }
+        }
         sum += 2.0 * d * len;
-        if sum > cutoff {
+        if sum > cutoff.current() {
             return sum;
         }
     }
     sum
+}
+
+/// `(min, max)` of two floats, compared directly (inputs are coordinates,
+/// never NaN).
+#[inline]
+fn minmax(a: f64, b: f64) -> (f64, f64) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
 }
 
 /// Admissible lower bound on the *length-normalised* EDwP (Eq. 4)
@@ -303,12 +344,13 @@ pub fn edwp_avg_lower_bound_boxes_with_scratch(
     max_len: f64,
     scratch: &mut EdwpScratch,
 ) -> f64 {
-    edwp_avg_lower_bound_boxes_bounded(t, seq, max_len, f64::INFINITY, scratch)
+    edwp_avg_lower_bound_boxes_bounded(t, seq, max_len, f64::INFINITY.into(), scratch)
 }
 
 /// Early-exit variant of [`edwp_avg_lower_bound_boxes_with_scratch`]:
 /// `cutoff` is in the *normalised* metric's scale and is rescaled by the
-/// bound's denominator before driving the raw accumulation.
+/// bound's denominator before driving the raw accumulation (a shared
+/// cutoff is rescaled at every load, see [`Cutoff::scaled`]).
 ///
 /// Unlike the raw [`edwp_lower_bound_boxes_bounded`], the
 /// "`result <= cutoff` implies full bound" guarantee does **not** carry
@@ -321,7 +363,7 @@ pub fn edwp_avg_lower_bound_boxes_bounded(
     t: &Trajectory,
     seq: &BoxSeq,
     max_len: f64,
-    cutoff: f64,
+    cutoff: Cutoff<'_>,
     scratch: &mut EdwpScratch,
 ) -> f64 {
     let denom = t.length() + max_len;
@@ -331,7 +373,7 @@ pub fn edwp_avg_lower_bound_boxes_bounded(
         return 0.0;
     }
     normalize_bound(
-        edwp_lower_bound_boxes_bounded(t, seq, cutoff * denom, scratch),
+        edwp_lower_bound_boxes_bounded(t, seq, cutoff.scaled(denom), scratch),
         denom,
     )
 }
@@ -373,7 +415,7 @@ pub fn edwp_sub_lower_bound_boxes_with_scratch(
     seq: &BoxSeq,
     scratch: &mut EdwpScratch,
 ) -> f64 {
-    edwp_sub_lower_bound_boxes_bounded(t, seq, f64::INFINITY, scratch)
+    edwp_sub_lower_bound_boxes_bounded(t, seq, f64::INFINITY.into(), scratch)
 }
 
 /// Early-exit variant of [`edwp_sub_lower_bound_boxes_with_scratch`] —
@@ -385,7 +427,7 @@ pub fn edwp_sub_lower_bound_boxes_with_scratch(
 pub fn edwp_sub_lower_bound_boxes_bounded(
     t: &Trajectory,
     seq: &BoxSeq,
-    cutoff: f64,
+    cutoff: Cutoff<'_>,
     scratch: &mut EdwpScratch,
 ) -> f64 {
     edwp_lower_bound_boxes_bounded(t, seq, cutoff, scratch)
@@ -407,7 +449,7 @@ pub fn edwp_sub_lower_bound_trajectory_with_scratch(
     s: &Trajectory,
     scratch: &mut EdwpScratch,
 ) -> f64 {
-    edwp_sub_lower_bound_trajectory_bounded(t, s, f64::INFINITY, scratch)
+    edwp_sub_lower_bound_trajectory_bounded(t, s, f64::INFINITY.into(), scratch)
 }
 
 /// Early-exit variant of [`edwp_sub_lower_bound_trajectory_with_scratch`];
@@ -415,7 +457,7 @@ pub fn edwp_sub_lower_bound_trajectory_with_scratch(
 pub fn edwp_sub_lower_bound_trajectory_bounded(
     t: &Trajectory,
     s: &Trajectory,
-    cutoff: f64,
+    cutoff: Cutoff<'_>,
     scratch: &mut EdwpScratch,
 ) -> f64 {
     edwp_lower_bound_trajectory_bounded(t, s, cutoff, scratch)
@@ -458,27 +500,49 @@ pub fn edwp_lower_bound_trajectory_with_scratch(
     s: &Trajectory,
     scratch: &mut EdwpScratch,
 ) -> f64 {
-    edwp_lower_bound_trajectory_bounded(t, s, f64::INFINITY, scratch)
+    edwp_lower_bound_trajectory_bounded(t, s, f64::INFINITY.into(), scratch)
 }
 
 /// Early-exit variant of [`edwp_lower_bound_trajectory_with_scratch`] —
 /// same contract as [`edwp_lower_bound_boxes_bounded`]: bails (strictly)
-/// above `cutoff` with an admissible partial sum, and a returned value
-/// `<= cutoff` is the full bound bit-for-bit.
+/// above the cutoff's current value with an admissible partial sum, and a
+/// returned value `<= cutoff` is the full bound bit-for-bit.
 pub fn edwp_lower_bound_trajectory_bounded(
     t: &Trajectory,
     s: &Trajectory,
-    cutoff: f64,
+    cutoff: Cutoff<'_>,
     scratch: &mut EdwpScratch,
 ) -> f64 {
     let mut sum = 0.0;
     for (e, len) in scratch.query_pieces(t) {
-        let d = s
-            .segments()
-            .map(|f| e.closest_params(&f).2)
-            .fold(f64::INFINITY, f64::min);
+        // Same prescreen as [`edwp_lower_bound_boxes_bounded`]: the
+        // axis-aligned distance between the two segments' bounding boxes
+        // lower-bounds their true distance, so candidates that cannot
+        // improve the running minimum skip the exact closest-point
+        // computation without changing the result.
+        let (exlo, exhi) = minmax(e.a.p.x, e.b.p.x);
+        let (eylo, eyhi) = minmax(e.a.p.y, e.b.p.y);
+        let mut d = f64::INFINITY;
+        let mut d2 = f64::INFINITY;
+        for f in s.segments() {
+            let (fxlo, fxhi) = minmax(f.a.p.x, f.b.p.x);
+            let (fylo, fyhi) = minmax(f.a.p.y, f.b.p.y);
+            let dx = (fxlo - exhi).max(exlo - fxhi).max(0.0);
+            let dy = (fylo - eyhi).max(eylo - fyhi).max(0.0);
+            if dx * dx + dy * dy >= d2 {
+                continue;
+            }
+            let v = e.closest_params(&f).2;
+            if v < d {
+                d = v;
+                d2 = v * v;
+                if v == 0.0 {
+                    break;
+                }
+            }
+        }
         sum += 2.0 * d * len;
-        if sum > cutoff {
+        if sum > cutoff.current() {
             return sum;
         }
     }
@@ -501,7 +565,7 @@ pub fn edwp_avg_lower_bound_trajectory_with_scratch(
     s: &Trajectory,
     scratch: &mut EdwpScratch,
 ) -> f64 {
-    edwp_avg_lower_bound_trajectory_bounded(t, s, f64::INFINITY, scratch)
+    edwp_avg_lower_bound_trajectory_bounded(t, s, f64::INFINITY.into(), scratch)
 }
 
 /// Early-exit variant of [`edwp_avg_lower_bound_trajectory_with_scratch`]
@@ -510,7 +574,7 @@ pub fn edwp_avg_lower_bound_trajectory_with_scratch(
 pub fn edwp_avg_lower_bound_trajectory_bounded(
     t: &Trajectory,
     s: &Trajectory,
-    cutoff: f64,
+    cutoff: Cutoff<'_>,
     scratch: &mut EdwpScratch,
 ) -> f64 {
     let denom = t.length() + s.length();
@@ -518,7 +582,7 @@ pub fn edwp_avg_lower_bound_trajectory_bounded(
         return 0.0;
     }
     normalize_bound(
-        edwp_lower_bound_trajectory_bounded(t, s, cutoff * denom, scratch),
+        edwp_lower_bound_trajectory_bounded(t, s, cutoff.scaled(denom), scratch),
         denom,
     )
 }

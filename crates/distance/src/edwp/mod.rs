@@ -40,6 +40,7 @@
 pub(crate) mod reference;
 pub(crate) mod sub;
 
+use crate::Cutoff;
 use traj_core::{Point, Segment, Trajectory};
 
 /// Reusable scratch buffers for the EDwP kernels, so repeated distance and
@@ -258,10 +259,20 @@ pub(crate) enum DpMode {
 /// Shared EDwP dynamic program over the seven anchor kinds. All working
 /// state lives in `scratch`, so a warm scratch makes the call
 /// allocation-free.
+///
+/// `cutoff` enables *early abandon*: every alignment path consumes `t1`
+/// one anchor row at a time and every transition cost is non-negative, so
+/// the minimum over a completed DP row lower-bounds the final distance.
+/// When that row minimum strictly exceeds the cutoff's current value the
+/// DP stops and returns the row minimum — still an admissible lower bound
+/// of the true distance, and strictly above every threshold the cutoff
+/// will ever hold (cutoffs only tighten). A result at or below the
+/// cutoff's final value is therefore always the exact distance.
 pub(crate) fn run_dp(
     t1: &Trajectory,
     t2: &Trajectory,
     mode: DpMode,
+    cutoff: Cutoff<'_>,
     scratch: &mut EdwpScratch,
 ) -> f64 {
     let n = t1.num_points();
@@ -297,33 +308,54 @@ pub(crate) fn run_dp(
         let stamp = i as u32 + 1;
         let has_t1 = i + 1 < n;
         for j in 0..m {
+            // A cell with no reachable kind relaxes nothing — skip it
+            // before paying for split projections it would never use.
+            if cur[j].iter().all(|v| !v.is_finite()) {
+                continue;
+            }
             let has_t2 = j + 1 < m;
+            let both = has_t1 && has_t2;
+            // Kind-independent pieces of this `(i, j)` cell, hoisted out of
+            // the kind sweep: the `ins` split projections and the
+            // segment-head distances depend only on the cell, not on the
+            // anchor kind the edit leaves from. Values are identical to the
+            // per-kind recomputation, just computed once.
+            let (mut a2, mut b2) = (Point::new(0.0, 0.0), Point::new(0.0, 0.0));
+            let (mut d12, mut a2e2, mut e1b2) = (0.0, 0.0, 0.0);
+            if both {
+                let e1 = p[i + 1].p;
+                let e2 = q[j + 1].p;
+                a2 = proj_on_seg1(t1, i, e2);
+                b2 = proj_on_seg2(t2, j, e1);
+                d12 = e1.dist(e2);
+                a2e2 = a2.dist(e2);
+                e1b2 = e1.dist(b2);
+            }
             for k in KINDS {
                 let base = cur[j][k as usize];
                 if !base.is_finite() {
                     continue;
                 }
                 let (a, b) = anchors_memo(anchor_cells, t1, t2, i, j, k, stamp);
-                if has_t1 && has_t2 {
-                    let e1 = p[i + 1].p;
-                    let e2 = q[j + 1].p;
+                let dab = a.dist(b);
+                let dae1 = if has_t1 { a.dist(p[i + 1].p) } else { 0.0 };
+                let dbe2 = if has_t2 { b.dist(q[j + 1].p) } else { 0.0 };
+                if both {
                     // rep: consume both head pieces.
-                    let rep = (a.dist(b) + e1.dist(e2)) * (a.dist(e1) + b.dist(e2));
+                    let rep = (dab + d12) * (dae1 + dbe2);
                     relax(&mut nxt[j + 1], Kind::Bb, base + rep);
                     // ins into T1: T2 advances, T1 splits at proj(q_{j+1}).
-                    let a2 = proj_on_seg1(t1, i, e2);
-                    let ins1 = (a.dist(b) + a2.dist(e2)) * (a.dist(a2) + b.dist(e2));
+                    let ins1 = (dab + a2e2) * (a.dist(a2) + dbe2);
                     relax(&mut cur[j + 1], Kind::Ib, base + ins1);
                     // ins into T2: symmetric.
-                    let b2 = proj_on_seg2(t2, j, e1);
-                    let ins2 = (a.dist(b) + e1.dist(b2)) * (a.dist(e1) + b.dist(b2));
+                    let ins2 = (dab + e1b2) * (dae1 + b.dist(b2));
                     relax(&mut nxt[j], Kind::Bi, base + ins2);
                     // ins into both (second-order projection chains),
                     // capped at one split per side between replacements.
                     if !matches!(k, Kind::Ii1 | Kind::Ii2) {
                         for kk in [Kind::Ii1, Kind::Ii2] {
                             let (pi1, pi2) = anchors_memo(anchor_cells, t1, t2, i, j, kk, stamp);
-                            let cost = (a.dist(b) + pi1.dist(pi2)) * (a.dist(pi1) + b.dist(pi2));
+                            let cost = (dab + pi1.dist(pi2)) * (a.dist(pi1) + b.dist(pi2));
                             relax(&mut cur[j], kk, base + cost);
                         }
                     }
@@ -331,7 +363,7 @@ pub(crate) fn run_dp(
                 // Hold T1 (zero-length piece) while T2 advances one point.
                 if has_t2 {
                     let e2 = q[j + 1].p;
-                    let cost = base + (a.dist(b) + a.dist(e2)) * b.dist(e2);
+                    let cost = base + (dab + a.dist(e2)) * dbe2;
                     match k {
                         // Sample anchor stays a sample anchor.
                         Kind::Bb | Kind::Bi | Kind::BiL => relax(&mut cur[j + 1], Kind::Bb, cost),
@@ -348,7 +380,7 @@ pub(crate) fn run_dp(
                 // Hold T2 while T1 advances: symmetric.
                 if has_t1 {
                     let e1 = p[i + 1].p;
-                    let cost = base + (a.dist(b) + e1.dist(b)) * a.dist(e1);
+                    let cost = base + (dab + e1.dist(b)) * dae1;
                     match k {
                         Kind::Bb | Kind::Ib | Kind::IbL => relax(&mut nxt[j], Kind::Bb, cost),
                         Kind::Bi => relax(&mut nxt[j], Kind::BiL, cost),
@@ -362,6 +394,17 @@ pub(crate) fn run_dp(
             std::mem::swap(cur, nxt);
             for cell in nxt.iter_mut() {
                 *cell = [inf; NKINDS];
+            }
+            // Early abandon. After the swap `cur` holds row `i + 1` with
+            // every cross-row relaxation applied; the in-row transitions
+            // still to come only add non-negative cost to existing cells,
+            // so they can never lower the row minimum. That minimum
+            // lower-bounds the final distance (every alignment passes
+            // through each row), so a row already above the cutoff proves
+            // the pair can never beat the caller's threshold.
+            let row_min = cur.iter().flatten().copied().fold(f64::INFINITY, f64::min);
+            if row_min > cutoff.current() {
+                return row_min;
             }
         }
     }
@@ -397,7 +440,25 @@ pub fn edwp(t1: &Trajectory, t2: &Trajectory) -> f64 {
 /// `scratch` makes the call allocation-free, which is what the query
 /// engine's batch workers rely on.
 pub fn edwp_with_scratch(t1: &Trajectory, t2: &Trajectory, scratch: &mut EdwpScratch) -> f64 {
-    run_dp(t1, t2, DpMode::Global, scratch)
+    run_dp(t1, t2, DpMode::Global, f64::INFINITY.into(), scratch)
+}
+
+/// [`edwp_with_scratch`] with early abandon: the DP stops as soon as a
+/// completed anchor row proves the distance exceeds `cutoff`'s current
+/// value (the row minimum lower-bounds the final cost — see `run_dp`).
+///
+/// The result is always an admissible lower bound on `edwp(t1, t2)`, and
+/// it *is* the exact distance whenever it is at or below the cutoff's
+/// final value — the same contract as the `_bounded` pruning kernels, so
+/// k-NN engines can evaluate candidates under a live threshold and keep
+/// results bitwise identical to the unbounded scan.
+pub fn edwp_bounded(
+    t1: &Trajectory,
+    t2: &Trajectory,
+    cutoff: Cutoff<'_>,
+    scratch: &mut EdwpScratch,
+) -> f64 {
+    run_dp(t1, t2, DpMode::Global, cutoff, scratch)
 }
 
 /// Length-normalised EDwP (Eq. 4):

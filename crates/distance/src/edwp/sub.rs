@@ -15,6 +15,7 @@
 //! property `edwp_sub(t, s) ≤ edwp(t, s') ∀ s' ⊆ s` (see tests).
 
 use super::{run_dp, DpMode, EdwpScratch};
+use crate::Cutoff;
 use traj_core::Trajectory;
 
 /// `EDwP_sub(t, s)`: the cheapest EDwP alignment of the whole of `t`
@@ -28,7 +29,21 @@ pub fn edwp_sub(t: &Trajectory, s: &Trajectory) -> f64 {
 /// [`edwp_sub`] with caller-pooled working memory; see
 /// [`crate::edwp_with_scratch`].
 pub fn edwp_sub_with_scratch(t: &Trajectory, s: &Trajectory, scratch: &mut EdwpScratch) -> f64 {
-    run_dp(t, s, DpMode::Sub, scratch)
+    run_dp(t, s, DpMode::Sub, f64::INFINITY.into(), scratch)
+}
+
+/// [`edwp_sub_with_scratch`] with early abandon, same contract as
+/// [`crate::edwp_bounded`]: the query `t` is consumed row by row, so a
+/// completed row's minimum lower-bounds the final sub distance and a row
+/// above the cutoff ends the DP early. The result is exact whenever it is
+/// at or below the cutoff's final value.
+pub fn edwp_sub_bounded(
+    t: &Trajectory,
+    s: &Trajectory,
+    cutoff: Cutoff<'_>,
+    scratch: &mut EdwpScratch,
+) -> f64 {
+    run_dp(t, s, DpMode::Sub, cutoff, scratch)
 }
 
 /// Length-normalised `EDwP_sub`:

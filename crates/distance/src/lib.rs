@@ -31,6 +31,7 @@
 
 pub mod baselines;
 pub mod boxes;
+mod cutoff;
 mod edwp;
 mod matrix;
 
@@ -45,9 +46,14 @@ pub use boxes::{
     edwp_sub_lower_bound_trajectory, edwp_sub_lower_bound_trajectory_bounded,
     edwp_sub_lower_bound_trajectory_with_scratch, BoxAlignment, BoxSeq, RepOp,
 };
+pub use cutoff::Cutoff;
 pub use edwp::reference::edwp_reference;
-pub use edwp::sub::{edwp_sub, edwp_sub_avg, edwp_sub_avg_with_scratch, edwp_sub_with_scratch};
-pub use edwp::{edwp, edwp_avg, edwp_avg_with_scratch, edwp_with_scratch, EdwpScratch};
+pub use edwp::sub::{
+    edwp_sub, edwp_sub_avg, edwp_sub_avg_with_scratch, edwp_sub_bounded, edwp_sub_with_scratch,
+};
+pub use edwp::{
+    edwp, edwp_avg, edwp_avg_with_scratch, edwp_bounded, edwp_with_scratch, EdwpScratch,
+};
 
 use traj_core::Trajectory;
 
@@ -126,6 +132,52 @@ impl Metric {
         }
     }
 
+    /// [`Metric::distance`] with early abandon against a live `cutoff` (in
+    /// this metric's scale): the exact DP stops as soon as a completed
+    /// anchor row proves the distance exceeds the cutoff's current value
+    /// (see [`edwp_bounded`]).
+    ///
+    /// The result is always an admissible lower bound on the true
+    /// distance, and it *is* the exact distance whenever it is at or below
+    /// the cutoff's final value — cutoffs only tighten, so an abandoned
+    /// evaluation stays strictly above every threshold the cutoff will
+    /// ever hold. k-NN engines therefore keep exactness by discarding any
+    /// result above their final threshold (such a candidate can never
+    /// enter the answer set) and trusting the rest as exact distances.
+    #[inline]
+    pub fn distance_bounded(
+        self,
+        mode: QueryMode,
+        a: &Trajectory,
+        b: &Trajectory,
+        cutoff: Cutoff<'_>,
+        scratch: &mut EdwpScratch,
+    ) -> f64 {
+        match (self, mode) {
+            (Metric::Edwp, QueryMode::Whole) => edwp_bounded(a, b, cutoff, scratch),
+            (Metric::Edwp, QueryMode::Sub) => edwp_sub_bounded(a, b, cutoff, scratch),
+            // Normalised variants divide the raw DP by a denominator known
+            // up front, so the raw accumulation runs under the cutoff
+            // rescaled into raw space — per load, for shared cutoffs.
+            (Metric::EdwpNormalized, QueryMode::Whole) => {
+                let denom = a.length() + b.length();
+                if denom > 0.0 {
+                    edwp_bounded(a, b, cutoff.scaled(denom), scratch) / denom
+                } else {
+                    0.0
+                }
+            }
+            (Metric::EdwpNormalized, QueryMode::Sub) => {
+                let denom = a.length() + b.length();
+                if denom > 0.0 {
+                    edwp_sub_bounded(a, b, cutoff.scaled(denom), scratch) / denom
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
     /// Admissible lower bound on `self.distance(mode, q, T, ..)` for every
     /// trajectory `T` summarised by `seq`, where `max_len` upper-bounds the
     /// length of each summarised trajectory (ignored by [`Metric::Edwp`]).
@@ -138,12 +190,13 @@ impl Metric {
     ///
     /// `cutoff` is the caller's current pruning threshold (in this metric's
     /// scale): the per-segment accumulation bails as soon as the partial
-    /// sum strictly exceeds it, returning an admissible partial — pass
-    /// `f64::INFINITY` for the full bound. The returned value is a sound
-    /// pruning key under either metric, but only the raw metric guarantees
-    /// "`result <= cutoff` implies `result` is the full bound" (see
-    /// [`edwp_lower_bound_boxes_bounded`] vs
-    /// [`edwp_avg_lower_bound_boxes_bounded`]) — don't cache results as
+    /// sum strictly exceeds its *current* value — a [`Cutoff::constant`],
+    /// or a [`Cutoff::shared`] atomic that concurrent workers tighten
+    /// mid-kernel. Pass `f64::INFINITY.into()` for the full bound. The
+    /// returned value is a sound pruning key under either metric, but only
+    /// the raw metric guarantees "`result <= cutoff.current()` implies
+    /// `result` is the full bound" (see [`edwp_lower_bound_boxes_bounded`]
+    /// vs [`edwp_avg_lower_bound_boxes_bounded`]) — don't cache results as
     /// full bounds without checking the metric.
     #[inline]
     pub fn lower_bound_boxes(
@@ -152,7 +205,7 @@ impl Metric {
         q: &Trajectory,
         seq: &BoxSeq,
         max_len: f64,
-        cutoff: f64,
+        cutoff: Cutoff<'_>,
         scratch: &mut EdwpScratch,
     ) -> f64 {
         match (self, mode) {
@@ -182,7 +235,7 @@ impl Metric {
         mode: QueryMode,
         q: &Trajectory,
         t: &Trajectory,
-        cutoff: f64,
+        cutoff: Cutoff<'_>,
         scratch: &mut EdwpScratch,
     ) -> f64 {
         match (self, mode) {

@@ -94,10 +94,10 @@ fn scratch_kernels_are_allocation_free_after_warmup() {
             acc += edwp_sub_lower_bound_trajectory_with_scratch(&t1, &t2, &mut scratch);
             // The early-exit engine kernels share the same pooled buffers:
             // bailing early must not cost an allocation either.
-            acc += edwp_lower_bound_boxes_bounded(&t1, &seq, 0.0, &mut scratch);
-            acc += edwp_lower_bound_trajectory_bounded(&t1, &t2, 0.0, &mut scratch);
-            acc += edwp_sub_lower_bound_boxes_bounded(&t1, &seq, 0.0, &mut scratch);
-            acc += edwp_sub_lower_bound_trajectory_bounded(&t1, &t2, 0.0, &mut scratch);
+            acc += edwp_lower_bound_boxes_bounded(&t1, &seq, 0.0.into(), &mut scratch);
+            acc += edwp_lower_bound_trajectory_bounded(&t1, &t2, 0.0.into(), &mut scratch);
+            acc += edwp_sub_lower_bound_boxes_bounded(&t1, &seq, 0.0.into(), &mut scratch);
+            acc += edwp_sub_lower_bound_trajectory_bounded(&t1, &t2, 0.0.into(), &mut scratch);
         }
         acc
     });

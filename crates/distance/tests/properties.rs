@@ -282,8 +282,8 @@ proptest! {
 
         let full = traj_dist::edwp_sub_lower_bound_boxes(&q, &seq);
         for cutoff in [full * frac, full, f64::INFINITY] {
-            let got =
-                traj_dist::edwp_sub_lower_bound_boxes_bounded(&q, &seq, cutoff, &mut scratch);
+            let got = traj_dist::edwp_sub_lower_bound_boxes_bounded(
+                &q, &seq, cutoff.into(), &mut scratch);
             if got <= cutoff {
                 prop_assert_eq!(got, full);
             } else {
@@ -303,7 +303,7 @@ proptest! {
         let full_poly = traj_dist::edwp_sub_lower_bound_trajectory(&q, t);
         for cutoff in [full_poly * frac, full_poly, f64::INFINITY] {
             let got = traj_dist::edwp_sub_lower_bound_trajectory_bounded(
-                &q, t, cutoff, &mut scratch);
+                &q, t, cutoff.into(), &mut scratch);
             if got <= cutoff {
                 prop_assert_eq!(got, full_poly);
             } else {
@@ -331,7 +331,8 @@ proptest! {
         let full = traj_dist::edwp_lower_bound_boxes(&q, &seq);
         // A cutoff below, at, and above the full bound.
         for cutoff in [full * frac, full, f64::INFINITY] {
-            let got = traj_dist::edwp_lower_bound_boxes_bounded(&q, &seq, cutoff, &mut scratch);
+            let got = traj_dist::edwp_lower_bound_boxes_bounded(
+                &q, &seq, cutoff.into(), &mut scratch);
             if got <= cutoff {
                 prop_assert_eq!(got, full);
             } else {
@@ -343,8 +344,8 @@ proptest! {
         let t = &ts[0];
         let full_poly = traj_dist::edwp_lower_bound_trajectory(&q, t);
         for cutoff in [full_poly * frac, full_poly, f64::INFINITY] {
-            let got =
-                traj_dist::edwp_lower_bound_trajectory_bounded(&q, t, cutoff, &mut scratch);
+            let got = traj_dist::edwp_lower_bound_trajectory_bounded(
+                &q, t, cutoff.into(), &mut scratch);
             if got <= cutoff {
                 prop_assert_eq!(got, full_poly);
             } else {
@@ -358,12 +359,12 @@ proptest! {
         let full_norm = traj_dist::edwp_avg_lower_bound_boxes(&q, &seq, max_len);
         prop_assert_eq!(
             traj_dist::edwp_avg_lower_bound_boxes_bounded(
-                &q, &seq, max_len, f64::INFINITY, &mut scratch
+                &q, &seq, max_len, f64::INFINITY.into(), &mut scratch
             ),
             full_norm
         );
         let clipped = traj_dist::edwp_avg_lower_bound_boxes_bounded(
-            &q, &seq, max_len, full_norm * frac, &mut scratch,
+            &q, &seq, max_len, (full_norm * frac).into(), &mut scratch,
         );
         for t in &ts {
             let d = traj_dist::edwp_avg(&q, t);
@@ -372,7 +373,7 @@ proptest! {
         }
         prop_assert_eq!(
             traj_dist::edwp_avg_lower_bound_trajectory_bounded(
-                &q, t, f64::INFINITY, &mut scratch
+                &q, t, f64::INFINITY.into(), &mut scratch
             ),
             traj_dist::edwp_avg_lower_bound_trajectory(&q, t)
         );

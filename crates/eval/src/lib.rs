@@ -52,7 +52,9 @@ pub struct PruningSummary {
     pub mean_edwp_evaluations: f64,
     /// Mean fraction of the database pruned before the EDwP stage.
     pub mean_pruning_ratio: f64,
-    /// Database size (of the last aggregated query).
+    /// Per-query database size (of the last aggregated block —
+    /// `QueryStats::db_size` sums per-query sizes across a merge, so it is
+    /// normalised back by the block's query count).
     pub db_size: usize,
 }
 
@@ -78,7 +80,7 @@ impl PruningSummary {
                 .map(|s| s.pruning_ratio() * s.queries.max(1) as f64)
                 .sum::<f64>()
                 / n,
-            db_size: stats.last().map_or(0, |s| s.db_size),
+            db_size: stats.last().map_or(0, |s| s.db_size / s.queries.max(1)),
         }
     }
 
@@ -89,7 +91,7 @@ impl PruningSummary {
             queries: stats.queries,
             mean_edwp_evaluations: stats.mean_edwp_evaluations(),
             mean_pruning_ratio: stats.pruning_ratio(),
-            db_size: stats.db_size,
+            db_size: stats.db_size / stats.queries.max(1),
         }
     }
 }
@@ -145,11 +147,12 @@ mod tests {
 
     #[test]
     fn pruning_summary_weights_multi_query_blocks() {
-        // A slice mixing a 3-query merged aggregate with a single-query
-        // stat must average per *query*, not per slice element.
+        // A slice mixing a 3-query merged aggregate (db_size sums per
+        // query under QueryStats::merge) with a single-query stat must
+        // average per *query*, not per slice element.
         let stats = [
             QueryStats {
-                db_size: 100,
+                db_size: 300,
                 queries: 3,
                 nodes_visited: 12,
                 bound_evaluations: 60,

@@ -19,15 +19,24 @@
 //! new query type means writing a new collector — the traversal, pruning
 //! logic, scratch pooling and statistics are inherited unchanged (see the
 //! crate docs for the recipe). The threshold is also threaded into every
-//! lower-bound kernel, whose per-segment accumulation bails as soon as the
-//! partial sum exceeds it (`traj_dist::edwp_lower_bound_boxes_bounded`) —
-//! partial sums are admissible, so early exit saves work without touching
-//! exactness.
+//! lower-bound kernel as a [`Cutoff`], whose per-segment accumulation bails
+//! as soon as the partial sum exceeds its current value — partial sums are
+//! admissible, so early exit saves work without touching exactness.
 //!
-//! One traversal serves one [`crate::shard::Shard`]: scatter-gather
-//! searches run it per shard, translating the shard's local ids to global
-//! ids through a [`RoutedCollector`] so thresholds and tie-breaking work on
-//! the global id space.
+//! One traversal serves a **forest** of [`SearchView`]s — every shard of a
+//! scatter-gather search at once, each view's local ids rewritten to global
+//! ids as candidates are offered, so thresholds and tie-breaking work on
+//! the global id space and a close neighbour in shard 1 prunes shard 2's
+//! subtrees without ever walking the shards sequentially. The *parallel*
+//! scatter path instead runs one traversal per shard, all sharing one
+//! [`SharedThreshold`] through [`SharedKnnCollector`]: an atomic-`f64`
+//! minimum (bit-ordered `AtomicU64`, sound for non-negative distances) that
+//! every worker's kernels re-load mid-accumulation, so pruning crosses
+//! shard boundaries without serialising the walks. A stale read only ever
+//! sees a *larger* threshold — less pruning, never a wrong result — and
+//! the gather re-sorts merged candidates by `(distance, id)`, so results
+//! stay bitwise identical to the sequential path regardless of arrival
+//! order.
 //!
 //! Exactness: every queue key is a true lower bound of the query's
 //! metric-and-mode distance (whole-trajectory EDwP or sub-trajectory
@@ -38,14 +47,18 @@
 //! refinement paths), so when the queue's minimum exceeds the collector's
 //! threshold, no unexplored trajectory can change the result. Ties on the
 //! threshold keep expanding so id-order tie-breaking matches the
-//! brute-force reference exactly.
+//! brute-force reference exactly. The shared threshold never undershoots:
+//! it is the minimum over workers' *local* k-th-best distances, each of
+//! which is at least the true global k-th distance.
 
+use crate::cache::{BoundCache, BoundEntry};
 use crate::store::{TrajId, TrajStore};
 use crate::tree::{Node, TrajTree};
-use std::cmp::Ordering;
+use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use traj_core::{TotalF64, Trajectory};
-use traj_dist::{EdwpScratch, Metric, QueryMode};
+use traj_dist::{Cutoff, EdwpScratch, Metric, QueryMode};
 
 /// One query answer: a trajectory id and its exact distance to the query
 /// under the query's [`Metric`] and [`QueryMode`] (whole-trajectory raw
@@ -65,7 +78,9 @@ pub struct Neighbor {
 /// can neither overflow nor silently drop.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
-    /// Database size at query time.
+    /// Total candidate universe of the aggregated searches: the database
+    /// size for a single query (per-shard partials sum to it), and the sum
+    /// of per-query database sizes for a merged batch.
     pub db_size: usize,
     /// Number of searches aggregated into these counters (1 for a single
     /// `knn`/`range` call; the query count after a batch merge).
@@ -73,6 +88,8 @@ pub struct QueryStats {
     /// Tree nodes (internal + leaf) popped and refined.
     pub nodes_visited: usize,
     /// Lower-bound evaluations (node summaries + per-trajectory bounds).
+    /// Bounds answered from the per-batch cache are *not* counted — the
+    /// counter measures kernel work actually done.
     pub bound_evaluations: usize,
     /// Full EDwP dynamic programs evaluated — the expensive operation a
     /// linear scan performs `db_size` times per query.
@@ -89,10 +106,23 @@ impl QueryStats {
         }
     }
 
-    /// Fraction of the database whose full EDwP evaluation was avoided,
-    /// averaged over the aggregated queries (0 for an empty database).
+    /// Fresh counters for one shard's share of a scatter-gather search:
+    /// `db_size` carries this shard's segment size and `queries` counts
+    /// only on the designated first shard, so summing every shard's
+    /// partial yields exactly one search over the full database.
+    pub(crate) fn for_shard_partial(shard_len: usize, counts_query: bool) -> Self {
+        QueryStats {
+            db_size: shard_len,
+            queries: usize::from(counts_query),
+            ..QueryStats::default()
+        }
+    }
+
+    /// Fraction of the candidate universe whose full EDwP evaluation was
+    /// avoided (0 for an empty database). `db_size` already aggregates
+    /// across merged queries, so no per-query scaling is needed.
     pub fn pruning_ratio(&self) -> f64 {
-        let denom = self.db_size as f64 * self.queries.max(1) as f64;
+        let denom = self.db_size as f64;
         if denom == 0.0 {
             0.0
         } else {
@@ -105,11 +135,13 @@ impl QueryStats {
         self.edwp_evaluations as f64 / self.queries.max(1) as f64
     }
 
-    /// Folds another stats block into this one: work counters and query
-    /// counts add (saturating), `db_size` keeps the larger value since
-    /// batch workers share one database.
+    /// Folds another stats block into this one: every counter adds,
+    /// saturating — **including `db_size`**, so the per-shard partials of
+    /// one scatter-gather search sum to the database total instead of
+    /// reporting a single shard's segment size, and a merged batch reports
+    /// the total candidate universe its queries faced.
     pub fn merge(&mut self, other: &QueryStats) {
-        self.db_size = self.db_size.max(other.db_size);
+        self.db_size = self.db_size.saturating_add(other.db_size);
         self.queries = self.queries.saturating_add(other.queries);
         self.nodes_visited = self.nodes_visited.saturating_add(other.nodes_visited);
         self.bound_evaluations = self
@@ -134,6 +166,50 @@ impl QueryStats {
     }
 }
 
+/// An atomic floating-point minimum shared by the per-shard workers of one
+/// parallel scatter: the global k-NN pruning threshold. Stored as the bits
+/// of a non-negative `f64` in an [`AtomicU64`] — for sign-bit-clear IEEE
+/// doubles, integer bit order equals float order, so `fetch_min` on bits
+/// is an atomic float min without a compare-exchange loop.
+///
+/// Relaxed ordering is enough: a stale load only ever observes a larger
+/// (older) threshold, which weakens pruning but never the result, and the
+/// final gather re-validates everything by exact distance.
+pub(crate) struct SharedThreshold(AtomicU64);
+
+impl SharedThreshold {
+    pub(crate) fn new() -> Self {
+        SharedThreshold(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    /// The current global threshold (one relaxed load).
+    #[inline]
+    pub(crate) fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Folds a worker's local threshold into the global minimum. Finite
+    /// non-negative values only take effect (`+inf` is the initial state
+    /// and a no-op; NaN never arrives — thresholds are k-th best
+    /// *distances*, and distances are non-negative numbers).
+    #[inline]
+    pub(crate) fn tighten(&self, value: f64) {
+        debug_assert!(
+            value >= 0.0 || value.is_nan(),
+            "thresholds are non-negative distances"
+        );
+        if value < f64::INFINITY {
+            self.0.fetch_min(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// The raw bits, for handing the kernels a live [`Cutoff::shared`].
+    #[inline]
+    pub(crate) fn bits(&self) -> &AtomicU64 {
+        &self.0
+    }
+}
+
 /// Accumulates exact distances for one query type and tells the traversal
 /// how far it still has to look.
 ///
@@ -146,6 +222,14 @@ pub(crate) trait Collector {
     /// Largest lower bound that could still contribute to the result; queue
     /// entries keyed strictly above this are pruned unexplored.
     fn threshold(&self) -> f64;
+
+    /// The threshold as the kernels see it mid-accumulation. The default
+    /// captures `threshold()` as a constant (the classic contract);
+    /// [`SharedKnnCollector`] overrides it with a live atomic view so
+    /// concurrent workers' discoveries deepen this worker's early exits.
+    fn cutoff(&self) -> Cutoff<'_> {
+        Cutoff::constant(self.threshold())
+    }
 
     /// Records one exact `(id, distance)` evaluation.
     fn offer(&mut self, id: TrajId, distance: f64);
@@ -203,6 +287,58 @@ impl Collector for KnnCollector {
     }
 }
 
+/// One shard's k-NN collector in a parallel scatter: a private
+/// [`KnnCollector`] plus the scatter-wide [`SharedThreshold`]. Every offer
+/// folds the local k-th-best into the shared minimum, and both pruning
+/// checks (`threshold()` at pop time, [`Cutoff::shared`] inside the
+/// kernels) read the shared value — so a neighbour found in any shard
+/// immediately prunes every other shard's traversal.
+///
+/// Soundness of the shared minimum: each worker's local threshold is its
+/// own k-th best so far, which can only *overestimate* the true global
+/// k-th distance (a shard sees a subset of candidates). The minimum of
+/// overestimates is still an overestimate, so the shared threshold never
+/// undershoots — the collector contract. The per-shard top-k lists are a
+/// superset of each shard's contribution to the global top-k, so the
+/// gather (merge, sort by `(distance, id)`, truncate to `k`) is exact and
+/// deterministic regardless of which worker tightened first.
+pub(crate) struct SharedKnnCollector<'t> {
+    local: KnnCollector,
+    shared: &'t SharedThreshold,
+}
+
+impl<'t> SharedKnnCollector<'t> {
+    pub(crate) fn new(k: usize, shared: &'t SharedThreshold) -> Self {
+        SharedKnnCollector {
+            local: KnnCollector::new(k),
+            shared,
+        }
+    }
+
+    /// This shard's top-k partial, for the gather step.
+    pub(crate) fn into_neighbors(self) -> Vec<Neighbor> {
+        self.local.into_neighbors()
+    }
+}
+
+impl Collector for SharedKnnCollector<'_> {
+    fn threshold(&self) -> f64 {
+        // The shared minimum already folds in this worker's own offers
+        // (tightened on every offer below); the extra local min is a
+        // belt-and-braces guard that costs one comparison.
+        self.shared.load().min(self.local.threshold())
+    }
+
+    fn cutoff(&self) -> Cutoff<'_> {
+        Cutoff::shared(self.shared.bits())
+    }
+
+    fn offer(&mut self, id: TrajId, distance: f64) {
+        self.local.offer(id, distance);
+        self.shared.tighten(self.local.threshold());
+    }
+}
+
 /// Range collection: keep everything within a fixed `eps` (inclusive).
 pub(crate) struct RangeCollector {
     eps: f64,
@@ -243,43 +379,39 @@ pub(crate) fn sort_neighbors(mut neighbors: Vec<Neighbor>) -> Vec<Neighbor> {
     neighbors
 }
 
-/// Adapts a collector to one shard of a scatter-gather search: offered ids
-/// are the shard's *local* ids, and the adapter rewrites them to global ids
-/// (`local * stride + shard`, the inverse of the id-hash router) before
-/// forwarding. The threshold passes through untouched, which is what makes
-/// a sequential multi-shard k-NN share one global threshold: every shard's
-/// traversal prunes against the incumbent collected over all shards so far.
-pub(crate) struct RoutedCollector<'c, C> {
-    inner: &'c mut C,
-    shard: usize,
-    stride: usize,
+/// One shard as the engine sees it, plus the routing parameters that map
+/// its local ids back to global ids (`local * stride + shard`, the inverse
+/// of the id-hash router).
+pub(crate) struct SearchView<'v> {
+    pub(crate) tree: &'v TrajTree,
+    pub(crate) store: &'v TrajStore,
+    pub(crate) shard: usize,
+    pub(crate) stride: usize,
 }
 
-impl<'c, C: Collector> RoutedCollector<'c, C> {
-    pub(crate) fn new(inner: &'c mut C, shard: usize, stride: usize) -> Self {
-        RoutedCollector {
-            inner,
-            shard,
-            stride,
-        }
+impl SearchView<'_> {
+    /// The global id of this view's local id.
+    #[inline]
+    pub(crate) fn global(&self, local: TrajId) -> TrajId {
+        crate::shard::global_of(self.shard, local, self.stride)
     }
 }
 
-impl<C: Collector> Collector for RoutedCollector<'_, C> {
-    fn threshold(&self) -> f64 {
-        self.inner.threshold()
-    }
-
-    fn offer(&mut self, id: TrajId, distance: f64) {
-        self.inner.offer(
-            crate::shard::global_of(self.shard, id, self.stride),
-            distance,
-        );
-    }
+/// Hook for the per-batch bound cache: which cache to consult and the
+/// querying trajectory's canonical index (see
+/// [`crate::cache::canonical_queries`]). Only node-summary bounds go
+/// through the cache — they are the shareable unit (stable node ids,
+/// repeated across a batch's items); per-trajectory refinement bounds are
+/// each needed at most once per (query, trajectory).
+#[derive(Clone, Copy)]
+pub(crate) struct BoundReuse<'b> {
+    pub(crate) cache: &'b BoundCache,
+    pub(crate) query: u32,
 }
 
-/// Priority-queue entry: a subtree or a single trajectory, keyed by an
-/// admissible lower bound. `seq` makes the ordering total and deterministic.
+/// Priority-queue entry: a subtree or a single trajectory of one view,
+/// keyed by an admissible lower bound. `seq` makes the ordering total and
+/// deterministic.
 struct QueueEntry<'a> {
     key: TotalF64,
     seq: u64,
@@ -287,8 +419,8 @@ struct QueueEntry<'a> {
 }
 
 enum QueueItem<'a> {
-    Node(&'a Node),
-    Traj(TrajId),
+    Node(&'a Node, u32),
+    Traj(TrajId, u32),
 }
 
 impl PartialEq for QueueEntry<'_> {
@@ -298,12 +430,12 @@ impl PartialEq for QueueEntry<'_> {
 }
 impl Eq for QueueEntry<'_> {}
 impl PartialOrd for QueueEntry<'_> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
         Some(self.cmp(other))
     }
 }
 impl Ord for QueueEntry<'_> {
-    fn cmp(&self, other: &Self) -> Ordering {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
         // Reversed: BinaryHeap is a max-heap, we need the smallest key.
         other
             .key
@@ -320,26 +452,82 @@ pub(crate) struct Matching {
     pub(crate) mode: QueryMode,
 }
 
-/// Runs one best-first search over `tree`, feeding every exact evaluation
-/// into `collector` and every unit of work into `stats`.
+/// A node-summary bound, through the per-batch cache when one is active.
 ///
-/// `store` must be the store this tree indexes, with every one of its
-/// trajectories inserted (a store id never indexed is invisible to the
-/// search). `scratch` is the worker's pooled kernel memory; the query is
-/// (re)pinned here, so one scratch can serve many consecutive searches.
+/// Cache discipline (see `cache.rs` for why): a `full` entry answers
+/// unconditionally; a partial entry answers only when it already prunes
+/// for this caller (`value > threshold` — admissible, so pruning on it is
+/// sound); otherwise the kernel runs and the entry is (re)recorded.
+/// Fullness is certified post-hoc: the raw metric's bounded contract says
+/// a result at or below the cutoff's *current* value never bailed
+/// (cutoffs only tighten, so the final value is the strictest any bail
+/// compared against); the normalised metric's rescaling breaks that
+/// implication, so its results are full only under an infinite cutoff.
+/// Cache hits skip `bump_bounds` — the counter measures kernel work done,
+/// so the saving is visible in collected stats.
+#[allow(clippy::too_many_arguments)]
+fn node_bound<C: Collector>(
+    view: &SearchView<'_>,
+    node: &Node,
+    query: &Trajectory,
+    matching: Matching,
+    collector: &C,
+    scratch: &mut EdwpScratch,
+    stats: &mut QueryStats,
+    reuse: Option<BoundReuse<'_>>,
+) -> f64 {
+    let Matching { metric, mode } = matching;
+    let key = reuse.map(|r| (view.shard as u32, node.id(), r.query));
+    if let (Some(r), Some(key)) = (reuse, key) {
+        if let Some(e) = r.cache.get(key) {
+            if e.full || e.value > collector.threshold() {
+                return e.value;
+            }
+        }
+    }
+    stats.bump_bounds();
+    let cutoff = collector.cutoff();
+    let value =
+        metric.lower_bound_boxes(mode, query, node.summary(), node.max_len(), cutoff, scratch);
+    if let (Some(r), Some(key)) = (reuse, key) {
+        let full = match metric {
+            Metric::Edwp => value <= cutoff.current(),
+            Metric::EdwpNormalized => cutoff.current() == f64::INFINITY,
+        };
+        r.cache.put(key, BoundEntry { value, full });
+    }
+    value
+}
+
+/// Runs one best-first search over a forest of `views` — every shard of a
+/// scatter at once for the single-threaded path, or a single view per
+/// worker for the parallel path — feeding every exact evaluation into
+/// `collector` (with ids rewritten to global) and every unit of work into
+/// `stats`.
+///
+/// Seeding all roots into one queue gives the forest the same global
+/// pruning a single tree enjoys: the shard holding the nearest neighbours
+/// is refined first and its incumbents prune the other shards' subtrees,
+/// so the total work matches a one-shard search instead of multiplying by
+/// the shard count.
+///
+/// Each view's `store` must be the store its `tree` indexes, with every
+/// one of its trajectories inserted (a store id never indexed is invisible
+/// to the search). `scratch` is the worker's pooled kernel memory; the
+/// query is (re)pinned here, so one scratch can serve many consecutive
+/// searches. `reuse` optionally routes node bounds through a per-batch
+/// [`BoundCache`].
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn best_first<C: Collector>(
-    tree: &TrajTree,
-    store: &TrajStore,
+    views: &[SearchView<'_>],
     query: &Trajectory,
     matching: Matching,
     collector: &mut C,
     scratch: &mut EdwpScratch,
     stats: &mut QueryStats,
+    reuse: Option<BoundReuse<'_>>,
 ) {
     let Matching { metric, mode } = matching;
-    let Some(root) = tree.root.as_ref() else {
-        return;
-    };
     scratch.set_query(query);
 
     fn push<'a>(
@@ -357,21 +545,25 @@ pub(crate) fn best_first<C: Collector>(
     }
     let mut queue: BinaryHeap<QueueEntry<'_>> = BinaryHeap::new();
     let mut seq = 0u64;
-    stats.bump_bounds();
     // Every bound evaluation is given the collector's current threshold so
     // its per-segment accumulation can bail early: the partial sum returned
     // is still an admissible key, and any key above the threshold is pruned
     // at pop time whether or not it was fully evaluated (thresholds only
     // tighten, so the pruning decision can never be invalidated later).
-    let root_key = metric.lower_bound_boxes(
-        mode,
-        query,
-        root.summary(),
-        root.max_len(),
-        collector.threshold(),
-        scratch,
-    );
-    push(&mut queue, &mut seq, root_key, QueueItem::Node(root));
+    for (vi, view) in views.iter().enumerate() {
+        let Some(root) = view.tree.root.as_ref() else {
+            continue;
+        };
+        let root_key = node_bound(
+            view, root, query, matching, collector, scratch, stats, reuse,
+        );
+        push(
+            &mut queue,
+            &mut seq,
+            root_key,
+            QueueItem::Node(root, vi as u32),
+        );
+    }
 
     while let Some(entry) = queue.pop() {
         // Keep expanding ties (<=): an equal-bound candidate can still win
@@ -380,19 +572,14 @@ pub(crate) fn best_first<C: Collector>(
             break;
         }
         match entry.item {
-            QueueItem::Node(node) => {
+            QueueItem::Node(node, vi) => {
+                let view = &views[vi as usize];
                 stats.bump_nodes();
                 match node {
                     Node::Internal { children, .. } => {
                         for child in children {
-                            stats.bump_bounds();
-                            let lb = metric.lower_bound_boxes(
-                                mode,
-                                query,
-                                child.summary(),
-                                child.max_len(),
-                                collector.threshold(),
-                                scratch,
+                            let lb = node_bound(
+                                view, child, query, matching, collector, scratch, stats, reuse,
                             );
                             // Clamp to the parent key: both are valid
                             // bounds, and monotone keys keep the traversal
@@ -401,7 +588,7 @@ pub(crate) fn best_first<C: Collector>(
                                 &mut queue,
                                 &mut seq,
                                 lb.max(entry.key.0),
-                                QueueItem::Node(child),
+                                QueueItem::Node(child, vi),
                             );
                         }
                     }
@@ -414,23 +601,43 @@ pub(crate) fn best_first<C: Collector>(
                             let lb = metric.lower_bound_trajectory(
                                 mode,
                                 query,
-                                store.get(id),
-                                collector.threshold(),
+                                view.store.get(id),
+                                collector.cutoff(),
                                 scratch,
                             );
                             push(
                                 &mut queue,
                                 &mut seq,
                                 lb.max(entry.key.0),
-                                QueueItem::Traj(id),
+                                QueueItem::Traj(id, vi),
                             );
                         }
                     }
                 }
             }
-            QueueItem::Traj(id) => {
+            QueueItem::Traj(id, vi) => {
+                let view = &views[vi as usize];
                 stats.bump_edwp();
-                collector.offer(id, metric.distance(mode, query, store.get(id), scratch));
+                // The exact DP runs under the live threshold too: a row of
+                // anchor states already above it proves the candidate can
+                // never enter the answer set, so the DP abandons early.
+                // An abandoned value is strictly above every threshold the
+                // cutoff will ever hold (thresholds only tighten), so the
+                // post-check below filters exactly the abandoned and the
+                // strictly-uncompetitive evaluations — everything offered
+                // is a completed, exact distance, and everything skipped
+                // is strictly above the final k-th best (ties at the
+                // threshold pass `<=` and still compete on id).
+                let d = metric.distance_bounded(
+                    mode,
+                    query,
+                    view.store.get(id),
+                    collector.cutoff(),
+                    scratch,
+                );
+                if d <= collector.threshold() {
+                    collector.offer(view.global(id), d);
+                }
             }
         }
     }
@@ -441,7 +648,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn merge_adds_counters_and_keeps_db_size() {
+    fn merge_sums_every_counter_including_db_size() {
         let mut a = QueryStats {
             db_size: 100,
             queries: 3,
@@ -460,7 +667,7 @@ mod tests {
         assert_eq!(
             a,
             QueryStats {
-                db_size: 100,
+                db_size: 200,
                 queries: 8,
                 nodes_visited: 18,
                 bound_evaluations: 100,
@@ -468,13 +675,26 @@ mod tests {
             }
         );
         assert!((a.mean_edwp_evaluations() - 5.0).abs() < 1e-12);
-        assert!((a.pruning_ratio() - 0.95).abs() < 1e-12);
+        assert!((a.pruning_ratio() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_partials_sum_to_one_search_over_the_database() {
+        // Satellite regression: a sharded query's merged stats must report
+        // the database total, not one shard's segment size (the old merge
+        // kept the max).
+        let mut agg = QueryStats::default();
+        for (shard_len, first) in [(7usize, true), (7, false), (6, false)] {
+            agg.merge(&QueryStats::for_shard_partial(shard_len, first));
+        }
+        assert_eq!(agg.db_size, 20);
+        assert_eq!(agg.queries, 1);
     }
 
     #[test]
     fn merge_saturates_instead_of_overflowing() {
         let mut a = QueryStats {
-            db_size: 10,
+            db_size: usize::MAX - 2,
             queries: usize::MAX - 1,
             nodes_visited: usize::MAX,
             bound_evaluations: usize::MAX - 3,
@@ -488,6 +708,7 @@ mod tests {
             edwp_evaluations: usize::MAX,
         };
         a.merge(&b);
+        assert_eq!(a.db_size, usize::MAX);
         assert_eq!(a.queries, usize::MAX);
         assert_eq!(a.nodes_visited, usize::MAX);
         assert_eq!(a.bound_evaluations, usize::MAX);
@@ -516,13 +737,14 @@ mod tests {
     #[test]
     fn pruning_ratio_handles_empty_and_batched() {
         assert_eq!(QueryStats::default().pruning_ratio(), 0.0);
+        // A merged 4-query batch over a 50-trajectory db aggregates
+        // db_size = 200; 20 evaluations means 90% pruned.
         let s = QueryStats {
-            db_size: 50,
+            db_size: 200,
             queries: 4,
             edwp_evaluations: 20,
             ..QueryStats::default()
         };
-        // 20 evaluations over 4 queries of a 50-trajectory db: 90% pruned.
         assert!((s.pruning_ratio() - 0.9).abs() < 1e-12);
     }
 
@@ -550,6 +772,47 @@ mod tests {
         c.offer(7, 5.0);
         c.offer(3, 5.0);
         assert_eq!(c.into_neighbors()[0].id, 3);
+    }
+
+    #[test]
+    fn shared_threshold_is_a_monotone_float_min() {
+        let t = SharedThreshold::new();
+        assert_eq!(t.load(), f64::INFINITY);
+        t.tighten(f64::INFINITY); // no-op, not a poisoning
+        assert_eq!(t.load(), f64::INFINITY);
+        t.tighten(8.0);
+        assert_eq!(t.load(), 8.0);
+        t.tighten(12.0); // looser values never widen the threshold
+        assert_eq!(t.load(), 8.0);
+        t.tighten(0.5);
+        assert_eq!(t.load(), 0.5);
+        t.tighten(0.0);
+        assert_eq!(t.load(), 0.0);
+    }
+
+    #[test]
+    fn shared_knn_collectors_prune_across_each_other() {
+        let shared = SharedThreshold::new();
+        let mut a = SharedKnnCollector::new(2, &shared);
+        let mut b = SharedKnnCollector::new(2, &shared);
+        assert_eq!(a.threshold(), f64::INFINITY);
+        // Worker A fills its k: the global threshold tightens for B too.
+        a.offer(0, 5.0);
+        a.offer(2, 3.0);
+        assert_eq!(a.threshold(), 5.0);
+        assert_eq!(b.threshold(), 5.0, "B prunes against A's incumbent");
+        // B finds closer candidates: A's cutoff deepens mid-traversal.
+        b.offer(1, 1.0);
+        b.offer(3, 2.0);
+        assert_eq!(a.threshold(), 2.0);
+        // The kernels' live view agrees with the pop-time threshold.
+        assert_eq!(a.cutoff().current(), 2.0);
+        // Gather: merged locals, sorted and truncated, are the exact top-2.
+        let mut merged = a.into_neighbors();
+        merged.extend(b.into_neighbors());
+        let mut merged = sort_neighbors(merged);
+        merged.truncate(2);
+        assert_eq!(merged.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 3]);
     }
 
     #[test]

@@ -22,13 +22,19 @@
 //!   deterministic id hash `global_id mod shards`. A [`Snapshot`] is an
 //!   immutable epoch of all shards: inserts publish copy-on-write
 //!   successors, so readers never see a torn shard.
-//! * The `engine` module owns the per-shard best-first traversal, pruned
-//!   by the admissible Theorem 2 relaxation
+//! * The `engine` module owns the best-first traversal, pruned by the
+//!   admissible Theorem 2 relaxation
 //!   [`traj_dist::edwp_lower_bound_boxes`] (with early-exit accumulation
 //!   against the collector's live threshold) and refined through
-//!   per-trajectory polyline bounds into exact EDwP evaluations. The
+//!   per-trajectory polyline bounds into exact EDwP evaluations. One
+//!   traversal serves a whole *forest* of shard views — all roots seeded
+//!   into one queue, so an incumbent found in any shard prunes every
+//!   other shard's subtrees — and the parallel scatter path runs one
+//!   traversal per shard against a shared atomic threshold instead. The
 //!   traversal is generic over a result *collector*, which supplies the
-//!   pruning threshold and absorbs exact distances.
+//!   pruning threshold and absorbs exact distances; the `cache` module
+//!   adds a per-batch `(shard, node, query)` bound cache so repeated
+//!   probes stop recomputing identical node bounds.
 //! * The `session` module is the public query surface: a [`Session`] owns
 //!   the shards and pooled scratch, and every query is phrased through the
 //!   typed [`QueryBuilder`] / [`BatchQueryBuilder`] —
@@ -38,12 +44,15 @@
 //!   [`traj_dist::Metric`] (raw vs length-normalised EDwP), the
 //!   [`traj_dist::QueryMode`] (whole vs best-portion `EDwP_sub`), the
 //!   brute-force reference, and [`QueryStats`] collection. Queries
-//!   scatter-gather: single queries share one collector (and thus one
-//!   global pruning threshold) across shards; batch finishers schedule
-//!   (query × shard) work items over scoped worker threads (one
-//!   [`traj_dist::EdwpScratch`] per worker) and merge per-shard partials —
-//!   results are bitwise identical to a sequential single-shard loop at
-//!   any shard and thread count.
+//!   scatter-gather: single queries run either one forest traversal over
+//!   all shards (one collector, one global threshold) or — when worker
+//!   threads are available — one per-shard descent per worker, all
+//!   tightening one shared atomic threshold; batch finishers schedule
+//!   work items over scoped worker threads via a work-stealing cursor
+//!   (one [`traj_dist::EdwpScratch`] per worker, node bounds shared
+//!   through the per-batch cache) and merge per-shard partials — results
+//!   are bitwise identical to a sequential single-shard loop at any shard
+//!   and thread count.
 //!
 //! # Adding a new query type
 //!
@@ -76,6 +85,7 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod engine;
 mod session;
 mod shard;

@@ -18,33 +18,51 @@
 //!
 //! # Scatter-gather
 //!
-//! Every query runs the same best-first engine once per
-//! [`crate::shard::Shard`] and merges through the shared collectors:
+//! Every query scatters over the shards and merges through the shared
+//! collectors, by one of two strategies that return bitwise-identical
+//! results:
 //!
-//! * single queries walk the shards *sequentially with one collector*, so
-//!   k-NN carries one global threshold across shards — shard 2 prunes
-//!   against the incumbent found in shard 1;
-//! * batch finishers schedule **(query × shard) work items** across the
-//!   worker pool; each item fills a per-shard collector and the gather
-//!   step merges the per-shard partials (sorted by `(distance, id)`,
-//!   truncated to `k` for k-NN) — a shard's own top-k is a superset of its
-//!   contribution to the global top-k, so the merge is exact;
-//! * [`QueryStats::merge`] aggregates per-item counters (saturating).
+//! * the **forest** traversal seeds every shard's root into *one*
+//!   best-first queue with one collector — a single global threshold, so
+//!   an incumbent found in any shard prunes every other shard's subtrees
+//!   and total work matches a one-shard search (the default for single
+//!   queries without spare CPUs, and the per-query unit of large
+//!   batches);
+//! * the **parallel** scatter runs one per-shard descent per worker
+//!   thread, every k-NN collector tightening one shared atomic threshold
+//!   (see `engine::SharedThreshold`), so the same cross-shard pruning
+//!   happens without serialising the walks (the default for single
+//!   queries with CPUs to spare; forced either way with
+//!   [`QueryBuilder::parallel_scatter`]).
+//!
+//! Batch finishers schedule work items over scoped workers through a
+//! work-stealing cursor (one [`EdwpScratch`] per worker): whole queries
+//! when the batch is large enough to occupy every worker, (query × shard)
+//! splits — with one shared threshold per query — when it is not. All
+//! items of a batch share a `(shard, node, query)` bound cache
+//! (`cache::BoundCache`), so repeated probes stop recomputing identical
+//! node bounds. The gather step merges each query's per-shard partials
+//! (sorted by `(distance, id)`, truncated to `k` for k-NN) — a shard's
+//! own top-k is a superset of its contribution to the global top-k, so
+//! the merge is exact — and [`QueryStats::merge`] aggregates per-item
+//! counters (saturating; `db_size` partials sum to the database total).
 //!
 //! Either way the result is **bitwise identical** to a single-shard
-//! session: distances come from the same kernels on the same pairs, and
-//! ties break on global ids everywhere — property-tested across the
-//! shards × query type × threads × metric grid in
-//! `tests/builder_equivalence.rs`.
+//! sequential session: distances come from the same kernels on the same
+//! pairs, and ties break on global ids everywhere — property-tested
+//! across the shards × query type × threads × metric × scatter-strategy
+//! grid in `tests/builder_equivalence.rs`.
 
+use crate::cache::{canonical_queries, BoundCache};
 use crate::engine::{
-    best_first, sort_neighbors, Collector, KnnCollector, Matching, Neighbor, QueryStats,
-    RangeCollector, RoutedCollector,
+    best_first, sort_neighbors, BoundReuse, Collector, KnnCollector, Matching, Neighbor,
+    QueryStats, RangeCollector, SearchView, SharedKnnCollector, SharedThreshold,
 };
 use crate::shard::{shard_of, Shard, Snapshot};
 use crate::store::{TrajId, TrajStore};
 use crate::tree::{TrajTree, TrajTreeConfig};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 use traj_core::Trajectory;
 use traj_dist::{EdwpScratch, Metric, QueryMode};
 
@@ -71,7 +89,8 @@ pub struct BatchQueryResult {
     /// One neighbour list per input query, in input order — bitwise
     /// identical to running the single-query builder in a loop.
     pub neighbors: Vec<Vec<Neighbor>>,
-    /// Merged work counters (`QueryStats::queries` counts the batch) —
+    /// Merged work counters (`QueryStats::queries` counts the batch,
+    /// `QueryStats::db_size` sums the per-query database sizes) —
     /// `Some` iff the builder asked for [`BatchQueryBuilder::collect_stats`].
     pub stats: Option<QueryStats>,
 }
@@ -97,15 +116,6 @@ enum Source<'a> {
     Sharded(Snapshot),
 }
 
-/// One shard as the engine sees it during a scatter-gather pass, plus the
-/// routing parameters that map its local ids back to global ids.
-struct ShardView<'v> {
-    tree: &'v TrajTree,
-    store: &'v TrajStore,
-    shard: usize,
-    stride: usize,
-}
-
 impl Source<'_> {
     /// Database size reported in [`QueryStats::db_size`] and used to clamp
     /// `k`. For the borrowed source this preserves the historical
@@ -126,9 +136,9 @@ impl Source<'_> {
     }
 
     /// The shard views a query scatters over, in shard order.
-    fn views(&self) -> Vec<ShardView<'_>> {
+    fn views(&self) -> Vec<SearchView<'_>> {
         match self {
-            Source::Borrowed { tree, store } => vec![ShardView {
+            Source::Borrowed { tree, store } => vec![SearchView {
                 tree,
                 store,
                 shard: 0,
@@ -138,7 +148,7 @@ impl Source<'_> {
                 .shards
                 .iter()
                 .enumerate()
-                .map(|(shard, s)| ShardView {
+                .map(|(shard, s)| SearchView {
                     tree: &s.tree,
                     store: &s.store,
                     shard,
@@ -274,7 +284,8 @@ impl Session {
     ///   a clone of only that shard otherwise) and published atomically.
     ///   A [`Session::batch`] or [`Snapshot`] that started earlier keeps
     ///   reading its original epoch — it never observes a torn shard or a
-    ///   partially visible insert.
+    ///   partially visible insert, whether its queries run sequentially or
+    ///   on the parallel scatter path.
     /// * An insert *happens-before* every snapshot taken after it returns
     ///   (the `RwLock` synchronises publication), so
     ///   `session.insert(t); session.query(&q)` always sees `t`.
@@ -339,6 +350,7 @@ impl Session {
             source: Source::Sharded(snap),
             query,
             scratch: Some(scratch),
+            parallel: None,
             spec: Spec::default(),
         }
     }
@@ -372,8 +384,9 @@ impl Default for SessionBuilder {
 impl SessionBuilder {
     /// Number of shards to partition the database across (default 1;
     /// clamped to at least 1). Results are bitwise identical at any shard
-    /// count — raise it to spread batch work items across cores and to
-    /// shrink the unit an insert copies under concurrent readers.
+    /// count — raise it to parallelise queries and bulk-loading across
+    /// cores and to shrink the unit an insert copies under concurrent
+    /// readers.
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
         self
@@ -386,7 +399,10 @@ impl SessionBuilder {
     }
 
     /// Scatters `store` round-robin across the shards (global id `g` goes
-    /// to shard `g mod shards`) and bulk-loads one tree per shard.
+    /// to shard `g mod shards`) and bulk-loads one tree per shard — on one
+    /// scoped worker thread per shard when there is more than one, since
+    /// the STR bulk loads are independent (and deterministic, so the
+    /// parallel build is bit-identical to the sequential one).
     ///
     /// Relies on the invariant that `self.shards >= 1`
     /// ([`SessionBuilder::shards`] clamps, the default is 1, and the field
@@ -400,10 +416,26 @@ impl SessionBuilder {
         for (i, t) in store.into_vec().into_iter().enumerate() {
             parts[i % n].push(t);
         }
-        let shards: Vec<Arc<Shard>> = parts
-            .into_iter()
-            .map(|part| Arc::new(Shard::bulk(part, config.clone())))
-            .collect();
+        let shards: Vec<Arc<Shard>> = if n > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = parts
+                    .into_iter()
+                    .map(|part| {
+                        let config = config.clone();
+                        scope.spawn(move || Arc::new(Shard::bulk(part, config)))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard bulk-load worker panicked"))
+                    .collect()
+            })
+        } else {
+            parts
+                .into_iter()
+                .map(|part| Arc::new(Shard::bulk(part, config.clone())))
+                .collect()
+        };
         Session {
             shards: RwLock::new(Arc::new(shards)),
             num_shards: n,
@@ -423,6 +455,7 @@ impl Snapshot {
             source: Source::Sharded(self.clone()),
             query,
             scratch: None,
+            parallel: None,
             spec: Spec::default(),
         }
     }
@@ -461,6 +494,7 @@ pub struct QueryBuilder<'a> {
     source: Source<'a>,
     query: &'a Trajectory,
     scratch: Option<&'a mut EdwpScratch>,
+    parallel: Option<bool>,
     spec: Spec,
 }
 
@@ -473,6 +507,7 @@ impl<'a> QueryBuilder<'a> {
             source: Source::Borrowed { tree, store },
             query,
             scratch: None,
+            parallel: None,
             spec: Spec::default(),
         }
     }
@@ -482,6 +517,19 @@ impl<'a> QueryBuilder<'a> {
     /// automatically). Values are identical either way.
     pub fn scratch(mut self, scratch: &'a mut EdwpScratch) -> Self {
         self.scratch = Some(scratch);
+        self
+    }
+
+    /// Overrides the scatter strategy: `true` forces one worker thread per
+    /// shard, every k-NN descent tightening one shared atomic threshold;
+    /// `false` forces the single-threaded *forest* traversal (every shard
+    /// root in one best-first queue — one collector, one global
+    /// threshold). The default picks the parallel scatter only when the
+    /// session has multiple shards *and* the machine has CPUs to spare.
+    /// Results are bitwise identical either way; only wall-clock and the
+    /// work-counter split change.
+    pub fn parallel_scatter(mut self, parallel: bool) -> Self {
+        self.parallel = Some(parallel);
         self
     }
 
@@ -537,10 +585,11 @@ impl<'a> QueryBuilder<'a> {
             source,
             query,
             scratch,
+            parallel,
             spec,
         } = self;
         with_scratch(scratch, |scratch| {
-            exec_single(&source, query, spec, QueryKind::Knn(k), scratch)
+            exec_single(&source, query, spec, QueryKind::Knn(k), parallel, scratch)
         })
     }
 
@@ -560,10 +609,18 @@ impl<'a> QueryBuilder<'a> {
             source,
             query,
             scratch,
+            parallel,
             spec,
         } = self;
         with_scratch(scratch, |scratch| {
-            exec_single(&source, query, spec, QueryKind::Range(eps), scratch)
+            exec_single(
+                &source,
+                query,
+                spec,
+                QueryKind::Range(eps),
+                parallel,
+                scratch,
+            )
         })
     }
 }
@@ -593,11 +650,15 @@ impl<'a> BatchQueryBuilder<'a> {
         }
     }
 
-    /// Explicit worker count, clamped to `1..=(queries × shards)` work
-    /// items (default: one worker per available CPU). Parallelism changes
-    /// only which thread runs a work item, never what it computes.
+    /// Explicit worker count (default: one worker per available CPU).
+    /// Clamped to at least 1 — like [`SessionBuilder::shards`], a zero
+    /// from a computed configuration means "no parallelism", not "no
+    /// work", so `threads(0)` runs the batch single-threaded instead of
+    /// hanging or panicking; also clamped down to the number of work
+    /// items. Parallelism changes only which thread runs a work item,
+    /// never what it computes.
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = Some(threads);
+        self.threads = Some(threads.max(1));
         self
     }
 
@@ -645,11 +706,18 @@ impl<'a> BatchQueryBuilder<'a> {
         self.run(QueryKind::Range(eps))
     }
 
-    /// Scatter-gather scheduling: every (query, shard) pair is one work
-    /// item, items are chunked contiguously over scoped workers (one
-    /// pooled scratch each), and the gather step merges each query's
-    /// per-shard partials. Chunking (rather than work-stealing) keeps the
-    /// mapping from item to result slot trivially deterministic.
+    /// Scatter-gather scheduling: workers pull work items off a shared
+    /// atomic cursor (work-stealing — a slow item no longer straggles a
+    /// whole contiguous chunk), every item routes node bounds through the
+    /// batch's shared [`BoundCache`], and the item → result-slot mapping
+    /// travels with the item, so stealing order never touches results.
+    ///
+    /// Item granularity adapts: with enough queries to occupy every
+    /// worker, one item is a whole query (a forest traversal over all
+    /// shards — cross-shard pruning for free); a small batch over many
+    /// shards splits into (query × shard) items instead, with one
+    /// [`SharedThreshold`] per query so sibling items still prune each
+    /// other, and the gather step merges each query's per-shard partials.
     fn run(self, kind: QueryKind) -> BatchQueryResult {
         let BatchQueryBuilder {
             source,
@@ -665,51 +733,132 @@ impl<'a> BatchQueryBuilder<'a> {
         }
         let total = source.total_len(spec.brute_force);
         let views = source.views();
-        let items: Vec<(usize, usize)> = (0..queries.len())
-            .flat_map(|q| (0..views.len()).map(move |v| (q, v)))
-            .collect();
-        let threads = threads
-            .unwrap_or_else(default_threads)
-            .clamp(1, items.len());
-        let chunk = items.len().div_ceil(threads);
+        let workers = threads.unwrap_or_else(default_threads).max(1);
+        let cache = BoundCache::new();
+        let canon = canonical_queries(queries);
+        let cursor = AtomicUsize::new(0);
 
-        let mut slots: Vec<Option<(Vec<Neighbor>, QueryStats)>> = Vec::with_capacity(items.len());
-        slots.resize_with(items.len(), || None);
-        std::thread::scope(|scope| {
-            for (item_chunk, slot_chunk) in items.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-                let views = &views;
-                scope.spawn(move || {
-                    let mut scratch = EdwpScratch::new();
-                    for (&(qi, vi), slot) in item_chunk.iter().zip(slot_chunk.iter_mut()) {
-                        *slot = Some(run_item(
-                            &views[vi],
-                            &queries[qi],
-                            spec,
-                            kind,
-                            total,
-                            vi,
-                            &mut scratch,
-                        ));
-                    }
-                });
-            }
-        });
-
-        // Gather: slots are query-major, `views.len()` partials per query.
         let mut agg = QueryStats::default();
         let mut neighbors = Vec::with_capacity(queries.len());
-        for per_query in slots.chunks_mut(views.len()) {
-            let mut merged = Vec::new();
-            for slot in per_query {
-                let (partial, stats) = slot.take().expect("every chunk worker fills its slots");
-                merged.extend(partial);
+        if views.len() == 1 || queries.len() >= 2 * workers {
+            // Whole-query items.
+            let workers = workers.clamp(1, queries.len());
+            let mut slots: Vec<Option<(Vec<Neighbor>, QueryStats)>> = Vec::new();
+            slots.resize_with(queries.len(), || None);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let (views, cache, canon, cursor) = (&views, &cache, &canon, &cursor);
+                        scope.spawn(move || {
+                            let mut scratch = EdwpScratch::new();
+                            let mut out = Vec::new();
+                            loop {
+                                let qi = cursor.fetch_add(1, Ordering::Relaxed);
+                                if qi >= queries.len() {
+                                    break;
+                                }
+                                let reuse = BoundReuse {
+                                    cache,
+                                    query: canon[qi],
+                                };
+                                out.push((
+                                    qi,
+                                    run_query(
+                                        views,
+                                        &queries[qi],
+                                        spec,
+                                        kind,
+                                        total,
+                                        &mut scratch,
+                                        Some(reuse),
+                                    ),
+                                ));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (qi, r) in h.join().expect("batch worker panicked") {
+                        slots[qi] = Some(r);
+                    }
+                }
+            });
+            for slot in &mut slots {
+                let (per_query, stats) = slot.take().expect("every query index was claimed");
                 agg.merge(&stats);
+                neighbors.push(per_query);
             }
-            let mut merged = sort_neighbors(merged);
-            if let QueryKind::Knn(k) = kind {
-                merged.truncate(k.min(total));
+        } else {
+            // (query × shard) items; per-query shared thresholds.
+            let items: Vec<(usize, usize)> = (0..queries.len())
+                .flat_map(|q| (0..views.len()).map(move |v| (q, v)))
+                .collect();
+            let workers = workers.clamp(1, items.len());
+            let thresholds: Vec<SharedThreshold> =
+                (0..queries.len()).map(|_| SharedThreshold::new()).collect();
+            let sizes = shard_sizes(&views, total);
+            let mut slots: Vec<Option<(Vec<Neighbor>, QueryStats)>> = Vec::new();
+            slots.resize_with(items.len(), || None);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let (views, cache, canon, cursor) = (&views, &cache, &canon, &cursor);
+                        let (items, thresholds, sizes) = (&items, &thresholds, &sizes);
+                        scope.spawn(move || {
+                            let mut scratch = EdwpScratch::new();
+                            let mut out = Vec::new();
+                            loop {
+                                let ii = cursor.fetch_add(1, Ordering::Relaxed);
+                                if ii >= items.len() {
+                                    break;
+                                }
+                                let (qi, vi) = items[ii];
+                                let reuse = BoundReuse {
+                                    cache,
+                                    query: canon[qi],
+                                };
+                                out.push((
+                                    ii,
+                                    run_item(
+                                        &views[vi],
+                                        &queries[qi],
+                                        spec,
+                                        kind,
+                                        total,
+                                        sizes[vi],
+                                        vi == 0,
+                                        &thresholds[qi],
+                                        &mut scratch,
+                                        Some(reuse),
+                                    ),
+                                ));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (ii, r) in h.join().expect("batch worker panicked") {
+                        slots[ii] = Some(r);
+                    }
+                }
+            });
+            // Gather: slots are query-major, `views.len()` partials per
+            // query.
+            for per_query in slots.chunks_mut(views.len()) {
+                let mut merged = Vec::new();
+                for slot in per_query {
+                    let (partial, stats) = slot.take().expect("every item index was claimed");
+                    merged.extend(partial);
+                    agg.merge(&stats);
+                }
+                let mut merged = sort_neighbors(merged);
+                if let QueryKind::Knn(k) = kind {
+                    merged.truncate(k.min(total));
+                }
+                neighbors.push(merged);
             }
-            neighbors.push(merged);
         }
         BatchQueryResult {
             neighbors,
@@ -746,66 +895,105 @@ fn with_scratch<R>(scratch: Option<&mut EdwpScratch>, f: impl FnOnce(&mut EdwpSc
     }
 }
 
-/// The one code path every single query runs through: one collector,
-/// driven over every shard in sequence (the shared global threshold),
-/// index-pruned or brute-force, either metric, either query kind.
+/// Per-view `db_size` partials that sum to the source total. The borrowed
+/// source's single view must report `total` itself (its brute-force /
+/// index size distinction lives in the total); sharded snapshots keep
+/// store and tree in sync per shard.
+fn shard_sizes(views: &[SearchView<'_>], total: usize) -> Vec<usize> {
+    if views.len() == 1 {
+        vec![total]
+    } else {
+        views.iter().map(|v| v.store.len()).collect()
+    }
+}
+
+/// The one code path every single query runs through. The scatter
+/// strategy defaults to the parallel per-shard descent when the session
+/// is sharded and the machine has CPUs to spare, and to the sequential
+/// forest traversal otherwise (on one core, threads only add scheduling
+/// overhead; the forest gives cross-shard pruning without them) —
+/// [`QueryBuilder::parallel_scatter`] overrides.
 fn exec_single(
     source: &Source<'_>,
     query: &Trajectory,
     spec: Spec,
     kind: QueryKind,
+    parallel: Option<bool>,
     scratch: &mut EdwpScratch,
 ) -> QueryResult {
-    let db_size = source.total_len(spec.brute_force);
-    let mut stats = QueryStats::for_search(db_size);
-    let neighbors = match kind {
-        QueryKind::Knn(k) => {
-            let k = k.min(db_size);
-            if k == 0 {
-                Vec::new()
-            } else {
-                let mut collector = KnnCollector::new(k);
-                for view in source.views() {
-                    drive(&view, query, spec, &mut collector, scratch, &mut stats);
-                }
-                collector.into_neighbors()
-            }
+    let total = source.total_len(spec.brute_force);
+    let views = source.views();
+    let parallel = parallel.unwrap_or_else(|| views.len() > 1 && default_threads() > 1);
+    if !parallel || views.len() == 1 {
+        let (neighbors, stats) = run_query(&views, query, spec, kind, total, scratch, None);
+        return QueryResult {
+            neighbors,
+            stats: spec.collect_stats.then_some(stats),
+        };
+    }
+
+    // Parallel scatter: one worker per shard (shard 0 inline on the caller
+    // thread, reusing its warm scratch), one shared threshold.
+    let shared = SharedThreshold::new();
+    let sizes = shard_sizes(&views, total);
+    let mut slots: Vec<Option<(Vec<Neighbor>, QueryStats)>> = Vec::new();
+    slots.resize_with(views.len(), || None);
+    std::thread::scope(|scope| {
+        let (slot0, rest) = slots.split_at_mut(1);
+        for (off, (view, slot)) in views[1..].iter().zip(rest.iter_mut()).enumerate() {
+            let (shared, sizes) = (&shared, &sizes);
+            scope.spawn(move || {
+                let mut scratch = EdwpScratch::new();
+                *slot = Some(run_item(
+                    view,
+                    query,
+                    spec,
+                    kind,
+                    total,
+                    sizes[off + 1],
+                    false,
+                    shared,
+                    &mut scratch,
+                    None,
+                ));
+            });
         }
-        QueryKind::Range(eps) => {
-            if eps_can_match(eps) {
-                let mut collector = RangeCollector::new(eps);
-                for view in source.views() {
-                    drive(&view, query, spec, &mut collector, scratch, &mut stats);
-                }
-                collector.into_neighbors()
-            } else {
-                Vec::new()
-            }
-        }
-    };
+        slot0[0] = Some(run_item(
+            &views[0], query, spec, kind, total, sizes[0], true, &shared, scratch, None,
+        ));
+    });
+
+    let mut stats = QueryStats::default();
+    let mut merged = Vec::new();
+    for slot in &mut slots {
+        let (partial, partial_stats) = slot.take().expect("every shard worker fills its slot");
+        merged.extend(partial);
+        stats.merge(&partial_stats);
+    }
+    let mut neighbors = sort_neighbors(merged);
+    if let QueryKind::Knn(k) = kind {
+        neighbors.truncate(k.min(total));
+    }
     QueryResult {
         neighbors,
         stats: spec.collect_stats.then_some(stats),
     }
 }
 
-/// One (query, shard) work item of a batch: a per-shard collector filled
-/// over one view. `view_idx == 0` carries the query's count so the merged
-/// [`QueryStats::queries`] equals the batch size.
-fn run_item(
-    view: &ShardView<'_>,
+/// One whole query over every view: a single collector — hence one global
+/// pruning threshold — fed by one forest traversal (or the linear-scan
+/// reference for `brute_force`). The sequential-scatter unit, and the
+/// per-query batch item.
+fn run_query(
+    views: &[SearchView<'_>],
     query: &Trajectory,
     spec: Spec,
     kind: QueryKind,
     total: usize,
-    view_idx: usize,
     scratch: &mut EdwpScratch,
+    reuse: Option<BoundReuse<'_>>,
 ) -> (Vec<Neighbor>, QueryStats) {
-    let mut stats = QueryStats {
-        db_size: total,
-        queries: usize::from(view_idx == 0),
-        ..QueryStats::default()
-    };
+    let mut stats = QueryStats::for_search(total);
     let neighbors = match kind {
         QueryKind::Knn(k) => {
             let k = k.min(total);
@@ -813,14 +1001,30 @@ fn run_item(
                 Vec::new()
             } else {
                 let mut collector = KnnCollector::new(k);
-                drive(view, query, spec, &mut collector, scratch, &mut stats);
+                drive(
+                    views,
+                    query,
+                    spec,
+                    &mut collector,
+                    scratch,
+                    &mut stats,
+                    reuse,
+                );
                 collector.into_neighbors()
             }
         }
         QueryKind::Range(eps) => {
             if eps_can_match(eps) {
                 let mut collector = RangeCollector::new(eps);
-                drive(view, query, spec, &mut collector, scratch, &mut stats);
+                drive(
+                    views,
+                    query,
+                    spec,
+                    &mut collector,
+                    scratch,
+                    &mut stats,
+                    reuse,
+                );
                 collector.into_neighbors()
             } else {
                 Vec::new()
@@ -830,44 +1034,112 @@ fn run_item(
     (neighbors, stats)
 }
 
-/// Feeds a collector from one shard's best-first engine, or from a
-/// pruning-free linear scan of that shard for `brute_force` — the two
-/// differ only in which candidates pay for a full distance evaluation,
-/// never in what is computed for them. Local ids are rewritten to global
-/// ids by the [`RoutedCollector`].
+/// One (query, shard) work item of a parallel scatter: a per-shard
+/// collector filled over one view — k-NN items plug into the query's
+/// [`SharedThreshold`], so sibling shards prune each other mid-descent.
+/// `counts_query` is set on the query's first item so the merged
+/// [`QueryStats::queries`] equals the query count, and the `shard_len`
+/// partials sum to the database total.
+#[allow(clippy::too_many_arguments)]
+fn run_item(
+    view: &SearchView<'_>,
+    query: &Trajectory,
+    spec: Spec,
+    kind: QueryKind,
+    total: usize,
+    shard_len: usize,
+    counts_query: bool,
+    shared: &SharedThreshold,
+    scratch: &mut EdwpScratch,
+    reuse: Option<BoundReuse<'_>>,
+) -> (Vec<Neighbor>, QueryStats) {
+    let mut stats = QueryStats::for_shard_partial(shard_len, counts_query);
+    let views = std::slice::from_ref(view);
+    let neighbors = match kind {
+        QueryKind::Knn(k) => {
+            let k = k.min(total);
+            if k == 0 {
+                Vec::new()
+            } else {
+                let mut collector = SharedKnnCollector::new(k, shared);
+                drive(
+                    views,
+                    query,
+                    spec,
+                    &mut collector,
+                    scratch,
+                    &mut stats,
+                    reuse,
+                );
+                collector.into_neighbors()
+            }
+        }
+        QueryKind::Range(eps) => {
+            if eps_can_match(eps) {
+                let mut collector = RangeCollector::new(eps);
+                drive(
+                    views,
+                    query,
+                    spec,
+                    &mut collector,
+                    scratch,
+                    &mut stats,
+                    reuse,
+                );
+                collector.into_neighbors()
+            } else {
+                Vec::new()
+            }
+        }
+    };
+    (neighbors, stats)
+}
+
+/// Feeds a collector from the views' best-first forest engine, or from a
+/// pruning-free linear scan for `brute_force` — the two differ only in
+/// which candidates pay for a full distance evaluation, never in what is
+/// computed for them. Local ids are rewritten to global ids as candidates
+/// are offered.
 fn drive<C: Collector>(
-    view: &ShardView<'_>,
+    views: &[SearchView<'_>],
     query: &Trajectory,
     spec: Spec,
     collector: &mut C,
     scratch: &mut EdwpScratch,
     stats: &mut QueryStats,
+    reuse: Option<BoundReuse<'_>>,
 ) {
-    let mut routed = RoutedCollector::new(collector, view.shard, view.stride);
     if spec.brute_force {
-        for (local, t) in view.store.iter() {
-            stats.bump_edwp();
-            routed.offer(local, spec.metric.distance(spec.mode, query, t, scratch));
+        for view in views {
+            for (local, t) in view.store.iter() {
+                stats.bump_edwp();
+                collector.offer(
+                    view.global(local),
+                    spec.metric.distance(spec.mode, query, t, scratch),
+                );
+            }
         }
     } else {
         best_first(
-            view.tree,
-            view.store,
+            views,
             query,
             Matching {
                 metric: spec.metric,
                 mode: spec.mode,
             },
-            &mut routed,
+            collector,
             scratch,
             stats,
+            reuse,
         );
     }
 }
 
-/// Default batch fan-out: one worker per available CPU.
+/// Default worker fan-out: one per available CPU (cached — the default is
+/// consulted on every query).
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    static CPUS: OnceLock<usize> = OnceLock::new();
+    *CPUS.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 #[cfg(test)]
@@ -939,16 +1211,29 @@ mod tests {
         for shards in [2usize, 3, 4, 16] {
             let mut sharded = Session::builder().shards(shards).build(store.clone());
             assert_eq!(sharded.num_shards(), shards);
-            assert_eq!(
-                sharded.query(&q).knn(5).neighbors,
-                want_knn.neighbors,
-                "knn diverged at {shards} shards"
-            );
-            assert_eq!(
-                sharded.query(&q).range(750.0).neighbors,
-                want_range.neighbors,
-                "range diverged at {shards} shards"
-            );
+            // Both scatter strategies, explicitly — whatever the default
+            // resolves to on this machine.
+            for parallel in [false, true] {
+                assert_eq!(
+                    sharded
+                        .query(&q)
+                        .parallel_scatter(parallel)
+                        .knn(5)
+                        .neighbors,
+                    want_knn.neighbors,
+                    "knn diverged at {shards} shards (parallel: {parallel})"
+                );
+                assert_eq!(
+                    sharded
+                        .query(&q)
+                        .parallel_scatter(parallel)
+                        .range(750.0)
+                        .neighbors,
+                    want_range.neighbors,
+                    "range diverged at {shards} shards (parallel: {parallel})"
+                );
+            }
+            assert_eq!(sharded.query(&q).knn(5).neighbors, want_knn.neighbors);
             let batch = sharded.batch(std::slice::from_ref(&q)).threads(4).knn(5);
             assert_eq!(batch.neighbors[0], want_knn.neighbors);
         }
@@ -976,6 +1261,33 @@ mod tests {
         assert_eq!(stats.queries, 1);
         assert_eq!(stats.db_size, 20);
         assert!(stats.edwp_evaluations >= 3);
+    }
+
+    #[test]
+    fn parallel_scatter_reports_whole_database_stats() {
+        // Satellite regression: per-shard db_size partials must *sum* to
+        // the database total in the merged stats (the old merge kept the
+        // max, so a 4-shard query under-reported its candidate universe
+        // and inflated pruning_ratio).
+        let store = two_cluster_store();
+        let q = Trajectory::from_xy(&[(1.0, 0.5), (5.0, 1.5)]);
+        for shards in [1usize, 2, 4] {
+            let mut session = Session::builder().shards(shards).build(store.clone());
+            for parallel in [false, true] {
+                let res = session
+                    .query(&q)
+                    .parallel_scatter(parallel)
+                    .collect_stats()
+                    .knn(3);
+                let stats = res.stats.expect("requested");
+                assert_eq!(
+                    stats.db_size, 20,
+                    "db_size diverged at {shards} shards (parallel: {parallel})"
+                );
+                assert_eq!(stats.queries, 1);
+                assert!(stats.edwp_evaluations <= stats.db_size);
+            }
+        }
     }
 
     #[test]
@@ -1033,6 +1345,44 @@ mod tests {
         let balls = session.batch(&queries).threads(2).range(1e6);
         assert_eq!(balls.neighbors.len(), 5);
         assert!(balls.stats.is_none());
+    }
+
+    #[test]
+    fn batch_threads_zero_clamps_to_one_worker() {
+        // Satellite regression: `threads(0)` used to reach the scheduler
+        // unclamped. The documented contract mirrors `shards(0)`: zero
+        // means "single-threaded", results unchanged.
+        let session = Session::builder().shards(2).build(two_cluster_store());
+        let queries: Vec<Trajectory> = (0..3)
+            .map(|i| {
+                let x = i as f64 * 100.0;
+                Trajectory::from_xy(&[(x, x), (x + 2.0, x + 1.0)])
+            })
+            .collect();
+        let zero = session.batch(&queries).threads(0).collect_stats().knn(3);
+        let one = session.batch(&queries).threads(1).collect_stats().knn(3);
+        assert_eq!(zero, one);
+        assert_eq!(zero.stats.unwrap().queries, 3);
+    }
+
+    #[test]
+    fn batch_with_repeated_queries_hits_the_bound_cache() {
+        // A batch repeating one probe shares node bounds through the
+        // per-batch cache; answers must stay bitwise identical to the
+        // all-distinct path.
+        let session = Session::builder().shards(3).build(two_cluster_store());
+        let probe = Trajectory::from_xy(&[(1.0, 0.5), (5.0, 1.5)]);
+        let far = Trajectory::from_xy(&[(480.0, 480.0), (520.0, 520.0)]);
+        let queries = vec![probe.clone(), far.clone(), probe.clone(), probe];
+        for threads in [1usize, 2, 4] {
+            let batch = session.batch(&queries).threads(threads).knn(4);
+            assert_eq!(batch.neighbors[0], batch.neighbors[2]);
+            assert_eq!(batch.neighbors[0], batch.neighbors[3]);
+            let snap = session.snapshot();
+            for (q, got) in queries.iter().zip(&batch.neighbors) {
+                assert_eq!(*got, snap.query(q).knn(4).neighbors, "threads: {threads}");
+            }
+        }
     }
 
     #[test]

@@ -29,6 +29,20 @@
 //! swapping the outer `Arc`, so a snapshot taken before an insert keeps
 //! reading the pre-insert epoch for as long as it lives. See
 //! [`crate::Session::insert`] for the full consistency contract.
+//!
+//! # Queries over shards
+//!
+//! The query layer never walks shards one at a time under separate
+//! thresholds. A single query either seeds every shard root into one
+//! best-first *forest* queue (cross-shard pruning, one collector), or —
+//! on the parallel scatter path — descends each shard on its own worker
+//! while all workers tighten one shared atomic threshold
+//! ([`crate::engine::SharedThreshold`]). Either way the whole epoch is
+//! pinned once (`Arc` clone of the shard vector) before any traversal
+//! starts, so a concurrent insert publishing a new epoch mid-query is
+//! invisible: every shard walked belongs to the same published
+//! generation, and results stay bitwise identical to the sequential
+//! single-shard answer.
 
 use crate::store::{TrajId, TrajStore};
 use crate::tree::{TrajTree, TrajTreeConfig};

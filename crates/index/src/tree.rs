@@ -31,15 +31,20 @@ impl Default for TrajTreeConfig {
 /// their subtree with a coarsened tBoxSeq; leaves hold trajectory ids.
 /// `max_len` upper-bounds the spatial length of every trajectory in the
 /// subtree — the bookkeeping the length-normalised metric's admissible
-/// node bound divides by.
+/// node bound divides by. `id` is the node's pre-order position, reassigned
+/// wholesale after every structural change, so within one immutable epoch
+/// (the unit queries pin) ids are dense, stable and unique — the node key
+/// of the per-batch bound cache.
 #[derive(Debug, Clone)]
 pub(crate) enum Node {
     Leaf {
+        id: u32,
         ids: Vec<TrajId>,
         summary: BoxSeq,
         max_len: f64,
     },
     Internal {
+        id: u32,
         children: Vec<Node>,
         summary: BoxSeq,
         max_len: f64,
@@ -50,6 +55,29 @@ impl Node {
     pub(crate) fn summary(&self) -> &BoxSeq {
         match self {
             Node::Leaf { summary, .. } | Node::Internal { summary, .. } => summary,
+        }
+    }
+
+    /// Pre-order id within this tree epoch (see the type docs).
+    pub(crate) fn id(&self) -> u32 {
+        match self {
+            Node::Leaf { id, .. } | Node::Internal { id, .. } => *id,
+        }
+    }
+
+    fn assign_ids(&mut self, next: &mut u32) {
+        match self {
+            Node::Leaf { id, .. } => {
+                *id = *next;
+                *next += 1;
+            }
+            Node::Internal { id, children, .. } => {
+                *id = *next;
+                *next += 1;
+                for c in children {
+                    c.assign_ids(next);
+                }
+            }
         }
     }
 
@@ -167,11 +195,13 @@ impl TrajTree {
                 })
                 .collect();
         }
-        TrajTree {
+        let mut tree = TrajTree {
             root: nodes.pop(),
             config,
             len,
-        }
+        };
+        tree.renumber();
+        tree
     }
 
     /// Bulk-loads with the default configuration.
@@ -200,6 +230,18 @@ impl TrajTree {
                     self.root = Some(root);
                 }
             }
+        }
+        self.renumber();
+    }
+
+    /// Reassigns dense pre-order node ids — called after every structural
+    /// change. A tree walk, negligible next to the merge-DP work the
+    /// change itself performed; crucially it keeps ids unique within the
+    /// epoch a query pins, no matter how splits shuffled subtrees.
+    fn renumber(&mut self) {
+        if let Some(root) = &mut self.root {
+            let mut next = 0u32;
+            root.assign_ids(&mut next);
         }
     }
 
@@ -278,6 +320,7 @@ fn make_leaf(store: &TrajStore, ids: &[TrajId], config: &TrajTreeConfig) -> Node
         .map(|&id| store.get(id).length())
         .fold(0.0, f64::max);
     Node::Leaf {
+        id: 0, // placeholder until the post-change renumber pass
         ids: ids.to_vec(),
         summary,
         max_len,
@@ -294,6 +337,7 @@ fn make_internal(store: &TrajStore, children: Vec<Node>, config: &TrajTreeConfig
     let summary = summary_over(store, &ids, config.internal_boxes);
     let max_len = children.iter().map(Node::max_len).fold(0.0, f64::max);
     Node::Internal {
+        id: 0, // placeholder until the post-change renumber pass
         children,
         summary,
         max_len,
@@ -325,6 +369,7 @@ fn insert_rec(
             ids,
             summary,
             max_len,
+            ..
         } => {
             let mut merged = premerged.unwrap_or_else(|| summary.merge_trajectory(t));
             merged.coalesce(Some(config.leaf_boxes));
@@ -338,6 +383,7 @@ fn insert_rec(
             children,
             summary,
             max_len,
+            ..
         } => {
             let mut merged = premerged.unwrap_or_else(|| summary.merge_trajectory(t));
             merged.coalesce(Some(config.internal_boxes));
@@ -392,6 +438,7 @@ fn split_leaf(
         ids: new_ids,
         summary: new_summary,
         max_len: new_max_len,
+        ..
     } = make_leaf(store, &keep, config)
     {
         *ids = new_ids;
@@ -431,6 +478,7 @@ fn split_internal(
         children: new_children,
         summary: new_summary,
         max_len: new_max_len,
+        ..
     } = kept
     {
         *children = new_children;
@@ -625,6 +673,37 @@ mod tests {
             incremental.insert(&store, id);
         }
         check(incremental.root.as_ref().unwrap(), &store);
+    }
+
+    #[test]
+    fn node_ids_stay_dense_preorder_through_builds_and_inserts() {
+        fn collect(node: &Node, out: &mut Vec<u32>) {
+            out.push(node.id());
+            if let Node::Internal { children, .. } = node {
+                for c in children {
+                    collect(c, out);
+                }
+            }
+        }
+        let store = store_of(40);
+        let config = TrajTreeConfig {
+            leaf_capacity: 3,
+            fanout: 3,
+            ..TrajTreeConfig::default()
+        };
+        let bulk = TrajTree::bulk_load(&store, config.clone());
+        let mut ids = Vec::new();
+        collect(bulk.root.as_ref().unwrap(), &mut ids);
+        assert_eq!(ids, (0..bulk.node_count() as u32).collect::<Vec<_>>());
+
+        // The incremental path goes through every split/renumber route.
+        let mut tree = TrajTree::bulk_load(&TrajStore::new(), config);
+        for id in store.ids() {
+            tree.insert(&store, id);
+            let mut ids = Vec::new();
+            collect(tree.root.as_ref().unwrap(), &mut ids);
+            assert_eq!(ids, (0..tree.node_count() as u32).collect::<Vec<_>>());
+        }
     }
 
     #[test]

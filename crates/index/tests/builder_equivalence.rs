@@ -1,9 +1,10 @@
 //! The sharded-surface contract: every combination the typed query surface
 //! can express — k-NN / range × index / brute-force × shards 1/2/4 ×
-//! threads 1/4 × raw / length-normalised metric — is **bitwise identical**
-//! to the borrowed single-shard builder and to an independent manual scan,
-//! and inserts land while concurrent batches keep reading a stable epoch.
-//! This is what makes the shard count an invisible deployment knob.
+//! threads 1/4 × raw / length-normalised metric × forest / parallel
+//! scatter — is **bitwise identical** to the borrowed single-shard builder
+//! and to an independent manual scan, and inserts land while concurrent
+//! batches keep reading a stable epoch. This is what makes the shard count
+//! an invisible deployment knob.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
@@ -132,14 +133,27 @@ proptest! {
                 let mut session = Session::builder()
                     .shards(shards)
                     .build(TrajStore::from(db.clone()));
-                let indexed = session.query(&query).metric(metric).collect_stats().knn(k);
-                prop_assert_eq!(&indexed.neighbors, &want_knn);
-                prop_assert_eq!(indexed.stats.expect("requested").db_size, size);
+                // Both scatter strategies, forced explicitly: the forest
+                // traversal and the shared-threshold parallel descent must
+                // agree with the reference bitwise.
+                for parallel in [false, true] {
+                    let indexed = session
+                        .query(&query)
+                        .metric(metric)
+                        .parallel_scatter(parallel)
+                        .collect_stats()
+                        .knn(k);
+                    prop_assert_eq!(&indexed.neighbors, &want_knn);
+                    prop_assert_eq!(indexed.stats.expect("requested").db_size, size);
+                    let in_ball = session
+                        .query(&query)
+                        .metric(metric)
+                        .parallel_scatter(parallel)
+                        .range(eps);
+                    prop_assert_eq!(&in_ball.neighbors, &want_ball);
+                }
                 let brute = session.query(&query).metric(metric).brute_force().knn(k);
                 prop_assert_eq!(&brute.neighbors, &want_knn);
-
-                let in_ball = session.query(&query).metric(metric).range(eps);
-                prop_assert_eq!(&in_ball.neighbors, &want_ball);
                 let brute_ball = session
                     .query(&query)
                     .metric(metric)
@@ -317,12 +331,20 @@ fn concurrent_inserts_never_tear_an_epoch() {
                     let mut checks = 0usize;
                     loop {
                         let snap = session.snapshot();
-                        let got = snap.query(&query).knn(4).neighbors;
                         let want = manual_scan(snap.iter(), &query, Metric::Edwp);
+                        let want = want[..4.min(want.len())].to_vec();
+                        let got = snap.query(&query).knn(4).neighbors;
                         assert_eq!(
-                            got,
-                            want[..4.min(want.len())].to_vec(),
+                            got, want,
                             "torn epoch observed after {checks} consistent reads"
+                        );
+                        // The parallel scatter path reads the same pinned
+                        // epoch from its per-shard worker threads — racing
+                        // it against the writer is the point.
+                        let par = snap.query(&query).parallel_scatter(true).knn(4).neighbors;
+                        assert_eq!(
+                            par, want,
+                            "parallel scatter tore after {checks} consistent reads"
                         );
                         checks += 1;
                         if stop.load(Ordering::Relaxed) {

@@ -218,7 +218,8 @@ fn batch_queries_are_bitwise_identical_to_sequential() {
             "batch_knn diverged at {threads} workers"
         );
         assert_eq!(knn_stats.queries, queries.len());
-        assert_eq!(knn_stats.db_size, store.len());
+        // Merged db_size sums the per-query database sizes.
+        assert_eq!(knn_stats.db_size, store.len() * queries.len());
 
         let res = BatchQueryBuilder::over(&tree, &store, &queries)
             .threads(threads)

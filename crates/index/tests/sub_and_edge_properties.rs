@@ -127,13 +127,17 @@ proptest! {
                 let mut session = Session::builder()
                     .shards(shards)
                     .build(TrajStore::from(db.clone()));
-                let indexed = session
-                    .query(&queries[0])
-                    .metric(metric)
-                    .sub()
-                    .knn(k);
-                prop_assert!(indexed.neighbors == want_knn,
-                    "sub knn diverged at {} shards under {:?}", shards, metric);
+                for parallel in [false, true] {
+                    let indexed = session
+                        .query(&queries[0])
+                        .metric(metric)
+                        .sub()
+                        .parallel_scatter(parallel)
+                        .knn(k);
+                    prop_assert!(indexed.neighbors == want_knn,
+                        "sub knn diverged at {} shards under {:?} (parallel: {})",
+                        shards, metric, parallel);
+                }
                 // The brute-force escape hatch of the new mode.
                 let brute = session
                     .query(&queries[0])

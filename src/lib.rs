@@ -9,8 +9,9 @@
 //! * distances: [`edwp`], [`edwp_avg`], [`edwp_sub`], [`edwp_sub_avg`],
 //!   the pooled-scratch hot-path variants ([`EdwpScratch`],
 //!   [`edwp_with_scratch`], [`edwp_avg_with_scratch`],
-//!   [`edwp_sub_with_scratch`]), the [`TrajDistance`] trait and the
-//!   paper's baselines in [`baselines`];
+//!   [`edwp_sub_with_scratch`]), the early-exit bound kernels' [`Cutoff`]
+//!   (constant or shared-atomic pruning threshold), the [`TrajDistance`]
+//!   trait and the paper's baselines in [`baselines`];
 //! * the query surface: a sharded [`Session`] (built via
 //!   [`Session::builder`] with `.shards(n)`, default 1) owning per-shard
 //!   [`TrajStore`] segments, [`TrajTree`] indexes and pooled scratch,
@@ -49,7 +50,7 @@ pub use traj_dist::{
     edwp_sub_lower_bound_boxes_bounded, edwp_sub_lower_bound_boxes_with_scratch,
     edwp_sub_lower_bound_trajectory, edwp_sub_lower_bound_trajectory_bounded,
     edwp_sub_lower_bound_trajectory_with_scratch, edwp_sub_with_scratch, edwp_with_scratch, BoxSeq,
-    EdwpDistance, EdwpRawDistance, EdwpScratch, Metric, QueryMode, TrajDistance,
+    Cutoff, EdwpDistance, EdwpRawDistance, EdwpScratch, Metric, QueryMode, TrajDistance,
 };
 pub use traj_gen::{GenConfig, TrajGen};
 pub use traj_index::{
@@ -174,6 +175,7 @@ mod tests {
             type_name::<BatchQueryResult>(),
             type_name::<BoxSeq>(),
             type_name::<CoreError>(),
+            type_name::<Cutoff<'static>>(),
             type_name::<EdwpDistance>(),
             type_name::<EdwpRawDistance>(),
             type_name::<EdwpScratch>(),
@@ -203,7 +205,7 @@ mod tests {
         ];
         assert_eq!(
             types.len(),
-            30,
+            31,
             "type surface changed — update the snapshot"
         );
 
