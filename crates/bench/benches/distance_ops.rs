@@ -3,7 +3,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use traj_bench::{make_queries, make_store};
-use traj_dist::{edwp, edwp_lower_bound_boxes, edwp_lower_bound_trajectory, BoxSeq};
+use traj_dist::simd::edwp_lower_bound_boxes_bounded_isa;
+use traj_dist::{
+    edwp, edwp_lower_bound_boxes, edwp_lower_bound_trajectory, BoxSeq, Cutoff, EdwpScratch, Isa,
+};
 use traj_gen::TrajGen;
 
 fn edwp_scaling(c: &mut Criterion) {
@@ -39,6 +42,43 @@ fn bounds_vs_full(c: &mut Criterion) {
     group.bench_function("edwp_full", |b| {
         b.iter(|| black_box(edwp(q, member)));
     });
+
+    // Scalar vs SIMD on the same box-bound workload, pinned per row via
+    // the explicit-ISA entry points so neither `TRAJ_FORCE_SCALAR` nor
+    // the cached dispatch can mix the two. The dispatched row above
+    // (`edwp_lower_bound_boxes`) uses whatever `Isa::current()` picked.
+    println!(
+        "distance_ops: runtime dispatch resolved to `{}` (avx2 available: {})",
+        Isa::current().name(),
+        Isa::available() == Isa::Avx2
+    );
+    let mut scratch = EdwpScratch::new();
+    group.bench_function("boxes_bounded_scalar", |b| {
+        b.iter(|| {
+            black_box(edwp_lower_bound_boxes_bounded_isa(
+                Isa::Scalar,
+                q,
+                &seq,
+                Cutoff::constant(f64::INFINITY),
+                &mut scratch,
+            ))
+        });
+    });
+    if Isa::available() == Isa::Avx2 {
+        group.bench_function("boxes_bounded_simd", |b| {
+            b.iter(|| {
+                black_box(edwp_lower_bound_boxes_bounded_isa(
+                    Isa::Avx2,
+                    q,
+                    &seq,
+                    Cutoff::constant(f64::INFINITY),
+                    &mut scratch,
+                ))
+            });
+        });
+    } else {
+        println!("distance_ops: avx2 unavailable — skipping bounds/boxes_bounded_simd");
+    }
     group.finish();
 }
 

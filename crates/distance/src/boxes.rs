@@ -261,7 +261,33 @@ pub fn edwp_lower_bound_boxes_with_scratch(
 /// The comparison is strict so a bound that lands exactly *on* the
 /// threshold is still returned in full: the engine keeps expanding ties to
 /// preserve id-order tie-breaking against the brute-force reference.
+///
+/// # Dispatch
+///
+/// This entry point runs on the instruction-set path
+/// [`crate::simd::Isa::current`] resolves to: the scalar kernel (bit-for-bit
+/// the historical code) or a 4-wide AVX2 kernel evaluating four boxes per
+/// iteration. Both are admissible and honour the cutoff contract above;
+/// their values agree to rounding, not to the bit (the AVX2 kernel computes
+/// the same segment-to-box minimum through a different exact
+/// decomposition — see [`crate::simd`]). Use
+/// [`crate::simd::edwp_lower_bound_boxes_bounded_isa`] to pin a path
+/// explicitly.
 pub fn edwp_lower_bound_boxes_bounded(
+    t: &Trajectory,
+    seq: &BoxSeq,
+    cutoff: Cutoff<'_>,
+    scratch: &mut EdwpScratch,
+) -> f64 {
+    match crate::simd::Isa::current() {
+        crate::simd::Isa::Scalar => boxes_bounded_scalar(t, seq, cutoff, scratch),
+        crate::simd::Isa::Avx2 => boxes_bounded_simd(t, seq, cutoff, scratch),
+    }
+}
+
+/// Scalar body of [`edwp_lower_bound_boxes_bounded`] — bit-for-bit the
+/// pre-SIMD kernel, and the dispatch target under `TRAJ_FORCE_SCALAR`.
+pub(crate) fn boxes_bounded_scalar(
     t: &Trajectory,
     seq: &BoxSeq,
     cutoff: Cutoff<'_>,
@@ -306,6 +332,139 @@ pub fn edwp_lower_bound_boxes_bounded(
         }
     }
     sum
+}
+
+/// AVX2 body of [`edwp_lower_bound_boxes_bounded`]: mirrors the box
+/// sequence into the scratch's SoA buffers once per call, then evaluates
+/// each query piece's segment-to-box minimum four boxes per iteration
+/// (lane-wise AABB prescreen, vectorised clip test, exact corner/endpoint
+/// decomposition — see [`crate::simd::seg_min_dist_sq_avx2`]). Same
+/// admissibility and cutoff contract as the scalar body.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn boxes_bounded_simd(
+    t: &Trajectory,
+    seq: &BoxSeq,
+    cutoff: Cutoff<'_>,
+    scratch: &mut EdwpScratch,
+) -> f64 {
+    if seq.is_empty() {
+        return f64::INFINITY;
+    }
+    let (pieces, soa) = scratch.pieces_and_soa(t);
+    soa.fill(seq.boxes());
+    let mut sum = 0.0;
+    for &(e, len) in pieces {
+        // Safety: this path is only dispatched to when AVX2 is available
+        // (runtime detection in `Isa`, or `force_isa` which refuses the
+        // request on unsupported CPUs).
+        let d2 =
+            unsafe { crate::simd::seg_min_dist_sq_avx2(soa, e.a.p.x, e.a.p.y, e.b.p.x, e.b.p.y) };
+        sum += 2.0 * d2.sqrt() * len;
+        if sum > cutoff.current() {
+            return sum;
+        }
+    }
+    sum
+}
+
+/// Cross-architecture stand-in: without `x86_64` there is no AVX2 path, so
+/// an explicit [`crate::simd::Isa::Avx2`] request falls back to scalar.
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) fn boxes_bounded_simd(
+    t: &Trajectory,
+    seq: &BoxSeq,
+    cutoff: Cutoff<'_>,
+    scratch: &mut EdwpScratch,
+) -> f64 {
+    boxes_bounded_scalar(t, seq, cutoff, scratch)
+}
+
+/// Batched AABB prescreen against a set of candidate boxes: writes into
+/// `out[c]` the admissible lower bound
+/// `Σ_e 2 · len(e) · aabb_dist(bbox(e), children[c])` over `t`'s segments —
+/// [`edwp_lower_bound_boxes_bounded`]'s cheap prescreen distance, but
+/// evaluated for *all* candidates in one dense sweep instead of one branchy
+/// loop per candidate. The engine uses this to prescreen every child of an
+/// expanded index node before paying for exact per-child bounds.
+///
+/// Admissibility: the axis-aligned distance between `e`'s bounding box and
+/// `children[c]` never exceeds the true segment-to-box distance to *any*
+/// box contained in `children[c]`, so when `children[c]` encloses a node's
+/// summary boxes, `out[c]` never exceeds that node's
+/// [`edwp_lower_bound_boxes`] — and hence never exceeds the EDwP (or
+/// `EDwP_sub`; the relaxation is one-sided, see
+/// [`edwp_sub_lower_bound_boxes`]) distance to any summarised trajectory.
+///
+/// The accumulation stops early once **every** candidate's running sum
+/// strictly exceeds `cutoff`; partial sums are admissible per candidate, so
+/// `out` is usable either way. Both dispatch paths compute the identical
+/// accumulation in the identical order and produce bitwise-equal sums
+/// (pinned by the property tests).
+pub fn edwp_lower_bound_aabb_batch(
+    t: &Trajectory,
+    children: &[StBox],
+    cutoff: f64,
+    scratch: &mut EdwpScratch,
+    out: &mut Vec<f64>,
+) {
+    aabb_batch_dispatch(
+        crate::simd::Isa::current(),
+        t,
+        children,
+        cutoff,
+        scratch,
+        out,
+    );
+}
+
+/// Dispatch-pinned body of [`edwp_lower_bound_aabb_batch`].
+pub(crate) fn aabb_batch_dispatch(
+    isa: crate::simd::Isa,
+    t: &Trajectory,
+    children: &[StBox],
+    cutoff: f64,
+    scratch: &mut EdwpScratch,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    if children.is_empty() {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if isa == crate::simd::Isa::Avx2 {
+        let (pieces, soa) = scratch.pieces_and_soa(t);
+        soa.fill(children);
+        out.resize(soa.padded_len(), 0.0);
+        // Safety: dispatched only when AVX2 is available (see
+        // `boxes_bounded_simd`); `out` was just sized to the SoA's padded
+        // length.
+        unsafe { crate::simd::aabb_batch_avx2(soa, pieces, cutoff, out) };
+        out.truncate(children.len());
+        return;
+    }
+    let _ = isa;
+    out.resize(children.len(), 0.0);
+    for &(e, len) in scratch.query_pieces(t) {
+        // Zero-length pieces contribute exactly zero to every sum; both
+        // paths skip them (in the AVX2 path a zero weight would turn the
+        // +inf padding lanes into NaN and disable the early exit).
+        if len == 0.0 {
+            continue;
+        }
+        let (exlo, exhi) = minmax(e.a.p.x, e.b.p.x);
+        let (eylo, eyhi) = minmax(e.a.p.y, e.b.p.y);
+        let w = 2.0 * len;
+        let mut all_over = true;
+        for (sum, b) in out.iter_mut().zip(children) {
+            let dx = (b.lo.x - exhi).max(exlo - b.hi.x).max(0.0);
+            let dy = (b.lo.y - eyhi).max(eylo - b.hi.y).max(0.0);
+            *sum += w * (dx * dx + dy * dy).sqrt();
+            all_over &= *sum > cutoff;
+        }
+        if all_over {
+            return;
+        }
+    }
 }
 
 /// `(min, max)` of two floats, compared directly (inputs are coordinates,

@@ -26,6 +26,12 @@
 //! DP rows, anchor memos and query decompositions live in caller-pooled
 //! buffers, so a warm scratch makes every call allocation-free. The plain
 //! signatures remain as thin wrappers for one-off use.
+//!
+//! The bound kernels and the DP cell prologue are vectorised (4-wide AVX2)
+//! behind a runtime dispatch — see the [`simd`] module for the dispatch
+//! model ([`Isa`], [`force_isa`], the `TRAJ_FORCE_SCALAR` environment
+//! variable) and for why bound values may differ between dispatch paths
+//! while reported distances and query results cannot.
 
 #![warn(missing_docs)]
 
@@ -34,17 +40,21 @@ pub mod boxes;
 mod cutoff;
 mod edwp;
 mod matrix;
+pub mod simd;
+
+pub use simd::{force_isa, Isa};
 
 pub use boxes::{
     edwp_avg_lower_bound_boxes, edwp_avg_lower_bound_boxes_bounded,
     edwp_avg_lower_bound_boxes_with_scratch, edwp_avg_lower_bound_trajectory,
     edwp_avg_lower_bound_trajectory_bounded, edwp_avg_lower_bound_trajectory_with_scratch,
-    edwp_lower_bound_boxes, edwp_lower_bound_boxes_bounded, edwp_lower_bound_boxes_with_scratch,
-    edwp_lower_bound_trajectory, edwp_lower_bound_trajectory_bounded,
-    edwp_lower_bound_trajectory_with_scratch, edwp_sub_boxes, edwp_sub_lower_bound_boxes,
-    edwp_sub_lower_bound_boxes_bounded, edwp_sub_lower_bound_boxes_with_scratch,
-    edwp_sub_lower_bound_trajectory, edwp_sub_lower_bound_trajectory_bounded,
-    edwp_sub_lower_bound_trajectory_with_scratch, BoxAlignment, BoxSeq, RepOp,
+    edwp_lower_bound_aabb_batch, edwp_lower_bound_boxes, edwp_lower_bound_boxes_bounded,
+    edwp_lower_bound_boxes_with_scratch, edwp_lower_bound_trajectory,
+    edwp_lower_bound_trajectory_bounded, edwp_lower_bound_trajectory_with_scratch, edwp_sub_boxes,
+    edwp_sub_lower_bound_boxes, edwp_sub_lower_bound_boxes_bounded,
+    edwp_sub_lower_bound_boxes_with_scratch, edwp_sub_lower_bound_trajectory,
+    edwp_sub_lower_bound_trajectory_bounded, edwp_sub_lower_bound_trajectory_with_scratch,
+    BoxAlignment, BoxSeq, RepOp,
 };
 pub use cutoff::Cutoff;
 pub use edwp::reference::edwp_reference;

@@ -17,7 +17,7 @@ use traj_dist::{
     edwp_sub_lower_bound_boxes_bounded, edwp_sub_lower_bound_boxes_with_scratch,
     edwp_sub_lower_bound_trajectory, edwp_sub_lower_bound_trajectory_bounded,
     edwp_sub_lower_bound_trajectory_with_scratch, edwp_sub_with_scratch, edwp_with_scratch, BoxSeq,
-    EdwpScratch,
+    Cutoff, EdwpScratch, Isa,
 };
 
 struct CountingAllocator;
@@ -106,6 +106,69 @@ fn scratch_kernels_are_allocation_free_after_warmup() {
         "warm scratch kernels allocated {allocs} times (sum {sum})"
     );
     assert!(sum.is_finite());
+
+    // The SIMD dispatch layer pools its structure-of-arrays mirrors
+    // (`BoxSoa`, the DP prologue rows, the prescreen sums) in the same
+    // scratch: once warmed, *both* dispatch paths — and the batched AABB
+    // prescreen — must stay allocation-free too. Each path is pinned via
+    // the explicit-ISA entries so the test is independent of what
+    // `Isa::current()` resolved to (and of `TRAJ_FORCE_SCALAR`).
+    let isas: &[Isa] = if Isa::available() == Isa::Avx2 {
+        &[Isa::Scalar, Isa::Avx2]
+    } else {
+        &[Isa::Scalar]
+    };
+    let open = Cutoff::constant(f64::INFINITY);
+    let children: Vec<traj_core::StBox> = seq.boxes().to_vec();
+    let mut sums: Vec<f64> = Vec::new();
+    for &isa in isas {
+        // Warm-up grows the SoA mirrors to this problem size.
+        traj_dist::simd::edwp_lower_bound_boxes_bounded_isa(isa, &t1, &seq, open, &mut scratch);
+        traj_dist::simd::edwp_lower_bound_aabb_batch_isa(
+            isa,
+            &t1,
+            &children,
+            f64::INFINITY,
+            &mut scratch,
+            &mut sums,
+        );
+    }
+    let (acc, simd_allocs) = counting(|| {
+        let mut acc = 0.0;
+        for _ in 0..8 {
+            for &isa in isas {
+                acc += traj_dist::simd::edwp_lower_bound_boxes_bounded_isa(
+                    isa,
+                    &t1,
+                    &seq,
+                    open,
+                    &mut scratch,
+                );
+                acc += traj_dist::simd::edwp_sub_lower_bound_boxes_bounded_isa(
+                    isa,
+                    &t1,
+                    &seq,
+                    0.0.into(),
+                    &mut scratch,
+                );
+                traj_dist::simd::edwp_lower_bound_aabb_batch_isa(
+                    isa,
+                    &t1,
+                    &children,
+                    f64::INFINITY,
+                    &mut scratch,
+                    &mut sums,
+                );
+                acc += sums.iter().sum::<f64>();
+            }
+        }
+        acc
+    });
+    assert_eq!(
+        simd_allocs, 0,
+        "warm SIMD-dispatch kernels allocated {simd_allocs} times (sum {acc})"
+    );
+    assert!(acc.is_finite());
 
     // Scratch never changes values: every kernel agrees with its
     // allocating wrapper bit-for-bit.

@@ -128,6 +128,7 @@ mod tests {
                 nodes_visited: 4,
                 bound_evaluations: 20,
                 edwp_evaluations: 10,
+                ..QueryStats::default()
             },
             QueryStats {
                 db_size: 100,
@@ -135,6 +136,7 @@ mod tests {
                 nodes_visited: 6,
                 bound_evaluations: 30,
                 edwp_evaluations: 30,
+                ..QueryStats::default()
             },
         ];
         let s = PruningSummary::from_stats(&stats);
@@ -157,6 +159,7 @@ mod tests {
                 nodes_visited: 12,
                 bound_evaluations: 60,
                 edwp_evaluations: 30,
+                ..QueryStats::default()
             },
             QueryStats {
                 db_size: 100,
@@ -164,6 +167,7 @@ mod tests {
                 nodes_visited: 4,
                 bound_evaluations: 20,
                 edwp_evaluations: 10,
+                ..QueryStats::default()
             },
         ];
         let s = PruningSummary::from_stats(&stats);
@@ -181,6 +185,7 @@ mod tests {
             nodes_visited: 4,
             bound_evaluations: 20,
             edwp_evaluations: 10,
+            ..QueryStats::default()
         };
         agg.merge(&per_query);
         agg.merge(&QueryStats {

@@ -57,8 +57,8 @@ use crate::tree::{Node, TrajTree};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use traj_core::{TotalF64, Trajectory};
-use traj_dist::{Cutoff, EdwpScratch, Metric, QueryMode};
+use traj_core::{StBox, TotalF64, Trajectory};
+use traj_dist::{edwp_lower_bound_aabb_batch, BoxSeq, Cutoff, EdwpScratch, Metric, QueryMode};
 
 /// One query answer: a trajectory id and its exact distance to the query
 /// under the query's [`Metric`] and [`QueryMode`] (whole-trajectory raw
@@ -94,6 +94,15 @@ pub struct QueryStats {
     /// Full EDwP dynamic programs evaluated — the expensive operation a
     /// linear scan performs `db_size` times per query.
     pub edwp_evaluations: usize,
+    /// Children of expanded nodes whose exact summary bound was skipped
+    /// because the batched AABB prescreen already proved them prunable
+    /// (the dense vector sweep over each expanded node's children — see
+    /// `traj_dist::edwp_lower_bound_aabb_batch`).
+    pub aabb_prescreened: usize,
+    /// Queue entries (subtrees and per-trajectory candidates) discarded
+    /// unexplored when the queue minimum crossed the pruning threshold —
+    /// the work the admissible bounds saved outright.
+    pub bound_pruned: usize,
 }
 
 impl QueryStats {
@@ -148,6 +157,8 @@ impl QueryStats {
             .bound_evaluations
             .saturating_add(other.bound_evaluations);
         self.edwp_evaluations = self.edwp_evaluations.saturating_add(other.edwp_evaluations);
+        self.aabb_prescreened = self.aabb_prescreened.saturating_add(other.aabb_prescreened);
+        self.bound_pruned = self.bound_pruned.saturating_add(other.bound_pruned);
     }
 
     #[inline]
@@ -163,6 +174,16 @@ impl QueryStats {
     #[inline]
     pub(crate) fn bump_edwp(&mut self) {
         self.edwp_evaluations = self.edwp_evaluations.saturating_add(1);
+    }
+
+    #[inline]
+    fn bump_prescreened(&mut self) {
+        self.aabb_prescreened = self.aabb_prescreened.saturating_add(1);
+    }
+
+    #[inline]
+    fn bump_pruned(&mut self, n: usize) {
+        self.bound_pruned = self.bound_pruned.saturating_add(n);
     }
 }
 
@@ -499,6 +520,30 @@ fn node_bound<C: Collector>(
     value
 }
 
+/// The overall bounding box of a summary sequence: the union fold of its
+/// boxes. `None` for an empty summary.
+fn overall_bbox(seq: &BoxSeq) -> Option<StBox> {
+    let mut boxes = seq.boxes().iter();
+    let first = *boxes.next()?;
+    Some(boxes.fold(first, |acc, b| acc.union(b)))
+}
+
+/// Fills `out` with each child's overall bounding box for the batched
+/// prescreen. Returns `false` (prescreen disabled for this node) when any
+/// child has an empty summary — such a child's bound is `+inf` and must
+/// come from the exact kernel, whose empty-sequence handling is the
+/// contract tests pin.
+fn gather_child_boxes(children: &[Node], out: &mut Vec<StBox>) -> bool {
+    out.clear();
+    for child in children {
+        match overall_bbox(child.summary()) {
+            Some(b) => out.push(b),
+            None => return false,
+        }
+    }
+    true
+}
+
 /// Runs one best-first search over a forest of `views` — every shard of a
 /// scatter at once for the single-threaded path, or a single view per
 /// worker for the parallel path — feeding every exact evaluation into
@@ -545,6 +590,13 @@ pub(crate) fn best_first<C: Collector>(
     }
     let mut queue: BinaryHeap<QueueEntry<'_>> = BinaryHeap::new();
     let mut seq = 0u64;
+    // Arena for the batched child prescreen: each expanded node's children
+    // are gathered into one dense box slice and prescreened in a single
+    // vector sweep before any exact per-child bound is paid for. Reused
+    // across pops, so the steady-state traversal stays allocation-free.
+    let mut child_boxes: Vec<StBox> = Vec::new();
+    let mut prescreens: Vec<f64> = Vec::new();
+    let qlen = query.length();
     // Every bound evaluation is given the collector's current threshold so
     // its per-segment accumulation can bail early: the partial sum returned
     // is still an admissible key, and any key above the threshold is pruned
@@ -569,6 +621,10 @@ pub(crate) fn best_first<C: Collector>(
         // Keep expanding ties (<=): an equal-bound candidate can still win
         // on id order; strictly worse keys cannot contribute.
         if entry.key.0 > collector.threshold() {
+            // Keys are queue minima, so everything still enqueued is at
+            // least as far: the popped entry and the whole remaining queue
+            // are discarded unexplored.
+            stats.bump_pruned(1 + queue.len());
             break;
         }
         match entry.item {
@@ -577,7 +633,70 @@ pub(crate) fn best_first<C: Collector>(
                 stats.bump_nodes();
                 match node {
                     Node::Internal { children, .. } => {
-                        for child in children {
+                        // Batched prescreen: gather every child's overall
+                        // bounding box and sweep them all in one dense
+                        // kernel call. The per-child prescreen sum is an
+                        // admissible lower bound (each child's overall box
+                        // contains each of its summary boxes, which contain
+                        // the member polylines), so a child whose prescreen
+                        // already exceeds the threshold is enqueued on the
+                        // prescreen key without paying for the exact
+                        // summary bound. Ties at the threshold still take
+                        // the exact path, preserving id-order tie-breaking.
+                        let thr = collector.threshold();
+                        let prescreened = gather_child_boxes(children, &mut child_boxes);
+                        if prescreened {
+                            // The sweep's early exit compares raw sums, so
+                            // a normalised threshold is lifted back to raw
+                            // scale with the loosest denominator among the
+                            // children (any cutoff is sound; this one stops
+                            // only when every child is provably prunable).
+                            let sweep_cutoff = match metric {
+                                Metric::Edwp => thr,
+                                Metric::EdwpNormalized => {
+                                    if thr.is_finite() {
+                                        let widest = children
+                                            .iter()
+                                            .map(|c| c.max_len())
+                                            .fold(0.0, f64::max);
+                                        thr * (qlen + widest)
+                                    } else {
+                                        f64::INFINITY
+                                    }
+                                }
+                            };
+                            edwp_lower_bound_aabb_batch(
+                                query,
+                                &child_boxes,
+                                sweep_cutoff,
+                                scratch,
+                                &mut prescreens,
+                            );
+                        }
+                        for (ci, child) in children.iter().enumerate() {
+                            if prescreened {
+                                let pre = match metric {
+                                    Metric::Edwp => prescreens[ci],
+                                    Metric::EdwpNormalized => {
+                                        let denom = qlen + child.max_len();
+                                        if denom > 0.0 {
+                                            prescreens[ci] / denom
+                                        } else {
+                                            0.0
+                                        }
+                                    }
+                                };
+                                if pre > thr {
+                                    stats.bump_prescreened();
+                                    push(
+                                        &mut queue,
+                                        &mut seq,
+                                        pre.max(entry.key.0),
+                                        QueueItem::Node(child, vi),
+                                    );
+                                    continue;
+                                }
+                            }
                             let lb = node_bound(
                                 view, child, query, matching, collector, scratch, stats, reuse,
                             );
@@ -655,6 +774,8 @@ mod tests {
             nodes_visited: 7,
             bound_evaluations: 40,
             edwp_evaluations: 12,
+            aabb_prescreened: 9,
+            bound_pruned: 15,
         };
         let b = QueryStats {
             db_size: 100,
@@ -662,6 +783,8 @@ mod tests {
             nodes_visited: 11,
             bound_evaluations: 60,
             edwp_evaluations: 28,
+            aabb_prescreened: 1,
+            bound_pruned: 5,
         };
         a.merge(&b);
         assert_eq!(
@@ -672,6 +795,8 @@ mod tests {
                 nodes_visited: 18,
                 bound_evaluations: 100,
                 edwp_evaluations: 40,
+                aabb_prescreened: 10,
+                bound_pruned: 20,
             }
         );
         assert!((a.mean_edwp_evaluations() - 5.0).abs() < 1e-12);
@@ -699,6 +824,8 @@ mod tests {
             nodes_visited: usize::MAX,
             bound_evaluations: usize::MAX - 3,
             edwp_evaluations: 5,
+            aabb_prescreened: usize::MAX - 1,
+            bound_pruned: usize::MAX,
         };
         let b = QueryStats {
             db_size: 10,
@@ -706,6 +833,8 @@ mod tests {
             nodes_visited: 1,
             bound_evaluations: 9,
             edwp_evaluations: usize::MAX,
+            aabb_prescreened: 4,
+            bound_pruned: 2,
         };
         a.merge(&b);
         assert_eq!(a.db_size, usize::MAX);
@@ -713,6 +842,8 @@ mod tests {
         assert_eq!(a.nodes_visited, usize::MAX);
         assert_eq!(a.bound_evaluations, usize::MAX);
         assert_eq!(a.edwp_evaluations, usize::MAX);
+        assert_eq!(a.aabb_prescreened, usize::MAX);
+        assert_eq!(a.bound_pruned, usize::MAX);
         // A second merge stays pinned at the ceiling.
         a.merge(&b);
         assert_eq!(a.edwp_evaluations, usize::MAX);

@@ -334,6 +334,16 @@ impl Session {
         &self.config
     }
 
+    /// The instruction-set path the distance kernels execute on
+    /// (`"scalar"` / `"avx2"`) — runtime CPU detection, the
+    /// `TRAJ_FORCE_SCALAR` environment variable, and
+    /// [`SessionBuilder::force_scalar_kernels`] all feed into this one
+    /// resolution, so operational logs can record which kernels actually
+    /// ran. Results are exact on every path; only speed differs.
+    pub fn kernel_isa(&self) -> &'static str {
+        traj_dist::Isa::current().name()
+    }
+
     /// Starts a single query against the current epoch. The builder runs
     /// on the session's pooled scratch, so consecutive queries are
     /// allocation-free inside the distance kernels.
@@ -370,6 +380,7 @@ impl Session {
 pub struct SessionBuilder {
     shards: usize,
     config: TrajTreeConfig,
+    force_scalar: bool,
 }
 
 impl Default for SessionBuilder {
@@ -377,6 +388,7 @@ impl Default for SessionBuilder {
         SessionBuilder {
             shards: 1,
             config: TrajTreeConfig::default(),
+            force_scalar: false,
         }
     }
 }
@@ -398,6 +410,19 @@ impl SessionBuilder {
         self
     }
 
+    /// Pins the distance kernels to the scalar instruction-set path for
+    /// this process (applied at [`SessionBuilder::build`]) — the
+    /// programmatic twin of setting `TRAJ_FORCE_SCALAR=1`, for canarying
+    /// the fallback path or ruling SIMD out while debugging.
+    ///
+    /// The kernel dispatch is **process-wide** state, not per-session: it
+    /// also affects every other session in the process. Results are exact
+    /// on either path (see [`Session::kernel_isa`]); only speed differs.
+    pub fn force_scalar_kernels(mut self) -> Self {
+        self.force_scalar = true;
+        self
+    }
+
     /// Scatters `store` round-robin across the shards (global id `g` goes
     /// to shard `g mod shards`) and bulk-loads one tree per shard — on one
     /// scoped worker thread per shard when there is more than one, since
@@ -410,8 +435,15 @@ impl SessionBuilder {
     /// which would panic on every insert and lookup; regression-tested in
     /// `tests/sub_and_edge_properties.rs`.
     pub fn build(self, store: TrajStore) -> Session {
-        let SessionBuilder { shards: n, config } = self;
+        let SessionBuilder {
+            shards: n,
+            config,
+            force_scalar,
+        } = self;
         debug_assert!(n >= 1, "SessionBuilder::shards maintains n >= 1");
+        if force_scalar {
+            traj_dist::force_isa(traj_dist::Isa::Scalar);
+        }
         let mut parts: Vec<Vec<Trajectory>> = (0..n).map(|_| Vec::new()).collect();
         for (i, t) in store.into_vec().into_iter().enumerate() {
             parts[i % n].push(t);

@@ -126,4 +126,11 @@ fn main() {
         summary.db_size,
         summary.mean_pruning_ratio * 100.0
     );
+    println!(
+        "kernels:      {} ISA; {} children skipped by the AABB prescreen, {} queue entries \
+         cut by the threshold",
+        session.kernel_isa(),
+        batch_stats.aabb_prescreened,
+        batch_stats.bound_pruned
+    );
 }

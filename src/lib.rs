@@ -11,7 +11,10 @@
 //!   [`edwp_with_scratch`], [`edwp_avg_with_scratch`],
 //!   [`edwp_sub_with_scratch`]), the early-exit bound kernels' [`Cutoff`]
 //!   (constant or shared-atomic pruning threshold), the [`TrajDistance`]
-//!   trait and the paper's baselines in [`baselines`];
+//!   trait and the paper's baselines in [`baselines`]. The bound kernels
+//!   run on runtime-dispatched SIMD ([`Isa`], [`force_isa`], the
+//!   `TRAJ_FORCE_SCALAR` environment variable) with a scalar fallback —
+//!   results are exact on either path;
 //! * the query surface: a sharded [`Session`] (built via
 //!   [`Session::builder`] with `.shards(n)`, default 1) owning per-shard
 //!   [`TrajStore`] segments, [`TrajTree`] indexes and pooled scratch,
@@ -49,8 +52,9 @@ pub use traj_dist::{
     edwp_sub_avg, edwp_sub_avg_with_scratch, edwp_sub_lower_bound_boxes,
     edwp_sub_lower_bound_boxes_bounded, edwp_sub_lower_bound_boxes_with_scratch,
     edwp_sub_lower_bound_trajectory, edwp_sub_lower_bound_trajectory_bounded,
-    edwp_sub_lower_bound_trajectory_with_scratch, edwp_sub_with_scratch, edwp_with_scratch, BoxSeq,
-    Cutoff, EdwpDistance, EdwpRawDistance, EdwpScratch, Metric, QueryMode, TrajDistance,
+    edwp_sub_lower_bound_trajectory_with_scratch, edwp_sub_with_scratch, edwp_with_scratch,
+    force_isa, BoxSeq, Cutoff, EdwpDistance, EdwpRawDistance, EdwpScratch, Isa, Metric, QueryMode,
+    TrajDistance,
 };
 pub use traj_gen::{GenConfig, TrajGen};
 pub use traj_index::{
@@ -180,6 +184,7 @@ mod tests {
             type_name::<EdwpRawDistance>(),
             type_name::<EdwpScratch>(),
             type_name::<GenConfig>(),
+            type_name::<Isa>(),
             type_name::<Metric>(),
             type_name::<Neighbor>(),
             type_name::<Point>(),
@@ -205,7 +210,7 @@ mod tests {
         ];
         assert_eq!(
             types.len(),
-            31,
+            32,
             "type surface changed — update the snapshot"
         );
 
@@ -237,11 +242,12 @@ mod tests {
             value_item!(edwp_sub_lower_bound_trajectory_with_scratch),
             value_item!(edwp_sub_with_scratch),
             value_item!(edwp_with_scratch),
+            value_item!(force_isa),
             value_item!(EPSILON),
         ];
         assert_eq!(
             functions.len(),
-            28,
+            29,
             "function/const surface changed — update the snapshot"
         );
     }
