@@ -1,0 +1,117 @@
+//! Durable storage engine costs on a fixed 600-trajectory database:
+//!
+//! * `wal_append` — one logged insert per fsync policy (`Always` pays a
+//!   disk sync per record; `every_32` group-commits; `os_managed` leaves
+//!   flushing to the page cache), measuring what durability adds to the
+//!   in-memory insert path;
+//! * `snapshot_write` — one full compaction (encode + checksum + write +
+//!   fsync + atomic rename), the cost amortised over
+//!   `compact_after_records` inserts;
+//! * `recover_open` — a full cold open: load + verify the snapshot,
+//!   replay a 128-record log, rebuild the shard trees — the startup tax a
+//!   reopened session pays once.
+//!
+//! Results land in `target/bench-results/persist_roundtrip.json` like
+//! every other suite; the recovery row is the one to watch as the format
+//! evolves.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::path::PathBuf;
+use traj_bench::make_store;
+use traj_index::{DurabilityConfig, FsyncPolicy, Session, TrajStore};
+
+/// A scratch database directory, unique per label and process.
+fn scratch(label: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("traj-bench-persist-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn persist_roundtrip(c: &mut Criterion) {
+    let trajs = make_store(600).into_vec();
+    let mut group = c.benchmark_group("persist_roundtrip");
+
+    for (name, policy) in [
+        ("always", FsyncPolicy::Always),
+        ("every_32", FsyncPolicy::EveryN(32)),
+        ("os_managed", FsyncPolicy::OsManaged),
+    ] {
+        group.bench_with_input(BenchmarkId::new("wal_append", name), &policy, |b, &p| {
+            let dir = scratch(name);
+            let session = Session::builder()
+                .shards(2)
+                .durability(DurabilityConfig::default().fsync(p).compact_after(None))
+                .open(&dir)
+                .expect("open");
+            let mut i = 0usize;
+            b.iter(|| {
+                let id = session
+                    .insert(trajs[i % trajs.len()].clone())
+                    .expect("durable insert");
+                i += 1;
+                black_box(id)
+            });
+            drop(session);
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+    }
+
+    group.bench_function("snapshot_write", |b| {
+        let dir = scratch("snapshot");
+        let session = Session::builder()
+            .shards(2)
+            .durability(DurabilityConfig::default().compact_after(None))
+            .open(&dir)
+            .expect("open");
+        for t in &trajs {
+            session.insert(t.clone()).expect("durable insert");
+        }
+        b.iter(|| session.compact().expect("compact"));
+        drop(session);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    group.bench_function("recover_open", |b| {
+        let dir = scratch("recover");
+        let session = Session::builder()
+            .shards(2)
+            .durability(DurabilityConfig::default().compact_after(None))
+            .open(&dir)
+            .expect("open");
+        // Snapshot all but the last 128, leaving a realistic log to replay.
+        let (snapshotted, logged) = trajs.split_at(trajs.len() - 128);
+        for t in snapshotted {
+            session.insert(t.clone()).expect("durable insert");
+        }
+        session.compact().expect("compact");
+        for t in logged {
+            session.insert(t.clone()).expect("durable insert");
+        }
+        drop(session);
+        b.iter(|| {
+            let session = Session::builder().open(&dir).expect("cold open");
+            black_box(session.len())
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    // The in-memory baseline the durable rows are read against: same
+    // empty starting point, same insert stream, no engine.
+    group.bench_function("in_memory_insert_baseline", |b| {
+        let session = Session::builder().shards(2).build(TrajStore::new());
+        let mut i = 0usize;
+        b.iter(|| {
+            let id = session
+                .insert(trajs[i % trajs.len()].clone())
+                .expect("in-memory insert");
+            i += 1;
+            black_box(id)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, persist_roundtrip);
+criterion_main!(benches);

@@ -48,7 +48,11 @@ fn query_vs_shards(c: &mut Criterion) {
                 // outside the loop would only share the shard until its
                 // first touch; every later insert would mutate in place.)
                 let epoch = session.snapshot();
-                black_box(session.insert(trips[i % trips.len()].clone()));
+                black_box(
+                    session
+                        .insert(trips[i % trips.len()].clone())
+                        .expect("in-memory insert"),
+                );
                 i += 1;
                 black_box(epoch.len())
             });

@@ -55,6 +55,15 @@ pub enum TrajError {
         /// Number of trajectories the store holds (valid ids are `0..len`).
         len: usize,
     },
+    /// A durability failure reported by the storage engine (WAL append,
+    /// snapshot write, compaction, or recovery). Carries the rendered
+    /// persistence error: the typed original (`traj_persist::PersistError`)
+    /// lives downstream of this crate, so the conversion flattens it to its
+    /// display form to keep `TrajError` `Clone + Eq`.
+    Persist {
+        /// Human-readable description of the persistence failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for TrajError {
@@ -64,6 +73,9 @@ impl fmt::Display for TrajError {
             TrajError::UnknownId { id, len } => {
                 write!(f, "trajectory id {id} not in store (len {len})")
             }
+            TrajError::Persist { message } => {
+                write!(f, "durable storage failure: {message}")
+            }
         }
     }
 }
@@ -72,7 +84,7 @@ impl std::error::Error for TrajError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TrajError::Core(e) => Some(e),
-            TrajError::UnknownId { .. } => None,
+            TrajError::UnknownId { .. } | TrajError::Persist { .. } => None,
         }
     }
 }

@@ -18,9 +18,14 @@
 //!
 //! All geometry is `f64` and purely 2-D spatial; timestamps ride along for the
 //! interpolation formula of Sec. III-A and for time-aware baselines (DISSIM).
+//!
+//! The [`codec`] module adds the hand-rolled binary encoding of these types
+//! (little-endian, bit-exact `f64` round trips) that the durable storage
+//! engine (`traj-persist`) frames, checksums and writes to disk.
 
 #![warn(missing_docs)]
 
+pub mod codec;
 mod error;
 mod point;
 mod segment;
@@ -29,6 +34,7 @@ mod stpoint;
 mod total;
 mod trajectory;
 
+pub use codec::{ByteReader, CodecError};
 pub use error::{CoreError, TrajError};
 pub use point::Point;
 pub use segment::{Projection, Segment};

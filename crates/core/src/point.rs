@@ -1,9 +1,8 @@
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, Mul, Sub};
 
 /// A 2-D spatial location (e.g. projected latitude/longitude or screen
 /// coordinates for hand-movement trajectories).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// First spatial coordinate.
     pub x: f64,

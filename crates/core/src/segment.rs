@@ -1,5 +1,4 @@
 use crate::{Point, StPoint};
-use serde::{Deserialize, Serialize};
 
 /// The result of projecting a point onto a [`Segment`].
 ///
@@ -18,7 +17,7 @@ pub struct Projection {
 
 /// A spatio-temporal segment (Definition 3): two temporally consecutive
 /// st-points joined by linear interpolation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
     /// Start st-point (`e.s1` in the paper).
     pub a: StPoint,

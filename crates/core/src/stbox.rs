@@ -1,10 +1,9 @@
 use crate::{Point, Segment};
-use serde::{Deserialize, Serialize};
 
 /// A spatio-temporal box (Definition 4): an axis-aligned bounding box over a
 /// set of st-segments, plus `min_len`, the minimum length of all segments it
 /// encloses (used by the generalised `Coverage` of Sec. IV-A).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StBox {
     /// Lower-left corner.
     pub lo: Point,

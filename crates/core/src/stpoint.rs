@@ -1,9 +1,8 @@
 use crate::Point;
-use serde::{Deserialize, Serialize};
 
 /// A spatio-temporal point (Definition 1): a spatial location plus the
 /// timestamp at which it was recorded.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StPoint {
     /// Spatial location.
     pub p: Point,

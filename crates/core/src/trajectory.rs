@@ -1,5 +1,4 @@
 use crate::{CoreError, Point, Segment, StBox, StPoint};
-use serde::{Deserialize, Serialize};
 
 /// A trajectory (Definitions 1–2): a temporally ordered sequence of
 /// st-points, equivalently viewed as a sequence of st-segments.
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// * at least two st-points (so there is at least one segment);
 /// * timestamps are non-decreasing;
 /// * every coordinate and timestamp is finite.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trajectory {
     points: Vec<StPoint>,
 }

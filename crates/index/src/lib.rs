@@ -103,3 +103,9 @@ pub use tree::{TrajTree, TrajTreeConfig};
 // The metric and mode axes are part of the query surface; re-export them
 // so callers of this crate alone can name them.
 pub use traj_dist::{Metric, QueryMode};
+
+// The durability policy types appear in `SessionBuilder::durability` /
+// `SessionBuilder::open` signatures, and `PersistError` is what a typed
+// match on storage failures needs; re-export all three so callers of this
+// crate alone can configure a durable session.
+pub use traj_persist::{DurabilityConfig, FsyncPolicy, PersistError};

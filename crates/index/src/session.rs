@@ -61,10 +61,12 @@ use crate::engine::{
 use crate::shard::{shard_of, Shard, Snapshot};
 use crate::store::{TrajId, TrajStore};
 use crate::tree::{TrajTree, TrajTreeConfig};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
-use traj_core::Trajectory;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use traj_core::{TrajError, Trajectory};
 use traj_dist::{EdwpScratch, Metric, QueryMode};
+use traj_persist::{DurabilityConfig, StorageEngine};
 
 /// Result of a single query: the matched neighbours (ascending
 /// `(distance, id)`) and, when [`QueryBuilder::collect_stats`] was
@@ -201,6 +203,12 @@ pub struct Session {
     num_shards: usize,
     config: TrajTreeConfig,
     scratch: EdwpScratch,
+    /// The durable storage engine of a [`SessionBuilder::open`]ed session
+    /// (`None` for in-memory sessions). Lock order is always shard epoch
+    /// lock first, engine second — [`Session::insert`] under the write
+    /// lock, [`Session::compact`] under the read lock — so the two never
+    /// deadlock.
+    durable: Option<Mutex<StorageEngine>>,
 }
 
 impl Default for Session {
@@ -213,12 +221,18 @@ impl Default for Session {
 impl Clone for Session {
     /// An O(shards) fork: the clone shares the current epoch's shard data
     /// and diverges copy-on-write on the first insert to either side.
+    ///
+    /// The fork is always **in-memory**: a database directory has exactly
+    /// one writer, so a clone of a durable session does not inherit the
+    /// storage engine — its inserts land in memory only, while the
+    /// original keeps logging.
     fn clone(&self) -> Self {
         Session {
             shards: RwLock::new(self.snapshot().shards),
             num_shards: self.num_shards,
             config: self.config.clone(),
             scratch: EdwpScratch::new(),
+            durable: None,
         }
     }
 }
@@ -254,6 +268,7 @@ impl Session {
             num_shards: 1,
             config,
             scratch: EdwpScratch::new(),
+            durable: None,
         }
     }
 
@@ -292,13 +307,78 @@ impl Session {
     /// * Inserts briefly block snapshot *acquisition* (never queries
     ///   already running); raise [`SessionBuilder::shards`] to shrink the
     ///   copied unit and spread insert load.
-    pub fn insert(&self, t: Trajectory) -> TrajId {
+    ///
+    /// # Durability contract
+    ///
+    /// On a [`SessionBuilder::open`]ed session the trajectory is appended
+    /// to the write-ahead log **before** the new epoch is published, under
+    /// the configured [`traj_persist::FsyncPolicy`]. `Err` means nothing
+    /// was published *or* logged (a torn log tail, if any, is truncated on
+    /// the next open) — the failed insert is invisible both to queries and
+    /// to recovery, so the happens-before contract above extends to disk:
+    /// once `insert` returns `Ok`, a crash-and-reopen sees the trajectory.
+    /// When the log reaches the configured
+    /// [`DurabilityConfig::compact_after_records`] threshold, the insert
+    /// first folds it into a fresh snapshot (see [`Session::compact`]).
+    ///
+    /// In-memory sessions never return `Err`.
+    pub fn insert(&self, t: Trajectory) -> Result<TrajId, TrajError> {
         let mut guard = self.shards.write().expect("shard epoch lock poisoned");
         let id = guard.iter().map(|s| s.len()).sum::<usize>() as TrajId;
+        if let Some(engine) = &self.durable {
+            let mut engine = engine.lock().expect("storage engine lock poisoned");
+            // Compact *before* the append so every error path leaves the
+            // engine and the published epoch agreeing exactly.
+            if engine.needs_compaction() {
+                let sections: Vec<&[Trajectory]> =
+                    guard.iter().map(|s| s.store.as_slice()).collect();
+                engine.compact(&sections)?;
+            }
+            engine.append(&t)?;
+        }
         let state = Arc::make_mut(&mut *guard);
         let shard = Arc::make_mut(&mut state[shard_of(id, self.num_shards)]);
         shard.insert(t);
-        id
+        Ok(id)
+    }
+
+    /// Folds the write-ahead log into a fresh snapshot now: writes the
+    /// next generation's snapshot, atomically swaps it in, and truncates
+    /// the log (see `traj-persist` for the crash-safety argument). A no-op
+    /// `Ok` on in-memory sessions. Runs automatically once the log passes
+    /// [`DurabilityConfig::compact_after_records`]; call it explicitly
+    /// before an orderly shutdown to make the next open replay-free.
+    pub fn compact(&self) -> Result<(), TrajError> {
+        let Some(engine) = &self.durable else {
+            return Ok(());
+        };
+        let guard = self.shards.read().expect("shard epoch lock poisoned");
+        let mut engine = engine.lock().expect("storage engine lock poisoned");
+        let sections: Vec<&[Trajectory]> = guard.iter().map(|s| s.store.as_slice()).collect();
+        engine.compact(&sections)?;
+        Ok(())
+    }
+
+    /// Forces every logged insert to stable storage regardless of the
+    /// configured fsync policy — the explicit barrier for
+    /// [`traj_persist::FsyncPolicy::EveryN`] / `OsManaged` sessions. A
+    /// no-op `Ok` on in-memory sessions.
+    pub fn sync(&self) -> Result<(), TrajError> {
+        let Some(engine) = &self.durable else {
+            return Ok(());
+        };
+        engine
+            .lock()
+            .expect("storage engine lock poisoned")
+            .sync()?;
+        Ok(())
+    }
+
+    /// `true` when this session persists inserts to a database directory
+    /// (built with [`SessionBuilder::open`] rather than
+    /// [`SessionBuilder::build`]).
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
     }
 
     /// The current epoch: an immutable, shareable view of every shard.
@@ -374,34 +454,70 @@ impl Session {
     }
 }
 
-/// Configures and builds a [`Session`]: shard count and tree
-/// configuration.
-#[derive(Debug, Clone)]
+/// Configures and builds a [`Session`]: shard count, tree configuration,
+/// and — for sessions opened on a database directory — durability policy.
+#[derive(Debug, Clone, Default)]
 pub struct SessionBuilder {
-    shards: usize,
+    /// `None` = unset: [`SessionBuilder::build`] defaults to 1, while
+    /// [`SessionBuilder::open`] defaults to the shard count the on-disk
+    /// snapshot was written with.
+    shards: Option<usize>,
     config: TrajTreeConfig,
     force_scalar: bool,
-}
-
-impl Default for SessionBuilder {
-    fn default() -> Self {
-        SessionBuilder {
-            shards: 1,
-            config: TrajTreeConfig::default(),
-            force_scalar: false,
-        }
-    }
+    durability: DurabilityConfig,
 }
 
 impl SessionBuilder {
-    /// Number of shards to partition the database across (default 1;
-    /// clamped to at least 1). Results are bitwise identical at any shard
-    /// count — raise it to parallelise queries and bulk-loading across
-    /// cores and to shrink the unit an insert copies under concurrent
-    /// readers.
+    /// Number of shards to partition the database across (clamped to at
+    /// least 1). Defaults to 1 for [`SessionBuilder::build`] and to the
+    /// stored snapshot's shard count for [`SessionBuilder::open`]. Results
+    /// are bitwise identical at any shard count — raise it to parallelise
+    /// queries and bulk-loading across cores and to shrink the unit an
+    /// insert copies under concurrent readers.
     pub fn shards(mut self, shards: usize) -> Self {
-        self.shards = shards.max(1);
+        self.shards = Some(shards.max(1));
         self
+    }
+
+    /// Durability policy for [`SessionBuilder::open`]: fsync cadence and
+    /// automatic compaction threshold. Ignored by
+    /// [`SessionBuilder::build`] (in-memory sessions persist nothing).
+    pub fn durability(mut self, cfg: DurabilityConfig) -> Self {
+        self.durability = cfg;
+        self
+    }
+
+    /// Opens (or initialises) the durable database in `dir` and builds a
+    /// session over it: recovery finds the newest valid snapshot, replays
+    /// the write-ahead log (truncating a torn tail — the normal crash
+    /// artifact), rebuilds the shard trees from the recovered
+    /// trajectories, and wires [`Session::insert`] to log through the
+    /// engine. Trees are *rebuilt*, not deserialized: queries are exact
+    /// regardless of tree shape, so a reopened session answers every query
+    /// bitwise-identically to one that never went down.
+    ///
+    /// Fails with a typed error (flattened into [`TrajError::Persist`])
+    /// when the directory holds snapshots but none verifies, when a
+    /// checksum-valid record will not decode, or on I/O failure — never by
+    /// panicking, and never by silently starting empty over damaged data.
+    pub fn open(self, dir: impl AsRef<Path>) -> Result<Session, TrajError> {
+        let (recovered, engine) = StorageEngine::open(dir.as_ref(), self.durability)?;
+        let stored_shards = recovered.snapshot_shards.max(1);
+        let shards = self.shards.unwrap_or(stored_shards);
+        let builder = SessionBuilder {
+            shards: Some(shards),
+            ..self
+        };
+        let mut session = builder.build(TrajStore::from(recovered.trajs));
+        session.durable = Some(Mutex::new(engine));
+        // The shard count reaches disk only through a snapshot, so when
+        // the caller picked a layout the stored snapshot doesn't have,
+        // write one now — a later `open` without `.shards(..)` then reopens
+        // with this layout, as documented.
+        if shards != stored_shards {
+            session.compact()?;
+        }
+        Ok(session)
     }
 
     /// The [`TrajTreeConfig`] every shard tree is bulk-loaded with.
@@ -436,10 +552,12 @@ impl SessionBuilder {
     /// `tests/sub_and_edge_properties.rs`.
     pub fn build(self, store: TrajStore) -> Session {
         let SessionBuilder {
-            shards: n,
+            shards,
             config,
             force_scalar,
+            durability: _,
         } = self;
+        let n = shards.unwrap_or(1);
         debug_assert!(n >= 1, "SessionBuilder::shards maintains n >= 1");
         if force_scalar {
             traj_dist::force_isa(traj_dist::Isa::Scalar);
@@ -473,6 +591,7 @@ impl SessionBuilder {
             num_shards: n,
             config,
             scratch: EdwpScratch::new(),
+            durable: None,
         }
     }
 }
@@ -1198,7 +1317,9 @@ mod tests {
         let mut session = Session::build(two_cluster_store());
         assert_eq!(session.len(), 20);
         assert!(!session.is_empty());
-        let id = session.insert(Trajectory::from_xy(&[(1.0, 1.0), (3.0, 1.0)]));
+        let id = session
+            .insert(Trajectory::from_xy(&[(1.0, 1.0), (3.0, 1.0)]))
+            .expect("in-memory insert");
         assert_eq!(id, 20);
         assert!(session.snapshot().node_count() >= 1);
         let q = session.snapshot().get(id).clone();
@@ -1214,10 +1335,12 @@ mod tests {
     fn insert_routes_round_robin_and_keeps_global_ids() {
         let session = Session::builder().shards(3).build(TrajStore::new());
         for i in 0..10u32 {
-            let id = session.insert(Trajectory::from_xy(&[
-                (i as f64, 0.0),
-                (i as f64 + 1.0, 1.0),
-            ]));
+            let id = session
+                .insert(Trajectory::from_xy(&[
+                    (i as f64, 0.0),
+                    (i as f64 + 1.0, 1.0),
+                ]))
+                .expect("in-memory insert");
             assert_eq!(id, i, "global ids are dense in insert order");
         }
         let snap = session.snapshot();
@@ -1275,10 +1398,13 @@ mod tests {
     fn session_clone_forks_copy_on_write() {
         let session = Session::builder().shards(2).build(two_cluster_store());
         let fork = session.clone();
-        session.insert(Trajectory::from_xy(&[(9.0, 9.0), (11.0, 9.0)]));
+        session
+            .insert(Trajectory::from_xy(&[(9.0, 9.0), (11.0, 9.0)]))
+            .expect("in-memory insert");
         assert_eq!(session.len(), 21);
         assert_eq!(fork.len(), 20, "fork must not see the original's insert");
-        fork.insert(Trajectory::from_xy(&[(1.0, 2.0), (3.0, 2.0)]));
+        fork.insert(Trajectory::from_xy(&[(1.0, 2.0), (3.0, 2.0)]))
+            .expect("in-memory insert");
         assert_eq!(fork.len(), 21);
         assert_eq!(session.len(), 21);
     }

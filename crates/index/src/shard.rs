@@ -116,7 +116,7 @@ pub(crate) fn global_of(shard: usize, local: TrajId, shards: usize) -> TrajId {
 /// store.insert(Trajectory::from_xy(&[(0.0, 0.0), (5.0, 0.0)]));
 /// let session = Session::builder().shards(2).build(store);
 /// let epoch = session.snapshot();
-/// session.insert(Trajectory::from_xy(&[(0.0, 1.0), (5.0, 1.0)]));
+/// session.insert(Trajectory::from_xy(&[(0.0, 1.0), (5.0, 1.0)])).unwrap();
 /// assert_eq!(epoch.len(), 1); // the snapshot still reads the old epoch
 /// assert_eq!(session.len(), 2);
 /// ```

@@ -71,6 +71,13 @@ impl TrajStore {
         self.trajs.iter().enumerate().map(|(i, t)| (i as TrajId, t))
     }
 
+    /// The stored trajectories in id order, borrowed — what the durable
+    /// session hands the storage engine at compaction time.
+    #[inline]
+    pub fn as_slice(&self) -> &[Trajectory] {
+        &self.trajs
+    }
+
     /// Consumes the store into its trajectories in id order — what the
     /// session builder scatters across shard segments.
     pub fn into_vec(self) -> Vec<Trajectory> {

@@ -233,7 +233,7 @@ proptest! {
             .shards(shards)
             .build(TrajStore::from(db));
         for t in extra {
-            let _ = session.insert(t);
+            session.insert(t).expect("in-memory insert");
         }
         let got = session.query(&query).metric(Metric::EdwpNormalized).knn(6);
         let snap = session.snapshot();
@@ -289,7 +289,7 @@ fn insert_while_query_reads_a_stable_epoch() {
         });
         barrier.wait();
         for t in extra.clone() {
-            session.insert(t);
+            session.insert(t).expect("in-memory insert");
         }
         let got = reader.join().expect("reader thread panicked");
         assert_eq!(
@@ -355,7 +355,7 @@ fn concurrent_inserts_never_tear_an_epoch() {
             })
             .collect();
         for t in extras.clone() {
-            session.insert(t);
+            session.insert(t).expect("in-memory insert");
         }
         stop.store(true, Ordering::Relaxed);
         for r in readers {

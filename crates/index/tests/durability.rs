@@ -1,0 +1,203 @@
+//! Durability equivalence grid: a session reopened from disk must answer
+//! every query **bitwise identically** to a fresh in-memory session over
+//! the same trajectories — across shard counts 1/2/4, for k-NN, range and
+//! sub-trajectory search, including after a torn WAL tail and after
+//! compaction. Trees are rebuilt on open, so this is the end-to-end proof
+//! that tree shape never leaks into results.
+
+use std::fs;
+use traj_core::{TrajError, Trajectory};
+use traj_gen::TrajGen;
+use traj_index::{DurabilityConfig, FsyncPolicy, Metric, Session, TrajStore};
+use traj_persist::tempdir::TempDir;
+
+fn fleet(count: usize, seed: u64) -> Vec<Trajectory> {
+    let mut g = TrajGen::new(seed);
+    g.database(count, 4, 10)
+}
+
+/// Asserts that `durable` and `reference` agree bitwise on a k-NN, a
+/// range, and a sub-trajectory query, under both metrics.
+fn assert_equivalent(durable: &Session, reference: &Session, queries: &[Trajectory]) {
+    assert_eq!(durable.len(), reference.len());
+    for q in queries {
+        for metric in [Metric::Edwp, Metric::EdwpNormalized] {
+            let snap_d = durable.snapshot();
+            let snap_r = reference.snapshot();
+            let knn_d = snap_d.query(q).metric(metric).knn(5);
+            let knn_r = snap_r.query(q).metric(metric).knn(5);
+            assert_eq!(knn_d.neighbors, knn_r.neighbors, "knn under {metric:?}");
+
+            let eps = knn_r.neighbors.last().map_or(1.0, |n| n.distance);
+            let range_d = snap_d.query(q).metric(metric).range(eps);
+            let range_r = snap_r.query(q).metric(metric).range(eps);
+            assert_eq!(
+                range_d.neighbors, range_r.neighbors,
+                "range under {metric:?}"
+            );
+
+            let sub_d = snap_d.query(q).metric(metric).sub().knn(3);
+            let sub_r = snap_r.query(q).metric(metric).sub().knn(3);
+            assert_eq!(sub_d.neighbors, sub_r.neighbors, "sub under {metric:?}");
+        }
+    }
+}
+
+#[test]
+fn reopened_sessions_answer_bitwise_identically_across_shard_grid() {
+    let trajs = fleet(40, 42);
+    let queries = fleet(4, 777);
+    for shards in [1usize, 2, 4] {
+        let dir = TempDir::new(&format!("durability-grid-{shards}"));
+        let session = Session::builder()
+            .shards(shards)
+            .durability(DurabilityConfig::default().compact_after(None))
+            .open(dir.path())
+            .expect("open fresh");
+        assert!(session.is_durable());
+        for t in &trajs {
+            session.insert(t.clone()).expect("durable insert");
+        }
+        drop(session);
+
+        // Reopen without specifying shards: the stored count is reused.
+        let reopened = Session::builder().open(dir.path()).expect("reopen");
+        assert_eq!(reopened.num_shards(), shards);
+        let reference = Session::builder()
+            .shards(shards)
+            .build(TrajStore::from(trajs.clone()));
+        assert_equivalent(&reopened, &reference, &queries);
+    }
+}
+
+#[test]
+fn torn_wal_tail_recovers_the_prefix_and_stays_equivalent() {
+    let trajs = fleet(25, 7);
+    let queries = fleet(3, 99);
+    let dir = TempDir::new("durability-torn");
+    let session = Session::builder()
+        .shards(2)
+        .durability(DurabilityConfig::default().compact_after(None))
+        .open(dir.path())
+        .expect("open");
+    for t in &trajs {
+        session.insert(t.clone()).expect("insert");
+    }
+    drop(session);
+
+    // Tear the last record: chop bytes off the WAL so the final insert is
+    // half-written, as a crash mid-append would leave it.
+    let wal = fs::read_dir(dir.path())
+        .expect("list")
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().ends_with(".wal"))
+        .expect("wal file")
+        .path();
+    let bytes = fs::read(&wal).expect("read wal");
+    fs::write(&wal, &bytes[..bytes.len() - 7]).expect("tear");
+
+    let reopened = Session::builder().open(dir.path()).expect("reopen");
+    assert_eq!(reopened.len(), trajs.len() - 1, "torn insert is dropped");
+    let reference = Session::builder()
+        .shards(2)
+        .build(TrajStore::from(trajs[..trajs.len() - 1].to_vec()));
+    assert_equivalent(&reopened, &reference, &queries);
+
+    // The recovered session keeps accepting inserts where the prefix ends.
+    let id = reopened
+        .insert(trajs[trajs.len() - 1].clone())
+        .expect("insert after recovery");
+    assert_eq!(id as usize, trajs.len() - 1);
+}
+
+#[test]
+fn compaction_preserves_equivalence_and_trims_the_log() {
+    let trajs = fleet(30, 3);
+    let queries = fleet(3, 55);
+    let dir = TempDir::new("durability-compact");
+    // Auto-compact every 8 records, relaxed fsync: the torn-tail risk the
+    // policy accepts must never corrupt what was already compacted.
+    let session = Session::builder()
+        .shards(4)
+        .durability(
+            DurabilityConfig::default()
+                .fsync(FsyncPolicy::EveryN(4))
+                .compact_after(Some(8)),
+        )
+        .open(dir.path())
+        .expect("open");
+    for t in &trajs {
+        session.insert(t.clone()).expect("insert");
+    }
+    session.compact().expect("explicit final compaction");
+    session.sync().expect("sync");
+    drop(session);
+
+    let reopened = Session::builder().open(dir.path()).expect("reopen");
+    assert_eq!(reopened.num_shards(), 4);
+    let reference = Session::builder()
+        .shards(4)
+        .build(TrajStore::from(trajs.clone()));
+    assert_equivalent(&reopened, &reference, &queries);
+}
+
+#[test]
+fn clones_of_durable_sessions_fork_in_memory() {
+    let dir = TempDir::new("durability-clone");
+    let session = Session::builder()
+        .durability(DurabilityConfig::default())
+        .open(dir.path())
+        .expect("open");
+    session
+        .insert(Trajectory::from_xy(&[(0.0, 0.0), (1.0, 1.0)]))
+        .expect("insert");
+    let fork = session.clone();
+    assert!(session.is_durable());
+    assert!(!fork.is_durable(), "a database directory has one writer");
+    fork.insert(Trajectory::from_xy(&[(5.0, 5.0), (6.0, 6.0)]))
+        .expect("in-memory insert on the fork");
+    drop(fork);
+    drop(session);
+    // Only the durable session's insert survives on disk.
+    let reopened = Session::builder().open(dir.path()).expect("reopen");
+    assert_eq!(reopened.len(), 1);
+}
+
+#[test]
+fn storage_failures_surface_as_typed_traj_errors() {
+    let dir = TempDir::new("durability-error");
+    let session = Session::builder()
+        .durability(DurabilityConfig::default())
+        .open(dir.path())
+        .expect("open");
+    session
+        .insert(Trajectory::from_xy(&[(0.0, 0.0), (1.0, 1.0)]))
+        .expect("insert");
+    drop(session);
+    // Corrupt the only snapshot: opening must fail with TrajError::Persist,
+    // not panic and not silently start empty.
+    let snap = fs::read_dir(dir.path())
+        .expect("list")
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().ends_with(".snap"))
+        .expect("snapshot file")
+        .path();
+    let mut bytes = fs::read(&snap).expect("read");
+    let len = bytes.len();
+    bytes[len - 3] ^= 0xFF;
+    fs::write(&snap, &bytes).expect("corrupt");
+    match Session::builder().open(dir.path()) {
+        Err(TrajError::Persist { message }) => {
+            assert!(message.contains("no usable snapshot"), "{message}");
+        }
+        other => panic!("expected TrajError::Persist, got {other:?}"),
+    }
+}
+
+#[test]
+fn in_memory_sessions_report_non_durable_and_noop_maintenance() {
+    let session = Session::build(TrajStore::new());
+    assert!(!session.is_durable());
+    session.compact().expect("no-op compact");
+    session.sync().expect("no-op sync");
+}

@@ -183,7 +183,7 @@ proptest! {
     ) {
         let mut session = Session::builder().shards(shards).build(TrajStore::from(db));
         for t in extra {
-            let _ = session.insert(t);
+            session.insert(t).expect("in-memory insert");
         }
         for metric in [Metric::Edwp, Metric::EdwpNormalized] {
             let got = session.query(&probe).metric(metric).sub().knn(5);
@@ -322,7 +322,9 @@ fn shards_zero_clamps_to_a_working_single_shard() {
         .build(TrajStore::from(clustered_db(12, 5)));
     assert_eq!(session.num_shards(), 1, "shards(0) must clamp to 1");
     // The router is exercised by inserts (shard_of) and lookups (local_of).
-    let id = session.insert(Trajectory::from_xy(&[(1.0, 2.0), (3.0, 4.0)]));
+    let id = session
+        .insert(Trajectory::from_xy(&[(1.0, 2.0), (3.0, 4.0)]))
+        .expect("in-memory insert");
     assert_eq!(id, 12);
     let snap = session.snapshot();
     assert_eq!(snap.get(id).first().p.x, 1.0);

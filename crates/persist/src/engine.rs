@@ -1,0 +1,509 @@
+//! The storage engine: one directory = one durable trajectory database,
+//! as a chain of generations. Generation `g` is a full snapshot
+//! (`snapshot-g.snap`) plus the append-only WAL that extends it
+//! (`wal-g.wal`); compaction folds the WAL into snapshot `g + 1` and the
+//! chain moves on. Opening a directory finds the newest generation whose
+//! snapshot verifies, replays its WAL (truncating a torn tail), and hands
+//! back the database in global-id order.
+
+use crate::error::PersistError;
+use crate::snapshot::{
+    load_snapshot, parse_generation, snapshot_file_name, sync_dir, write_snapshot,
+};
+use crate::wal::{replay_wal, wal_file_name, FsyncPolicy, WalWriter};
+use std::fs;
+use std::path::{Path, PathBuf};
+use traj_core::Trajectory;
+
+/// How the engine trades write latency against durability and when it
+/// compacts. Builder-style setters so call sites read as policy:
+/// `DurabilityConfig::default().fsync(FsyncPolicy::EveryN(64))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// When the WAL fsyncs (see [`FsyncPolicy`]; default
+    /// [`FsyncPolicy::Always`] — safety first, opt into speed).
+    pub fsync: FsyncPolicy,
+    /// Automatic compaction trigger: once the WAL holds at least this many
+    /// records, the next insert folds it into a fresh snapshot. `None`
+    /// disables automatic compaction (explicit `compact()` calls only).
+    /// Default: 4096 records.
+    pub compact_after_records: Option<u64>,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            fsync: FsyncPolicy::Always,
+            compact_after_records: Some(4096),
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// Sets the fsync policy.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Sets (or, with `None`, disables) the automatic compaction trigger.
+    pub fn compact_after(mut self, records: Option<u64>) -> Self {
+        self.compact_after_records = records;
+        self
+    }
+}
+
+/// Everything recovery found in a database directory.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The database in global-id order: the snapshot's trajectories (their
+    /// shard sections re-interleaved) followed by the WAL tail.
+    pub trajs: Vec<Trajectory>,
+    /// Shard count the snapshot was written with — what a session reopens
+    /// with unless told otherwise.
+    pub snapshot_shards: usize,
+    /// How many trajectories came from the WAL (the rest are snapshot).
+    pub wal_records: u64,
+    /// The torn/corrupt-tail error the WAL replay stopped on, if any; the
+    /// file has already been truncated to its valid prefix.
+    pub wal_tail_error: Option<PersistError>,
+}
+
+/// The open storage engine for one database directory: owns the live WAL
+/// writer and drives compaction. One engine per directory — the engine
+/// assumes exclusive write access (sessions serialise on their insert
+/// lock).
+#[derive(Debug)]
+pub struct StorageEngine {
+    dir: PathBuf,
+    cfg: DurabilityConfig,
+    generation: u64,
+    base_count: u64,
+    wal: WalWriter,
+}
+
+impl StorageEngine {
+    /// Opens (or initialises) the database in `dir`, returning the engine
+    /// and everything recovery found.
+    ///
+    /// * An empty or missing directory is initialised: generation 0 gets
+    ///   an empty single-shard snapshot and an empty WAL.
+    /// * Otherwise the newest snapshot that fully verifies wins; its WAL
+    ///   is replayed and truncated at the first torn or corrupt record. A
+    ///   WAL that is missing (crash between snapshot rename and WAL
+    ///   creation) or torn within its header (crash during creation, when
+    ///   no record can exist yet) is replaced by a fresh empty one.
+    /// * If snapshots exist but none verifies, opening fails with
+    ///   [`PersistError::NoUsableSnapshot`] — silently starting empty
+    ///   would be data loss.
+    pub fn open(dir: &Path, cfg: DurabilityConfig) -> Result<(Recovered, Self), PersistError> {
+        fs::create_dir_all(dir)?;
+        let mut generations = snapshot_generations(dir)?;
+        if generations.is_empty() {
+            let empty: [&[Trajectory]; 1] = [&[]];
+            write_snapshot(dir, 0, &empty)?;
+            let wal = WalWriter::create(dir, 0, 0, cfg.fsync)?;
+            sync_dir(dir)?;
+            return Ok((
+                Recovered {
+                    trajs: Vec::new(),
+                    snapshot_shards: 1,
+                    wal_records: 0,
+                    wal_tail_error: None,
+                },
+                StorageEngine {
+                    dir: dir.to_path_buf(),
+                    cfg,
+                    generation: 0,
+                    base_count: 0,
+                    wal,
+                },
+            ));
+        }
+
+        generations.sort_unstable_by(|a, b| b.cmp(a)); // newest first
+        let mut last_err: Option<PersistError> = None;
+        for &generation in &generations {
+            let sections = match load_snapshot(&dir.join(snapshot_file_name(generation))) {
+                Ok(s) => s,
+                Err(e) => {
+                    // Keep the error from the *newest* candidate — that is
+                    // the one whose failure explains the fallback.
+                    last_err.get_or_insert(e);
+                    continue;
+                }
+            };
+            let snapshot_shards = sections.len();
+            let mut trajs = interleave_sections(sections)?;
+            let base_count = trajs.len() as u64;
+
+            let wal_path = dir.join(wal_file_name(generation));
+            let (wal, wal_records, wal_tail_error) = match replay_wal(&wal_path) {
+                Ok(replay) => {
+                    if replay.base_count != base_count {
+                        return Err(PersistError::StateMismatch {
+                            detail: format!(
+                                "wal generation {generation} extends a {}-trajectory \
+                                 snapshot but the snapshot holds {base_count}",
+                                replay.base_count
+                            ),
+                        });
+                    }
+                    let records = replay.trajs.len() as u64;
+                    trajs.extend(replay.trajs);
+                    let writer =
+                        WalWriter::reopen(&wal_path, replay.valid_len, records, cfg.fsync)?;
+                    (writer, records, replay.tail_error)
+                }
+                Err(PersistError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                    // Crash between snapshot rename and WAL creation.
+                    (
+                        WalWriter::create(dir, generation, base_count, cfg.fsync)?,
+                        0,
+                        None,
+                    )
+                }
+                Err(PersistError::Truncated {
+                    what: "wal header", ..
+                }) => {
+                    // Torn during creation: the header never finished, so
+                    // no record was ever appended. Recreate it.
+                    (
+                        WalWriter::create(dir, generation, base_count, cfg.fsync)?,
+                        0,
+                        None,
+                    )
+                }
+                Err(e) => return Err(e),
+            };
+            return Ok((
+                Recovered {
+                    trajs,
+                    snapshot_shards,
+                    wal_records,
+                    wal_tail_error,
+                },
+                StorageEngine {
+                    dir: dir.to_path_buf(),
+                    cfg,
+                    generation,
+                    base_count,
+                    wal,
+                },
+            ));
+        }
+        Err(PersistError::NoUsableSnapshot {
+            dir: dir.to_path_buf(),
+            cause: Box::new(last_err.expect("non-empty generation list implies an error")),
+        })
+    }
+
+    /// Appends one trajectory to the WAL under the configured fsync
+    /// policy. On `Ok` the record is in the log (and as durable as the
+    /// policy promises); on `Err` nothing is logically appended — a torn
+    /// tail, if any, is truncated by the next recovery.
+    pub fn append(&mut self, t: &Trajectory) -> Result<(), PersistError> {
+        self.wal.append(t)
+    }
+
+    /// Trajectories across snapshot + WAL — the id the next append gets.
+    pub fn total(&self) -> u64 {
+        self.base_count + self.wal.records()
+    }
+
+    /// Records currently in the WAL (resets to 0 on compaction).
+    pub fn wal_records(&self) -> u64 {
+        self.wal.records()
+    }
+
+    /// The live generation number (bumps on compaction).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The database directory this engine owns.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The engine's durability configuration.
+    pub fn config(&self) -> &DurabilityConfig {
+        &self.cfg
+    }
+
+    /// `true` once the WAL has grown past the configured automatic
+    /// compaction trigger.
+    pub fn needs_compaction(&self) -> bool {
+        self.cfg
+            .compact_after_records
+            .is_some_and(|n| self.wal.records() >= n)
+    }
+
+    /// Forces buffered WAL records to stable storage regardless of policy.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.wal.sync()
+    }
+
+    /// Compacts: writes the full database (as the given shard sections, in
+    /// shard order) to the next generation's snapshot, atomically swaps it
+    /// in (write `.tmp` + fsync + rename + directory fsync), starts that
+    /// generation's empty WAL, and then prunes every older generation's
+    /// files.
+    ///
+    /// `shards` must be the engine's current logical contents — snapshot
+    /// plus every appended record — partitioned however the caller runs
+    /// (the session passes its live shard stores). A crash anywhere in
+    /// this sequence is safe: until the rename lands, recovery uses the
+    /// old generation (old snapshot + old WAL are untouched); after it,
+    /// recovery uses the new snapshot, with a missing WAL handled as
+    /// empty. Pruning old files is the last step and best-effort — a
+    /// leftover older generation costs disk, not correctness, and the next
+    /// compaction retries the removal.
+    pub fn compact(&mut self, shards: &[&[Trajectory]]) -> Result<(), PersistError> {
+        let total: u64 = shards.iter().map(|s| s.len() as u64).sum();
+        let expected = self.total();
+        if total != expected {
+            return Err(PersistError::StateMismatch {
+                detail: format!(
+                    "compaction handed {total} trajectories but the engine logged {expected}"
+                ),
+            });
+        }
+        let next = self.generation + 1;
+        write_snapshot(&self.dir, next, shards)?;
+        let wal = WalWriter::create(&self.dir, next, total, self.cfg.fsync)?;
+        sync_dir(&self.dir)?;
+        self.generation = next;
+        self.base_count = total;
+        self.wal = wal;
+        self.prune_older_generations();
+        Ok(())
+    }
+
+    /// Removes snapshot/WAL files of every generation older than the live
+    /// one. Best-effort by design (see [`StorageEngine::compact`]).
+    fn prune_older_generations(&self) {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let generation = parse_generation(name, "snapshot-", ".snap")
+                .or_else(|| parse_generation(name, "wal-", ".wal"))
+                .or_else(|| parse_generation(name, "snapshot-", ".snap.tmp"));
+            if generation.is_some_and(|g| g < self.generation) {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+/// Generation numbers of every `snapshot-*.snap` in `dir`.
+fn snapshot_generations(dir: &Path) -> Result<Vec<u64>, PersistError> {
+    let mut generations = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(g) = parse_generation(name, "snapshot-", ".snap") {
+            generations.push(g);
+        }
+    }
+    Ok(generations)
+}
+
+/// Rebuilds global-id order from per-shard sections: the writer dealt
+/// global id `g` to shard `g mod n`, slot `g div n`, so reading one
+/// element from each section round-robin reproduces `0, 1, 2, …`.
+/// Sections whose lengths cannot arise from that dealing are rejected.
+fn interleave_sections(sections: Vec<Vec<Trajectory>>) -> Result<Vec<Trajectory>, PersistError> {
+    let n = sections.len();
+    let total: usize = sections.iter().map(|s| s.len()).sum();
+    for (s, section) in sections.iter().enumerate() {
+        // Shard s of n holds ids s, s+n, s+2n, … < total.
+        let expected = (total + n - 1 - s) / n;
+        if section.len() != expected {
+            return Err(PersistError::StateMismatch {
+                detail: format!(
+                    "snapshot section {s} holds {} trajectories where round-robin \
+                     dealing of {total} over {n} shards requires {expected}",
+                    section.len()
+                ),
+            });
+        }
+    }
+    let mut iters: Vec<_> = sections.into_iter().map(|s| s.into_iter()).collect();
+    let mut out = Vec::with_capacity(total);
+    for g in 0..total {
+        out.push(iters[g % n].next().expect("section lengths verified"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    fn traj(x: f64) -> Trajectory {
+        Trajectory::from_xy(&[(x, 0.0), (x + 1.0, 1.0)])
+    }
+
+    fn cfg() -> DurabilityConfig {
+        DurabilityConfig::default().compact_after(None)
+    }
+
+    #[test]
+    fn initialises_an_empty_directory() {
+        let dir = TempDir::new("engine-init");
+        let (rec, engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
+        assert!(rec.trajs.is_empty());
+        assert_eq!(rec.snapshot_shards, 1);
+        assert_eq!(engine.generation(), 0);
+        assert_eq!(engine.total(), 0);
+        drop(engine);
+        // Reopening finds the same (still empty) generation.
+        let (rec, engine) = StorageEngine::open(dir.path(), cfg()).expect("reopen");
+        assert!(rec.trajs.is_empty());
+        assert_eq!(engine.generation(), 0);
+    }
+
+    #[test]
+    fn appends_survive_reopen() {
+        let dir = TempDir::new("engine-append");
+        let (_, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
+        for i in 0..5 {
+            engine.append(&traj(i as f64)).expect("append");
+        }
+        assert_eq!(engine.total(), 5);
+        drop(engine);
+        let (rec, engine) = StorageEngine::open(dir.path(), cfg()).expect("reopen");
+        assert_eq!(
+            rec.trajs,
+            (0..5).map(|i| traj(i as f64)).collect::<Vec<_>>()
+        );
+        assert_eq!(rec.wal_records, 5);
+        assert_eq!(engine.total(), 5);
+    }
+
+    #[test]
+    fn compaction_folds_the_wal_and_prunes() {
+        let dir = TempDir::new("engine-compact");
+        let (_, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
+        let all: Vec<Trajectory> = (0..6).map(|i| traj(i as f64)).collect();
+        for t in &all {
+            engine.append(t).expect("append");
+        }
+        // Two shards, round-robin dealt, as a session would hold them.
+        let s0: Vec<Trajectory> = all.iter().step_by(2).cloned().collect();
+        let s1: Vec<Trajectory> = all.iter().skip(1).step_by(2).cloned().collect();
+        engine.compact(&[&s0, &s1]).expect("compact");
+        assert_eq!(engine.generation(), 1);
+        assert_eq!(engine.wal_records(), 0);
+        assert_eq!(engine.total(), 6);
+        // Old generation's files are gone.
+        assert!(!dir.path().join(snapshot_file_name(0)).exists());
+        assert!(!dir.path().join(wal_file_name(0)).exists());
+        drop(engine);
+
+        let (rec, engine) = StorageEngine::open(dir.path(), cfg()).expect("reopen");
+        assert_eq!(rec.trajs, all, "interleave must restore global order");
+        assert_eq!(rec.snapshot_shards, 2);
+        assert_eq!(rec.wal_records, 0);
+        assert_eq!(engine.generation(), 1);
+    }
+
+    #[test]
+    fn compaction_rejects_mismatched_contents() {
+        let dir = TempDir::new("engine-compact-guard");
+        let (_, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
+        engine.append(&traj(0.0)).expect("append");
+        let wrong: Vec<Trajectory> = vec![];
+        assert!(matches!(
+            engine.compact(&[&wrong]),
+            Err(PersistError::StateMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn auto_compaction_trigger_counts_records() {
+        let dir = TempDir::new("engine-trigger");
+        let config = DurabilityConfig::default().compact_after(Some(3));
+        let (_, mut engine) = StorageEngine::open(dir.path(), config).expect("open");
+        for i in 0..2 {
+            engine.append(&traj(i as f64)).expect("append");
+            assert!(!engine.needs_compaction());
+        }
+        engine.append(&traj(2.0)).expect("append");
+        assert!(engine.needs_compaction());
+    }
+
+    #[test]
+    fn falls_back_to_an_older_valid_snapshot() {
+        let dir = TempDir::new("engine-fallback");
+        let (_, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
+        engine.append(&traj(0.0)).expect("append");
+        let all = vec![traj(0.0)];
+        engine.compact(&[&all]).expect("compact to gen 1");
+        drop(engine);
+        // Corrupt generation 1's snapshot body; generation 0 is pruned, so
+        // plant a valid older snapshot to fall back to.
+        let g1 = dir.path().join(snapshot_file_name(1));
+        write_snapshot(dir.path(), 0, &[&[][..]]).expect("plant gen 0");
+        let mut bytes = fs::read(&g1).unwrap();
+        let len = bytes.len();
+        bytes[len - 10] ^= 0xFF;
+        fs::write(&g1, &bytes).unwrap();
+
+        let (rec, engine) = StorageEngine::open(dir.path(), cfg()).expect("fallback open");
+        assert_eq!(engine.generation(), 0);
+        assert!(rec.trajs.is_empty(), "fell back to the older snapshot");
+    }
+
+    #[test]
+    fn all_snapshots_corrupt_is_a_typed_refusal() {
+        let dir = TempDir::new("engine-refuse");
+        let (_, engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
+        drop(engine);
+        let path = dir.path().join(snapshot_file_name(0));
+        let mut bytes = fs::read(&path).unwrap();
+        let len = bytes.len();
+        bytes[len - 1] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        match StorageEngine::open(dir.path(), cfg()) {
+            Err(PersistError::NoUsableSnapshot { cause, .. }) => {
+                assert!(matches!(*cause, PersistError::Checksum { .. }));
+            }
+            other => panic!("expected NoUsableSnapshot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_wal_after_snapshot_swap_is_recreated_empty() {
+        let dir = TempDir::new("engine-missing-wal");
+        let (_, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
+        engine.append(&traj(0.0)).expect("append");
+        let all = vec![traj(0.0)];
+        engine.compact(&[&all]).expect("compact");
+        drop(engine);
+        fs::remove_file(dir.path().join(wal_file_name(1))).unwrap();
+        let (rec, engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
+        assert_eq!(rec.trajs, all);
+        assert_eq!(rec.wal_records, 0);
+        assert_eq!(engine.total(), 1);
+    }
+
+    #[test]
+    fn wal_base_count_mismatch_is_detected() {
+        let dir = TempDir::new("engine-base-mismatch");
+        let (_, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
+        engine.append(&traj(0.0)).expect("append");
+        drop(engine);
+        // Replace the WAL with one claiming a different base.
+        WalWriter::create(dir.path(), 0, 7, FsyncPolicy::Always).expect("forge wal");
+        assert!(matches!(
+            StorageEngine::open(dir.path(), cfg()),
+            Err(PersistError::StateMismatch { .. })
+        ));
+    }
+}

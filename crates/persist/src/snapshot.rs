@@ -1,0 +1,337 @@
+//! Full-database snapshot files: one file per generation, containing one
+//! section per shard, swapped in atomically (write-new + rename) by
+//! compaction.
+//!
+//! # Layout (see `docs/FORMAT.md`)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "TRJSNAP1"
+//! 8       4     format version (u32 LE, currently 1)
+//! 12      4     shard count n (u32 LE, >= 1)
+//! 16      8     total trajectory count (u64 LE)
+//! 24      8     body length in bytes (u64 LE)
+//! 32      4     CRC-32 over bytes 0..32 (u32 LE)
+//! 36      ...   body: n sections, section s = u64 count_s + count_s
+//!               encoded trajectories (traj-core codec, local-id order)
+//! 36+body 4     CRC-32 over the body bytes (u32 LE)
+//! ```
+//!
+//! A snapshot is **valid** only if the magic, version and both checksums
+//! verify, the declared body length matches the file's actual size, every
+//! trajectory decodes, and the section counts sum to the declared total —
+//! anything less surfaces a typed [`PersistError`] and the loader moves on
+//! to an older generation (or refuses to open). Loading never panics on
+//! untrusted bytes.
+//!
+//! Trees are **not** serialized: on open the TrajTree of every shard is
+//! rebuilt from the recovered trajectories (deterministic STR bulk-load +
+//! incremental inserts for the WAL tail). Query results never depend on
+//! tree shape — the index is exact at any structure — so rebuilding trades
+//! a little open-time CPU for a format that cannot desynchronise from the
+//! data it indexes.
+
+use crate::crc::crc32;
+use crate::error::PersistError;
+use crate::FORMAT_VERSION;
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use traj_core::codec::{put_u32, put_u64, ByteReader};
+use traj_core::Trajectory;
+
+/// First eight bytes of every snapshot file.
+pub(crate) const SNAPSHOT_MAGIC: [u8; 8] = *b"TRJSNAP1";
+/// Fixed header size: magic + version + shard count + total + body length
+/// + header CRC.
+pub const SNAPSHOT_HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8 + 4;
+
+/// Canonical file name of the snapshot for `generation`.
+pub fn snapshot_file_name(generation: u64) -> String {
+    format!("snapshot-{generation:08}.snap")
+}
+
+/// Parses `name` as `{prefix}{generation}{suffix}`, returning the
+/// generation number.
+pub(crate) fn parse_generation(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let digits = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Opens `dir` as a `File` handle and fsyncs it, making a just-renamed or
+/// just-created directory entry durable. Directory fsync is a Unix-ism;
+/// elsewhere the rename itself is the best available barrier.
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), PersistError> {
+    #[cfg(unix)]
+    File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
+/// Serialises the full snapshot payload for the given shard sections.
+fn encode_snapshot(shards: &[&[Trajectory]]) -> Vec<u8> {
+    let total: u64 = shards.iter().map(|s| s.len() as u64).sum();
+    let mut body = Vec::new();
+    for section in shards {
+        put_u64(&mut body, section.len() as u64);
+        for t in *section {
+            t.encode_into(&mut body);
+        }
+    }
+
+    let mut file = Vec::with_capacity(SNAPSHOT_HEADER_LEN + body.len() + 4);
+    file.extend_from_slice(&SNAPSHOT_MAGIC);
+    put_u32(&mut file, FORMAT_VERSION);
+    put_u32(&mut file, shards.len() as u32);
+    put_u64(&mut file, total);
+    put_u64(&mut file, body.len() as u64);
+    let header_crc = crc32(&file);
+    put_u32(&mut file, header_crc);
+    debug_assert_eq!(file.len(), SNAPSHOT_HEADER_LEN);
+    let body_crc = crc32(&body);
+    file.extend_from_slice(&body);
+    put_u32(&mut file, body_crc);
+    file
+}
+
+/// Writes the snapshot for `generation` atomically: the bytes go to a
+/// `.tmp` sibling first, are fsynced, and only then renamed over the final
+/// name (followed by a directory fsync) — so a crash at any point leaves
+/// either the complete new snapshot or no snapshot under that name, never
+/// a half-written one.
+pub fn write_snapshot(
+    dir: &Path,
+    generation: u64,
+    shards: &[&[Trajectory]],
+) -> Result<PathBuf, PersistError> {
+    let bytes = encode_snapshot(shards);
+    let final_path = dir.join(snapshot_file_name(generation));
+    let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(generation)));
+    {
+        let mut f = File::create(&tmp_path)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir)?;
+    Ok(final_path)
+}
+
+/// Loads and fully verifies the snapshot at `path`, returning its shard
+/// sections (trajectories in local-id order per shard). Strict: any
+/// corruption — torn tail, flipped bit, unknown version, section counts
+/// that disagree with the header — is a typed error, never a panic and
+/// never a partial result.
+pub fn load_snapshot(path: &Path) -> Result<Vec<Vec<Trajectory>>, PersistError> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < SNAPSHOT_HEADER_LEN {
+        return Err(PersistError::Truncated {
+            what: "snapshot header",
+            needed: SNAPSHOT_HEADER_LEN as u64,
+            got: bytes.len() as u64,
+        });
+    }
+    let (header, rest) = bytes.split_at(SNAPSHOT_HEADER_LEN);
+    let mut r = ByteReader::new(header);
+    let magic: [u8; 8] = r.bytes(8).expect("header length checked")[..8]
+        .try_into()
+        .expect("8-byte slice");
+    if magic != SNAPSHOT_MAGIC {
+        return Err(PersistError::BadMagic {
+            what: "snapshot",
+            found: magic,
+        });
+    }
+    let version = r.u32().expect("header length checked");
+    if version > FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            what: "snapshot",
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let shard_count = r.u32().expect("header length checked");
+    let total = r.u64().expect("header length checked");
+    let body_len = r.u64().expect("header length checked");
+    let stored_header_crc = r.u32().expect("header length checked");
+    let computed_header_crc = crc32(&header[..SNAPSHOT_HEADER_LEN - 4]);
+    if stored_header_crc != computed_header_crc {
+        return Err(PersistError::Checksum {
+            what: "snapshot header",
+            stored: stored_header_crc,
+            computed: computed_header_crc,
+        });
+    }
+    if shard_count == 0 {
+        return Err(PersistError::StateMismatch {
+            detail: "snapshot declares 0 shards".into(),
+        });
+    }
+
+    let needed = body_len.checked_add(4).ok_or(PersistError::StateMismatch {
+        detail: format!("snapshot body length {body_len} overflows"),
+    })?;
+    if (rest.len() as u64) != needed {
+        return Err(PersistError::Truncated {
+            what: "snapshot body",
+            needed,
+            got: rest.len() as u64,
+        });
+    }
+    let (body, crc_bytes) = rest.split_at(body_len as usize);
+    let stored_body_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte slice"));
+    let computed_body_crc = crc32(body);
+    if stored_body_crc != computed_body_crc {
+        return Err(PersistError::Checksum {
+            what: "snapshot body",
+            stored: stored_body_crc,
+            computed: computed_body_crc,
+        });
+    }
+
+    let mut r = ByteReader::new(body);
+    let mut sections = Vec::with_capacity(shard_count as usize);
+    for _ in 0..shard_count {
+        let count = r.checked_count(8)?;
+        let mut section = Vec::with_capacity(count);
+        for _ in 0..count {
+            section.push(Trajectory::decode(&mut r)?);
+        }
+        sections.push(section);
+    }
+    if !r.is_empty() {
+        return Err(PersistError::StateMismatch {
+            detail: format!("{} trailing bytes after the last section", r.remaining()),
+        });
+    }
+    let seen: u64 = sections.iter().map(|s| s.len() as u64).sum();
+    if seen != total {
+        return Err(PersistError::StateMismatch {
+            detail: format!("header declares {total} trajectories, sections hold {seen}"),
+        });
+    }
+    Ok(sections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    fn traj(x: f64) -> Trajectory {
+        Trajectory::from_xy(&[(x, 0.0), (x + 1.0, 1.0)])
+    }
+
+    #[test]
+    fn round_trips_sections_bit_exactly() {
+        let dir = TempDir::new("snapshot-roundtrip");
+        let s0 = vec![traj(0.0), traj(2.0)];
+        let s1 = vec![traj(1.0)];
+        let path = write_snapshot(dir.path(), 3, &[&s0, &s1]).expect("write");
+        assert!(path.ends_with("snapshot-00000003.snap"));
+        let sections = load_snapshot(&path).expect("load");
+        assert_eq!(sections, vec![s0, s1]);
+    }
+
+    #[test]
+    fn empty_store_snapshot_round_trips() {
+        let dir = TempDir::new("snapshot-empty");
+        let path = write_snapshot(dir.path(), 0, &[&[]]).expect("write");
+        assert_eq!(load_snapshot(&path).expect("load"), vec![Vec::new()]);
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_future_version() {
+        let dir = TempDir::new("snapshot-magic");
+        let path = write_snapshot(dir.path(), 0, &[&[traj(0.0)]]).expect("write");
+        let mut bytes = fs::read(&path).unwrap();
+        let good = bytes.clone();
+
+        bytes[0] = b'X';
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(PersistError::BadMagic {
+                what: "snapshot",
+                ..
+            })
+        ));
+
+        // Bump the version (and fix the header CRC so only the version is
+        // at fault).
+        let mut bytes = good;
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        let fixed = crc32(&bytes[..SNAPSHOT_HEADER_LEN - 4]);
+        bytes[SNAPSHOT_HEADER_LEN - 4..SNAPSHOT_HEADER_LEN].copy_from_slice(&fixed.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(PersistError::UnsupportedVersion {
+                what: "snapshot",
+                supported: FORMAT_VERSION,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_typed() {
+        let dir = TempDir::new("snapshot-trunc");
+        let path = write_snapshot(dir.path(), 0, &[&[traj(0.0), traj(1.0)]]).expect("write");
+        let bytes = fs::read(&path).unwrap();
+        for cut in 0..bytes.len() {
+            fs::write(&path, &bytes[..cut]).unwrap();
+            let err = load_snapshot(&path).expect_err("truncated snapshot must not load");
+            assert!(
+                matches!(
+                    err,
+                    PersistError::Truncated { .. } | PersistError::Checksum { .. }
+                ),
+                "cut {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_body_bit_flip_is_a_checksum_error() {
+        let dir = TempDir::new("snapshot-flip");
+        let path = write_snapshot(dir.path(), 0, &[&[traj(0.0)]]).expect("write");
+        let bytes = fs::read(&path).unwrap();
+        for byte in SNAPSHOT_HEADER_LEN..bytes.len() - 4 {
+            let mut flipped = bytes.clone();
+            flipped[byte] ^= 0x10;
+            fs::write(&path, &flipped).unwrap();
+            assert!(
+                matches!(
+                    load_snapshot(&path),
+                    Err(PersistError::Checksum {
+                        what: "snapshot body",
+                        ..
+                    })
+                ),
+                "flip at {byte} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_parsing() {
+        assert_eq!(
+            parse_generation("snapshot-00000042.snap", "snapshot-", ".snap"),
+            Some(42)
+        );
+        assert_eq!(
+            parse_generation("snapshot-00000042.snap.tmp", "snapshot-", ".snap"),
+            None
+        );
+        assert_eq!(
+            parse_generation("snapshot-.snap", "snapshot-", ".snap"),
+            None
+        );
+        assert_eq!(parse_generation("wal-0001.wal", "snapshot-", ".snap"), None);
+    }
+}

@@ -1,0 +1,393 @@
+//! The append-only write-ahead log: every [`crate::StorageEngine::append`]
+//! becomes one length- and checksum-framed record, so a crash can tear at
+//! most the final record — and recovery detects exactly where.
+//!
+//! # Layout (see `docs/FORMAT.md`)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "TRJWAL01"
+//! 8       4     format version (u32 LE, currently 1)
+//! 12      8     base count (u64 LE): trajectories in the snapshot this
+//!               WAL extends; record i holds global id base + i
+//! 20      4     CRC-32 over bytes 0..20 (u32 LE)
+//! 24      ...   records: [u32 payload len][u32 payload CRC-32][payload]
+//! ```
+//!
+//! Replay walks records until the file ends or a frame fails to verify
+//! (short length field, payload shorter than declared, checksum mismatch)
+//! and reports the valid prefix; recovery then **truncates** the file at
+//! that boundary so subsequent appends extend intact data — a torn tail
+//! costs the torn record, never the log.
+
+use crate::crc::crc32;
+use crate::error::PersistError;
+use crate::FORMAT_VERSION;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use traj_core::codec::{put_u32, put_u64, ByteReader};
+use traj_core::Trajectory;
+
+/// First eight bytes of every WAL file.
+pub(crate) const WAL_MAGIC: [u8; 8] = *b"TRJWAL01";
+/// Fixed header size: magic + version + base count + header CRC.
+pub const WAL_HEADER_LEN: usize = 8 + 4 + 8 + 4;
+/// Per-record framing overhead: payload length + payload CRC.
+pub const WAL_FRAME_LEN: usize = 4 + 4;
+
+/// Canonical file name of the WAL for `generation`.
+pub fn wal_file_name(generation: u64) -> String {
+    format!("wal-{generation:08}.wal")
+}
+
+/// When (and whether) the engine calls `fsync` on the WAL. The policy
+/// trades write latency against the number of acknowledged inserts a
+/// power failure can cost; an OS *crash tear* is bounded at one record by
+/// the framing regardless of policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record: an acknowledged insert survives power
+    /// loss. The durable default — and the slowest.
+    #[default]
+    Always,
+    /// `fsync` once every `n` records: bounds the loss window to `n`
+    /// acknowledged inserts while batching the sync cost. `EveryN(0)` is
+    /// clamped to `EveryN(1)` (i.e. [`FsyncPolicy::Always`]).
+    EveryN(u32),
+    /// Never `fsync` explicitly; the OS page cache flushes on its own
+    /// schedule. Process crashes lose nothing (the kernel holds the
+    /// writes); power loss can cost everything since the last OS flush.
+    OsManaged,
+}
+
+/// An open WAL positioned for appending.
+#[derive(Debug)]
+pub(crate) struct WalWriter {
+    file: File,
+    records: u64,
+    unsynced: u32,
+    policy: FsyncPolicy,
+    scratch: Vec<u8>,
+}
+
+impl WalWriter {
+    /// Creates a fresh WAL for `generation` with the given base count,
+    /// overwriting any existing file of that name. The header is written
+    /// and fsynced up front regardless of policy: records must never land
+    /// in a file whose header could still vanish.
+    pub(crate) fn create(
+        dir: &Path,
+        generation: u64,
+        base_count: u64,
+        policy: FsyncPolicy,
+    ) -> Result<Self, PersistError> {
+        let path = dir.join(wal_file_name(generation));
+        let mut header = Vec::with_capacity(WAL_HEADER_LEN);
+        header.extend_from_slice(&WAL_MAGIC);
+        put_u32(&mut header, FORMAT_VERSION);
+        put_u64(&mut header, base_count);
+        let crc = crc32(&header);
+        put_u32(&mut header, crc);
+        let mut file = File::create(&path)?;
+        file.write_all(&header)?;
+        file.sync_all()?;
+        Ok(WalWriter {
+            file,
+            records: 0,
+            unsynced: 0,
+            policy,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Reopens an existing WAL for appending after replay: truncates the
+    /// file to `valid_len` (discarding any torn tail) and positions the
+    /// writer there.
+    pub(crate) fn reopen(
+        path: &Path,
+        valid_len: u64,
+        records: u64,
+        policy: FsyncPolicy,
+    ) -> Result<Self, PersistError> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        // `append` mode positions at the (new) end on every write; but a
+        // plain write handle after set_len needs an explicit seek.
+        let mut file = file;
+        std::io::Seek::seek(&mut file, std::io::SeekFrom::Start(valid_len))?;
+        Ok(WalWriter {
+            file,
+            records,
+            unsynced: 0,
+            policy,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Appends one framed record and applies the fsync policy. On `Err`
+    /// the file may hold a torn tail; the next replay truncates it, so a
+    /// failed append is never visible as data.
+    pub(crate) fn append(&mut self, t: &Trajectory) -> Result<(), PersistError> {
+        self.scratch.clear();
+        t.encode_into(&mut self.scratch);
+        let mut frame = Vec::with_capacity(WAL_FRAME_LEN);
+        put_u32(&mut frame, self.scratch.len() as u32);
+        put_u32(&mut frame, crc32(&self.scratch));
+        self.file.write_all(&frame)?;
+        self.file.write_all(&self.scratch)?;
+        self.records += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::OsManaged => {}
+        }
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub(crate) fn sync(&mut self) -> Result<(), PersistError> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Records appended since the WAL's base snapshot.
+    pub(crate) fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+/// The outcome of scanning a WAL: the decoded records of the valid prefix,
+/// where that prefix ends, and — when the scan stopped early — the typed
+/// reason.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Trajectories of every intact record, in append (= global id) order.
+    pub trajs: Vec<Trajectory>,
+    /// Base count from the header: record `i` holds global id `base + i`.
+    pub base_count: u64,
+    /// Byte offset of the end of the last intact record — what recovery
+    /// truncates the file to.
+    pub valid_len: u64,
+    /// Why the scan stopped before the end of the file: `None` for a clean
+    /// log, a typed [`PersistError`] ([`PersistError::Truncated`] for a
+    /// torn frame, [`PersistError::Checksum`] for a corrupt payload) for a
+    /// damaged tail. Recovery treats this as "truncate here"; audits can
+    /// surface it.
+    pub tail_error: Option<PersistError>,
+}
+
+/// Scans the WAL at `path`. Header problems (bad magic, future version,
+/// header checksum) are hard errors — the file as a whole is not a log
+/// this build can trust — while any problem *after* the header is reported
+/// as the `tail_error` of an otherwise successful replay, because the
+/// valid prefix is still good data.
+pub fn replay_wal(path: &Path) -> Result<WalReplay, PersistError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < WAL_HEADER_LEN {
+        return Err(PersistError::Truncated {
+            what: "wal header",
+            needed: WAL_HEADER_LEN as u64,
+            got: bytes.len() as u64,
+        });
+    }
+    let (header, body) = bytes.split_at(WAL_HEADER_LEN);
+    let mut r = ByteReader::new(header);
+    let magic: [u8; 8] = r.bytes(8).expect("header length checked")[..8]
+        .try_into()
+        .expect("8-byte slice");
+    if magic != WAL_MAGIC {
+        return Err(PersistError::BadMagic {
+            what: "wal",
+            found: magic,
+        });
+    }
+    let version = r.u32().expect("header length checked");
+    if version > FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            what: "wal",
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let base_count = r.u64().expect("header length checked");
+    let stored_crc = r.u32().expect("header length checked");
+    let computed_crc = crc32(&header[..WAL_HEADER_LEN - 4]);
+    if stored_crc != computed_crc {
+        return Err(PersistError::Checksum {
+            what: "wal header",
+            stored: stored_crc,
+            computed: computed_crc,
+        });
+    }
+
+    let mut trajs = Vec::new();
+    let mut offset = 0usize; // into `body`
+    let mut tail_error = None;
+    while offset < body.len() {
+        let rest = &body[offset..];
+        if rest.len() < WAL_FRAME_LEN {
+            tail_error = Some(PersistError::Truncated {
+                what: "wal record frame",
+                needed: WAL_FRAME_LEN as u64,
+                got: rest.len() as u64,
+            });
+            break;
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4-byte slice")) as usize;
+        let stored = u32::from_le_bytes(rest[4..8].try_into().expect("4-byte slice"));
+        let after_frame = &rest[WAL_FRAME_LEN..];
+        if after_frame.len() < len {
+            tail_error = Some(PersistError::Truncated {
+                what: "wal record payload",
+                needed: len as u64,
+                got: after_frame.len() as u64,
+            });
+            break;
+        }
+        let payload = &after_frame[..len];
+        let computed = crc32(payload);
+        if stored != computed {
+            tail_error = Some(PersistError::Checksum {
+                what: "wal record",
+                stored,
+                computed,
+            });
+            break;
+        }
+        // The checksum verified, so these bytes are what the writer wrote;
+        // if they still fail to decode the format itself is broken — that
+        // is a hard error, not a torn tail to shrug off.
+        let mut pr = ByteReader::new(payload);
+        let t = Trajectory::decode(&mut pr)?;
+        if !pr.is_empty() {
+            return Err(PersistError::StateMismatch {
+                detail: format!(
+                    "wal record {} carries {} trailing bytes",
+                    trajs.len(),
+                    pr.remaining()
+                ),
+            });
+        }
+        trajs.push(t);
+        offset += WAL_FRAME_LEN + len;
+    }
+    Ok(WalReplay {
+        trajs,
+        base_count,
+        valid_len: (WAL_HEADER_LEN + offset) as u64,
+        tail_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    fn traj(x: f64) -> Trajectory {
+        Trajectory::from_xy(&[(x, 0.0), (x + 1.0, 1.0), (x + 2.0, 0.5)])
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let dir = TempDir::new("wal-roundtrip");
+        let mut w = WalWriter::create(dir.path(), 0, 5, FsyncPolicy::Always).expect("create");
+        let trajs: Vec<Trajectory> = (0..4).map(|i| traj(i as f64)).collect();
+        for t in &trajs {
+            w.append(t).expect("append");
+        }
+        assert_eq!(w.records(), 4);
+        let path = dir.path().join(wal_file_name(0));
+        drop(w);
+        let replay = replay_wal(&path).expect("replay");
+        assert_eq!(replay.trajs, trajs);
+        assert_eq!(replay.base_count, 5);
+        assert!(replay.tail_error.is_none());
+        assert_eq!(replay.valid_len, std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn every_n_policy_clamps_zero() {
+        let dir = TempDir::new("wal-everyn");
+        let mut w = WalWriter::create(dir.path(), 0, 0, FsyncPolicy::EveryN(0)).expect("create");
+        w.append(&traj(0.0)).expect("append under EveryN(0)");
+        let mut w2 = WalWriter::create(dir.path(), 1, 0, FsyncPolicy::OsManaged).expect("create");
+        w2.append(&traj(1.0)).expect("append under OsManaged");
+    }
+
+    #[test]
+    fn reopen_truncates_and_continues() {
+        let dir = TempDir::new("wal-reopen");
+        let mut w = WalWriter::create(dir.path(), 0, 0, FsyncPolicy::Always).expect("create");
+        w.append(&traj(0.0)).expect("append");
+        w.append(&traj(1.0)).expect("append");
+        let path = dir.path().join(wal_file_name(0));
+        drop(w);
+        // Tear the second record by lopping off its last byte.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 1]).unwrap();
+        let replay = replay_wal(&path).expect("replay");
+        assert_eq!(replay.trajs.len(), 1);
+        assert!(matches!(
+            replay.tail_error,
+            Some(PersistError::Truncated { .. })
+        ));
+        let mut w = WalWriter::reopen(
+            &path,
+            replay.valid_len,
+            replay.trajs.len() as u64,
+            FsyncPolicy::Always,
+        )
+        .expect("reopen");
+        w.append(&traj(2.0)).expect("append after truncation");
+        assert_eq!(w.records(), 2);
+        drop(w);
+        let replay = replay_wal(&path).expect("replay");
+        assert!(replay.tail_error.is_none());
+        assert_eq!(replay.trajs, vec![traj(0.0), traj(2.0)]);
+    }
+
+    #[test]
+    fn header_problems_are_hard_errors() {
+        let dir = TempDir::new("wal-header");
+        let w = WalWriter::create(dir.path(), 0, 0, FsyncPolicy::Always).expect("create");
+        let path = dir.path().join(wal_file_name(0));
+        drop(w);
+        let good = std::fs::read(&path).unwrap();
+
+        let mut bad = good.clone();
+        bad[3] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            replay_wal(&path),
+            Err(PersistError::BadMagic { what: "wal", .. })
+        ));
+
+        let mut bad = good.clone();
+        bad[12] ^= 0x01; // base count — covered by the header CRC
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            replay_wal(&path),
+            Err(PersistError::Checksum {
+                what: "wal header",
+                ..
+            })
+        ));
+
+        std::fs::write(&path, &good[..WAL_HEADER_LEN - 1]).unwrap();
+        assert!(matches!(
+            replay_wal(&path),
+            Err(PersistError::Truncated {
+                what: "wal header",
+                ..
+            })
+        ));
+    }
+}

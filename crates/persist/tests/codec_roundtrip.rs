@@ -1,0 +1,107 @@
+//! Property tests for the on-disk codec: every encodable value must
+//! round-trip bit-exactly through encode → decode, and the snapshot
+//! format must round-trip whole multi-shard databases — including the
+//! degenerate shapes (empty store, one long trajectory, adversarial but
+//! finite float values).
+
+use proptest::prelude::*;
+use traj_core::{ByteReader, StPoint, Trajectory};
+use traj_persist::tempdir::TempDir;
+use traj_persist::{load_snapshot, snapshot_file_name, write_snapshot};
+
+/// Finite f64s that stress the codec: boundary magnitudes, signed zero,
+/// subnormals, and ordinary values picked by index. (NaN is excluded by
+/// construction: `Trajectory::new` rejects non-finite input, so no NaN
+/// ever reaches the encoder.)
+fn edge_f64(index: usize) -> f64 {
+    const EDGES: [f64; 10] = [
+        0.0,
+        -0.0,
+        1.0,
+        -1.5,
+        f64::MAX,
+        f64::MIN,
+        f64::MIN_POSITIVE,
+        5e-324, // smallest positive subnormal
+        1.234_567_890_123_456_7e100,
+        -9.87e-200,
+    ];
+    EDGES[index % EDGES.len()]
+}
+
+/// A valid trajectory whose coordinates are edge-case floats and whose
+/// timestamps are the (monotone) point index.
+fn edge_trajectory(len: usize, offset: usize) -> Trajectory {
+    let points: Vec<StPoint> = (0..len.max(2))
+        .map(|i| StPoint::new(edge_f64(offset + i), edge_f64(offset + 3 * i + 1), i as f64))
+        .collect();
+    Trajectory::new(points).expect("edge floats are finite and times monotone")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode is the identity, bit for bit, for trajectories
+    /// built from edge-case floats of every length.
+    #[test]
+    fn trajectory_codec_is_bit_exact(len in 2usize..40, offset in 0usize..10) {
+        let t = edge_trajectory(len, offset);
+        let bytes = t.encode();
+        let mut r = ByteReader::new(&bytes);
+        let back = Trajectory::decode(&mut r).expect("round trip");
+        prop_assert!(r.is_empty(), "decode must consume exactly what encode wrote");
+        // PartialEq on f64 would conflate 0.0 with -0.0; compare bits.
+        prop_assert_eq!(t.num_points(), back.num_points());
+        for (a, b) in t.points().iter().zip(back.points()) {
+            prop_assert_eq!(a.p.x.to_bits(), b.p.x.to_bits());
+            prop_assert_eq!(a.p.y.to_bits(), b.p.y.to_bits());
+            prop_assert_eq!(a.t.to_bits(), b.t.to_bits());
+        }
+    }
+
+    /// A whole multi-shard database survives the snapshot file format.
+    #[test]
+    fn snapshot_round_trips_sharded_stores(
+        total in 0usize..30,
+        shards in 1usize..5,
+        offset in 0usize..10,
+    ) {
+        // Deal `total` trajectories round-robin, as a session stores them.
+        let mut sections: Vec<Vec<Trajectory>> = vec![Vec::new(); shards];
+        for g in 0..total {
+            sections[g % shards].push(edge_trajectory(2 + g % 7, offset + g));
+        }
+        let dir = TempDir::new("codec-snapshot");
+        let refs: Vec<&[Trajectory]> = sections.iter().map(|s| s.as_slice()).collect();
+        write_snapshot(dir.path(), 3, &refs).expect("write");
+        let back = load_snapshot(&dir.path().join(snapshot_file_name(3)))
+            .expect("load");
+        prop_assert_eq!(back, sections);
+    }
+}
+
+/// The empty store is a first-class database: a zero-trajectory snapshot
+/// round-trips and reports its shard count.
+#[test]
+fn empty_store_round_trips() {
+    let dir = TempDir::new("codec-empty");
+    let empty: Vec<&[Trajectory]> = vec![&[], &[], &[]];
+    write_snapshot(dir.path(), 0, &empty).expect("write");
+    let back = load_snapshot(&dir.path().join(snapshot_file_name(0))).expect("load");
+    assert_eq!(back.len(), 3);
+    assert!(back.iter().all(|s| s.is_empty()));
+}
+
+/// One very long trajectory — the per-record worst case for the length
+/// prefix and checksum framing.
+#[test]
+fn long_trajectory_round_trips() {
+    let points: Vec<StPoint> = (0..10_000)
+        .map(|i| StPoint::new(i as f64 * 0.5, (i % 113) as f64, i as f64))
+        .collect();
+    let t = Trajectory::new(points).expect("valid");
+    let bytes = t.encode();
+    let mut r = ByteReader::new(&bytes);
+    assert_eq!(Trajectory::decode(&mut r).expect("round trip"), t);
+    assert!(r.is_empty());
+}

@@ -1,0 +1,225 @@
+//! Crash-injection suite for the storage engine, through the public API:
+//!
+//! * **torn writes** — the WAL is truncated at *every* byte boundary and
+//!   the engine must recover exactly the records that fit, never panic,
+//!   and keep accepting appends;
+//! * **bit rot** — every byte of the WAL body, the WAL header, and the
+//!   snapshot is flipped in turn; damage must surface as *typed* checksum
+//!   / magic / version errors (or a truncated-tail recovery), never as a
+//!   wrong trajectory;
+//! * **version skew** — files stamped with a future format version must be
+//!   refused with `UnsupportedVersion`.
+
+use std::fs;
+use traj_core::Trajectory;
+use traj_persist::tempdir::TempDir;
+use traj_persist::{
+    crc32, replay_wal, snapshot_file_name, wal_file_name, DurabilityConfig, PersistError,
+    StorageEngine, WAL_FRAME_LEN, WAL_HEADER_LEN,
+};
+
+fn traj(i: usize) -> Trajectory {
+    let base = i as f64;
+    Trajectory::from_xy(&[(base, 0.0), (base + 1.0, 2.0), (base + 3.0, 1.0)])
+}
+
+fn cfg() -> DurabilityConfig {
+    DurabilityConfig::default().compact_after(None)
+}
+
+/// A directory with `n` records appended to generation 0, plus the byte
+/// offsets at which each record's frame+payload ends in the WAL file.
+fn populated_dir(n: usize, label: &str) -> (TempDir, Vec<u64>) {
+    let dir = TempDir::new(label);
+    let (_, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
+    let mut ends = Vec::with_capacity(n);
+    let mut offset = WAL_HEADER_LEN as u64;
+    for i in 0..n {
+        engine.append(&traj(i)).expect("append");
+        offset += (WAL_FRAME_LEN + traj(i).encode().len()) as u64;
+        ends.push(offset);
+    }
+    drop(engine);
+    (dir, ends)
+}
+
+#[test]
+fn torn_wal_at_every_byte_boundary_recovers_the_clean_prefix() {
+    let (dir, ends) = populated_dir(4, "torn-every-byte");
+    let wal_path = dir.path().join(wal_file_name(0));
+    let full = fs::read(&wal_path).expect("read wal");
+    assert_eq!(full.len() as u64, *ends.last().unwrap());
+
+    for cut in 0..=full.len() {
+        fs::write(&wal_path, &full[..cut]).expect("tear");
+        let (rec, mut engine) =
+            StorageEngine::open(dir.path(), cfg()).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+
+        // How many whole records fit before the cut. A cut inside the
+        // header is torn creation: the header is fsynced before any
+        // append, so a file that short can hold no records.
+        let expect = ends.iter().filter(|&&end| end <= cut as u64).count();
+        assert_eq!(rec.trajs.len(), expect, "cut at {cut}");
+        assert_eq!(
+            rec.trajs,
+            (0..expect).map(traj).collect::<Vec<_>>(),
+            "cut at {cut}: the surviving prefix must be byte-exact"
+        );
+        // Clean boundaries: anywhere up to and including the header end
+        // (zero whole records) or exactly at a record's end.
+        let at_boundary = cut <= WAL_HEADER_LEN || ends.contains(&(cut as u64));
+        assert_eq!(
+            rec.wal_tail_error.is_none(),
+            at_boundary,
+            "cut at {cut}: a mid-record cut must be reported as a torn tail"
+        );
+
+        // The reopened engine keeps working: the torn tail is gone, so a
+        // new append lands cleanly after the surviving prefix.
+        engine.append(&traj(99)).expect("append after recovery");
+        drop(engine);
+        let (rec, _) = StorageEngine::open(dir.path(), cfg()).expect("reopen");
+        let mut want: Vec<Trajectory> = (0..expect).map(traj).collect();
+        want.push(traj(99));
+        assert_eq!(rec.trajs, want, "cut at {cut}: append after recovery");
+    }
+}
+
+#[test]
+fn bit_flips_in_wal_records_are_caught_and_truncated() {
+    let (dir, ends) = populated_dir(3, "flip-wal-body");
+    let wal_path = dir.path().join(wal_file_name(0));
+    let good = fs::read(&wal_path).expect("read wal");
+
+    for byte in WAL_HEADER_LEN..good.len() {
+        let mut bad = good.clone();
+        bad[byte] ^= 0x10;
+        fs::write(&wal_path, &bad).expect("corrupt");
+
+        let (rec, _engine) = StorageEngine::open(dir.path(), cfg())
+            .unwrap_or_else(|e| panic!("flip at {byte}: {e}"));
+        // Records wholly before the flipped record survive; everything
+        // from the flipped record on is dropped.
+        let hit = ends.iter().position(|&end| (byte as u64) < end).unwrap();
+        assert_eq!(
+            rec.trajs,
+            (0..hit).map(traj).collect::<Vec<_>>(),
+            "flip at {byte}"
+        );
+        match rec.wal_tail_error {
+            Some(PersistError::Checksum { .. } | PersistError::Truncated { .. }) => {}
+            ref other => panic!("flip at {byte}: expected a typed tail error, got {other:?}"),
+        }
+        // Restore for the next iteration's baseline.
+        fs::write(&wal_path, &good).expect("restore");
+    }
+}
+
+#[test]
+fn bit_flips_in_the_wal_header_are_hard_typed_errors() {
+    let (dir, _) = populated_dir(2, "flip-wal-header");
+    let wal_path = dir.path().join(wal_file_name(0));
+    let good = fs::read(&wal_path).expect("read wal");
+
+    for byte in 0..WAL_HEADER_LEN {
+        let mut bad = good.clone();
+        bad[byte] ^= 0x40;
+        fs::write(&wal_path, &bad).expect("corrupt");
+        // Records exist beyond the header, so this is bit rot, not a torn
+        // creation — recovery must refuse rather than drop them silently.
+        match StorageEngine::open(dir.path(), cfg()) {
+            Err(
+                PersistError::BadMagic { .. }
+                | PersistError::UnsupportedVersion { .. }
+                | PersistError::Checksum { .. }
+                | PersistError::StateMismatch { .. },
+            ) => {}
+            other => panic!("flip at {byte}: expected a typed refusal, got {other:?}"),
+        }
+        fs::write(&wal_path, &good).expect("restore");
+    }
+}
+
+#[test]
+fn bit_flips_in_the_snapshot_are_typed_refusals() {
+    let (dir, _) = populated_dir(3, "flip-snapshot");
+    // Fold the records into generation 1's snapshot so the snapshot body
+    // is nontrivial.
+    let (rec, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
+    let all = rec.trajs;
+    engine.compact(&[&all]).expect("compact");
+    drop(engine);
+
+    let snap_path = dir.path().join(snapshot_file_name(1));
+    let good = fs::read(&snap_path).expect("read snapshot");
+    for byte in 0..good.len() {
+        let mut bad = good.clone();
+        bad[byte] ^= 0x02;
+        fs::write(&snap_path, &bad).expect("corrupt");
+        // The only snapshot is damaged: opening must fail with the typed
+        // chain, never start empty over real data.
+        match StorageEngine::open(dir.path(), cfg()) {
+            Err(PersistError::NoUsableSnapshot { cause, .. }) => match *cause {
+                PersistError::BadMagic { .. }
+                | PersistError::UnsupportedVersion { .. }
+                | PersistError::Checksum { .. }
+                | PersistError::Truncated { .. }
+                | PersistError::StateMismatch { .. }
+                | PersistError::Codec(_) => {}
+                other => panic!("flip at {byte}: untyped cause {other:?}"),
+            },
+            other => panic!("flip at {byte}: expected NoUsableSnapshot, got {other:?}"),
+        }
+        fs::write(&snap_path, &good).expect("restore");
+    }
+}
+
+#[test]
+fn future_format_versions_are_refused() {
+    let (dir, _) = populated_dir(1, "future-version");
+
+    // Stamp the WAL with version FORMAT_VERSION+1 and fix up its header
+    // CRC so only the version is wrong.
+    let wal_path = dir.path().join(wal_file_name(0));
+    let mut wal = fs::read(&wal_path).expect("read wal");
+    let future = (traj_persist::FORMAT_VERSION + 1).to_le_bytes();
+    wal[8..12].copy_from_slice(&future);
+    let crc = crc32(&wal[..WAL_HEADER_LEN - 4]).to_le_bytes();
+    wal[WAL_HEADER_LEN - 4..WAL_HEADER_LEN].copy_from_slice(&crc);
+    fs::write(&wal_path, &wal).expect("write");
+    assert!(matches!(
+        replay_wal(&wal_path),
+        Err(PersistError::UnsupportedVersion { found, .. }) if found == traj_persist::FORMAT_VERSION + 1
+    ));
+
+    // Same for the snapshot: header is magic(8) + version(4) + shards(4)
+    // + total(8) + body_len(8) + crc(4).
+    let snap_path = dir.path().join(snapshot_file_name(0));
+    let mut snap = fs::read(&snap_path).expect("read snapshot");
+    snap[8..12].copy_from_slice(&future);
+    let crc = crc32(&snap[..32]).to_le_bytes();
+    snap[32..36].copy_from_slice(&crc);
+    fs::write(&snap_path, &snap).expect("write");
+    match StorageEngine::open(dir.path(), cfg()) {
+        Err(PersistError::NoUsableSnapshot { cause, .. }) => {
+            assert!(matches!(*cause, PersistError::UnsupportedVersion { .. }));
+        }
+        other => panic!("expected NoUsableSnapshot, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_wal_file_recreation_does_not_lose_the_snapshot() {
+    let (dir, _) = populated_dir(2, "wal-zero-len");
+    let (rec, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
+    let all = rec.trajs.clone();
+    engine.compact(&[&all]).expect("compact");
+    drop(engine);
+    // Zero-length WAL: torn during creation, before the header landed.
+    let wal_path = dir.path().join(wal_file_name(1));
+    fs::write(&wal_path, b"").expect("truncate to zero");
+    let (rec, engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
+    assert_eq!(rec.trajs, all);
+    assert_eq!(rec.wal_records, 0);
+    assert_eq!(engine.total(), all.len() as u64);
+}

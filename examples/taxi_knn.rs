@@ -87,7 +87,7 @@ fn main() {
         let reader = scope.spawn(|| epoch.batch(&queries).collect_stats().knn(k));
         let mut inserted = 0usize;
         for trip in late_arrivals {
-            session.insert(trip);
+            session.insert(trip).expect("in-memory insert");
             inserted += 1;
         }
         (reader.join().expect("batch thread"), inserted)

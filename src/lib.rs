@@ -28,14 +28,21 @@
 //!   and `.collect_stats()` work counters, returning [`QueryResult`] /
 //!   [`BatchQueryResult`]. [`Session::insert`] streams new trajectories in
 //!   while concurrent readers keep a stable epoch ([`Snapshot`]);
+//! * durability: open a crash-safe on-disk session with
+//!   [`SessionBuilder::open`] + [`SessionBuilder::durability`]
+//!   ([`DurabilityConfig`], [`FsyncPolicy`]) — versioned snapshots plus a
+//!   checksummed write-ahead log, recovered (torn tail truncated) on
+//!   reopen; storage failures surface as [`PersistError`] /
+//!   [`TrajError::Persist`], never panics;
 //! * data generation: [`TrajGen`], [`GenConfig`];
 //! * evaluation: metric helpers under [`eval`] and the experiment harness
 //!   under [`experiments`].
 //!
 //! See `examples/quickstart.rs` for the end-to-end flow: generate → index →
 //! query (k-NN and range, both metrics, sharded and not) → inspect pruning
-//! statistics, and `examples/taxi_knn.rs` for the sharded fleet workload
-//! with streaming ingestion.
+//! statistics, `examples/taxi_knn.rs` for the sharded fleet workload
+//! with streaming ingestion, and `examples/durability.rs` for the
+//! persist → crash → recover → verify loop.
 
 #![warn(missing_docs)]
 
@@ -58,8 +65,9 @@ pub use traj_dist::{
 };
 pub use traj_gen::{GenConfig, TrajGen};
 pub use traj_index::{
-    BatchQueryBuilder, BatchQueryResult, Neighbor, QueryBuilder, QueryResult, QueryStats, Session,
-    SessionBuilder, Snapshot, TrajId, TrajStore, TrajTree, TrajTreeConfig,
+    BatchQueryBuilder, BatchQueryResult, DurabilityConfig, FsyncPolicy, Neighbor, PersistError,
+    QueryBuilder, QueryResult, QueryStats, Session, SessionBuilder, Snapshot, TrajId, TrajStore,
+    TrajTree, TrajTreeConfig,
 };
 
 /// Metric helpers (precision, recall, reciprocal rank, pruning summaries).
@@ -150,7 +158,7 @@ mod tests {
             .shards(4)
             .build(TrajStore::from(g.database(30, 4, 8)));
         let epoch = sharded.snapshot();
-        sharded.insert(query.clone());
+        sharded.insert(query.clone()).expect("in-memory insert");
         assert_eq!(epoch.len(), 30);
         assert_eq!(sharded.len(), 31);
         let pinned = epoch.query(&query).knn(3);
@@ -207,10 +215,13 @@ mod tests {
             type_name::<TrajTreeConfig>(),
             type_name::<Trajectory>(),
             type_name::<dyn TrajDistance>(),
+            type_name::<DurabilityConfig>(),
+            type_name::<FsyncPolicy>(),
+            type_name::<PersistError>(),
         ];
         assert_eq!(
             types.len(),
-            32,
+            35,
             "type surface changed — update the snapshot"
         );
 
