@@ -57,6 +57,31 @@ fn persist_roundtrip(c: &mut Criterion) {
         });
     }
 
+    // Group commit vs the same 64 records logged one by one — the
+    // per-batch counterpart of the per-record `wal_append` rows (divide
+    // by 64 to compare; `ingest_throughput` sweeps this properly).
+    group.bench_function("group_append_64", |b| {
+        let dir = scratch("group");
+        let session = Session::builder()
+            .shards(2)
+            .durability(DurabilityConfig::default().compact_after(None))
+            .open(&dir)
+            .expect("open");
+        let mut i = 0usize;
+        b.iter(|| {
+            let batch: Vec<_> = (0..64)
+                .map(|_| {
+                    let t = trajs[i % trajs.len()].clone();
+                    i += 1;
+                    t
+                })
+                .collect();
+            black_box(session.insert_batch(batch).expect("group commit").len())
+        });
+        drop(session);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
     group.bench_function("snapshot_write", |b| {
         let dir = scratch("snapshot");
         let session = Session::builder()

@@ -1,0 +1,124 @@
+//! Regression guard over `ingest_throughput` bench results.
+//!
+//! Reads the JSON summary the vendored criterion shim writes to
+//! `target/bench-results/ingest_throughput.json` and asserts that the
+//! group-commit fast path keeps its win: under `FsyncPolicy::Always`,
+//! 64 one-record inserts (`single_64/always`) must cost at least
+//! `factor ×` one 64-record group commit (`batch_64/always`). Both rows
+//! move the same 64 records per iteration, so their means compare
+//! directly. The factor is the point of the batched WAL path — one
+//! fsync per group instead of one per record; losing it means group
+//! commit quietly degenerated into a loop of singles.
+//!
+//! Usage: `cargo run -p traj-bench --bin check_ingest_regression [path]`.
+//! Without an argument the file is located via `CARGO_TARGET_DIR` or by
+//! walking up from the current directory to the workspace `Cargo.lock`.
+//! `TRAJ_INGEST_FACTOR` overrides the required speedup (default 5; CI's
+//! 1 ms-budget smoke runs are noisy and may set a looser value). Exits 1
+//! with the measured ratio on failure.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const DEFAULT_FACTOR: f64 = 5.0;
+
+fn main() -> ExitCode {
+    let path = match std::env::args().nth(1).map(PathBuf::from) {
+        Some(p) => p,
+        None => match locate_results() {
+            Some(p) => p,
+            None => {
+                eprintln!(
+                    "check_ingest_regression: could not locate \
+                     target/bench-results/ingest_throughput.json; run \
+                     `cargo bench -p traj-bench --bench ingest_throughput` first \
+                     or pass the path explicitly"
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "check_ingest_regression: cannot read {}: {e}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let factor = match std::env::var("TRAJ_INGEST_FACTOR") {
+        Ok(s) => match s.parse::<f64>() {
+            Ok(v) if v.is_finite() && v > 0.0 => v,
+            _ => {
+                eprintln!("check_ingest_regression: invalid TRAJ_INGEST_FACTOR {s:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => DEFAULT_FACTOR,
+    };
+
+    println!("checking {} (required speedup {factor}x)", path.display());
+    let single = mean_ns(&text, "single_64", "always");
+    let batch = mean_ns(&text, "batch_64", "always");
+    let (single, batch) = match (single, batch) {
+        (Some(s), Some(b)) => (s, b),
+        _ => {
+            eprintln!("FAIL: missing single_64/always or batch_64/always entry in results file");
+            return ExitCode::FAILURE;
+        }
+    };
+    let speedup = single / batch;
+    let verdict = if speedup >= factor { "ok  " } else { "FAIL" };
+    println!(
+        "{verdict} batched ingest: 64 singles {:.3} ms vs one batch of 64 {:.3} ms \
+         (speedup {speedup:.2}x, required {factor}x)",
+        single / 1e6,
+        batch / 1e6,
+    );
+    if speedup >= factor {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("check_ingest_regression: group commit lost its batching win");
+        ExitCode::FAILURE
+    }
+}
+
+/// Pull `mean_ns` for `ingest_throughput/<row>/<policy>` out of the
+/// summary JSON. The shim writes one flat `{"name": ..., "mean_ns": ...}`
+/// object per line, so a keyed scan is enough — no JSON dependency needed.
+fn mean_ns(text: &str, row: &str, policy: &str) -> Option<f64> {
+    let name = format!("\"ingest_throughput/{row}/{policy}\"");
+    let line = text.lines().find(|l| l.contains(&name))?;
+    let rest = line.split("\"mean_ns\":").nth(1)?;
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+/// `$CARGO_TARGET_DIR/bench-results/ingest_throughput.json`, or the same
+/// under `<workspace root>/target` found by walking up to a `Cargo.lock` —
+/// mirroring how the criterion shim picks its output directory.
+fn locate_results() -> Option<PathBuf> {
+    let rel = Path::new("bench-results").join("ingest_throughput.json");
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        let p = Path::new(&dir).join(&rel);
+        if p.is_file() {
+            return Some(p);
+        }
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            let p = dir.join("target").join(&rel);
+            return p.is_file().then_some(p);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

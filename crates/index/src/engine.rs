@@ -400,12 +400,15 @@ pub(crate) fn sort_neighbors(mut neighbors: Vec<Neighbor>) -> Vec<Neighbor> {
     neighbors
 }
 
-/// One shard as the engine sees it, plus the routing parameters that map
-/// its local ids back to global ids (`local * stride + shard`, the inverse
-/// of the id-hash router).
+/// One shard as the engine sees it — the immutable base (`tree` over
+/// `store`) plus the delta buffer the tree does not cover — and the
+/// routing parameters that map its local ids back to global ids
+/// (`local * stride + shard`, the inverse of the id-hash router). Delta
+/// members occupy the local ids `store.len() ..` in buffer order.
 pub(crate) struct SearchView<'v> {
     pub(crate) tree: &'v TrajTree,
     pub(crate) store: &'v TrajStore,
+    pub(crate) delta: &'v [Trajectory],
     pub(crate) shard: usize,
     pub(crate) stride: usize,
 }
@@ -415,6 +418,24 @@ impl SearchView<'_> {
     #[inline]
     pub(crate) fn global(&self, local: TrajId) -> TrajId {
         crate::shard::global_of(self.shard, local, self.stride)
+    }
+
+    /// Total trajectories this view answers over (base + delta).
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.store.len() + self.delta.len()
+    }
+
+    /// The trajectory at `local`, whichever side of the base/delta split
+    /// it lives on.
+    #[inline]
+    pub(crate) fn traj(&self, local: TrajId) -> &Trajectory {
+        let base = self.store.len() as TrajId;
+        if local < base {
+            self.store.get(local)
+        } else {
+            &self.delta[(local - base) as usize]
+        }
     }
 }
 
@@ -603,18 +624,35 @@ pub(crate) fn best_first<C: Collector>(
     // at pop time whether or not it was fully evaluated (thresholds only
     // tighten, so the pruning decision can never be invalidated later).
     for (vi, view) in views.iter().enumerate() {
-        let Some(root) = view.tree.root.as_ref() else {
-            continue;
-        };
-        let root_key = node_bound(
-            view, root, query, matching, collector, scratch, stats, reuse,
-        );
-        push(
-            &mut queue,
-            &mut seq,
-            root_key,
-            QueueItem::Node(root, vi as u32),
-        );
+        if let Some(root) = view.tree.root.as_ref() {
+            let root_key = node_bound(
+                view, root, query, matching, collector, scratch, stats, reuse,
+            );
+            push(
+                &mut queue,
+                &mut seq,
+                root_key,
+                QueueItem::Node(root, vi as u32),
+            );
+        }
+        // Delta members are invisible to the tree: seed each one directly
+        // as a per-trajectory candidate under its (admissible) polyline
+        // bound. From here they compete in the same queue under the same
+        // threshold and the same exact-distance refinement as tree-routed
+        // candidates, so a shard mid-delta answers bitwise identically to
+        // one whose tree covers everything. Never routed through the bound
+        // cache — cache keys are stable *node* ids.
+        let base = view.store.len() as TrajId;
+        for (di, t) in view.delta.iter().enumerate() {
+            stats.bump_bounds();
+            let lb = metric.lower_bound_trajectory(mode, query, t, collector.cutoff(), scratch);
+            push(
+                &mut queue,
+                &mut seq,
+                lb,
+                QueueItem::Traj(base + di as TrajId, vi as u32),
+            );
+        }
     }
 
     while let Some(entry) = queue.pop() {
@@ -720,7 +758,7 @@ pub(crate) fn best_first<C: Collector>(
                             let lb = metric.lower_bound_trajectory(
                                 mode,
                                 query,
-                                view.store.get(id),
+                                view.traj(id),
                                 collector.cutoff(),
                                 scratch,
                             );
@@ -750,7 +788,7 @@ pub(crate) fn best_first<C: Collector>(
                 let d = metric.distance_bounded(
                     mode,
                     query,
-                    view.store.get(id),
+                    view.traj(id),
                     collector.cutoff(),
                     scratch,
                 );

@@ -96,7 +96,7 @@ pub use engine::{Neighbor, QueryStats};
 pub use session::{
     BatchQueryBuilder, BatchQueryResult, QueryBuilder, QueryResult, Session, SessionBuilder,
 };
-pub use shard::Snapshot;
+pub use shard::{ShardOccupancy, Snapshot};
 pub use store::{TrajId, TrajStore};
 pub use tree::{TrajTree, TrajTreeConfig};
 

@@ -143,6 +143,7 @@ impl Source<'_> {
             Source::Borrowed { tree, store } => vec![SearchView {
                 tree,
                 store,
+                delta: &[],
                 shard: 0,
                 stride: 1,
             }],
@@ -151,14 +152,32 @@ impl Source<'_> {
                 .iter()
                 .enumerate()
                 .map(|(shard, s)| SearchView {
-                    tree: &s.tree,
-                    store: &s.store,
+                    tree: s.tree(),
+                    store: s.base(),
+                    delta: s.delta(),
                     shard,
                     stride: snap.shards.len(),
                 })
                 .collect(),
         }
     }
+}
+
+/// Default delta-merge threshold: how many buffered inserts a shard
+/// accumulates before folding them into its tree. Small enough that the
+/// per-query brute scan of the delta stays negligible next to a tree
+/// descent; large enough to amortise the copy-on-write base clone an
+/// insert under held snapshots would otherwise pay every time.
+const DELTA_MERGE_THRESHOLD: usize = 32;
+
+/// The full logical contents of an epoch as per-shard borrow sections, in
+/// shard order with each section in local-id order (base then delta) —
+/// what the storage engine's compaction writes.
+fn shard_sections(snap: &Snapshot) -> Vec<Vec<&Trajectory>> {
+    snap.shards
+        .iter()
+        .map(|s| s.base().as_slice().iter().chain(s.delta().iter()).collect())
+        .collect()
 }
 
 /// A sharded trajectory database, its per-shard TrajTree indexes and
@@ -198,16 +217,25 @@ impl Source<'_> {
 #[derive(Debug)]
 pub struct Session {
     /// The live epoch. Readers clone the outer `Arc` (a [`Snapshot`]);
-    /// [`Session::insert`] swaps in the next epoch under the write lock.
+    /// writers swap in the next epoch under the write lock — held only
+    /// for the in-memory apply + publish, never across disk I/O.
     shards: RwLock<Arc<Vec<Arc<Shard>>>>,
     num_shards: usize,
     config: TrajTreeConfig,
     scratch: EdwpScratch,
+    /// Delta-merge threshold: a shard folds its delta buffer into its
+    /// tree once the buffer holds this many trajectories
+    /// ([`SessionBuilder::delta_merge_threshold`], clamped >= 1).
+    delta_threshold: usize,
+    /// Serialises writers (insert / insert_batch / compact) without
+    /// touching the epoch lock, so readers stay wait-free while a writer
+    /// is on the disk portion of its critical section. Lock order is
+    /// always writer -> engine -> epoch; the epoch lock is never held
+    /// while waiting on the other two, so the three never deadlock.
+    writer: Mutex<()>,
     /// The durable storage engine of a [`SessionBuilder::open`]ed session
-    /// (`None` for in-memory sessions). Lock order is always shard epoch
-    /// lock first, engine second — [`Session::insert`] under the write
-    /// lock, [`Session::compact`] under the read lock — so the two never
-    /// deadlock.
+    /// (`None` for in-memory sessions). Only locked while the writer lock
+    /// is held (see `writer` for the lock order).
     durable: Option<Mutex<StorageEngine>>,
 }
 
@@ -232,6 +260,8 @@ impl Clone for Session {
             num_shards: self.num_shards,
             config: self.config.clone(),
             scratch: EdwpScratch::new(),
+            delta_threshold: self.delta_threshold,
+            writer: Mutex::new(()),
             durable: None,
         }
     }
@@ -262,12 +292,14 @@ impl Session {
     /// index searches).
     pub fn from_parts(store: TrajStore, tree: TrajTree) -> Self {
         let config = tree.config().clone();
-        let shard = Arc::new(Shard { store, tree });
+        let shard = Arc::new(Shard::from_parts(store, tree));
         Session {
             shards: RwLock::new(Arc::new(vec![shard])),
             num_shards: 1,
             config,
             scratch: EdwpScratch::new(),
+            delta_threshold: DELTA_MERGE_THRESHOLD,
+            writer: Mutex::new(()),
             durable: None,
         }
     }
@@ -285,61 +317,150 @@ impl Session {
         out
     }
 
-    /// Adds a trajectory to the routed shard's segment *and* index,
-    /// returning its global id — the streaming-ingestion entry point.
+    /// Adds a trajectory to the routed shard, returning its global id —
+    /// the streaming-ingestion entry point. The trajectory lands in the
+    /// shard's delta buffer (queried by exact brute scan, so it is
+    /// immediately and exactly visible); once the buffer reaches the
+    /// session's merge threshold it is folded into the shard's tree via
+    /// the least-volume-growth insert.
     ///
     /// # Consistency contract
     ///
     /// * Inserts are serialized (the session's writer lock) and atomic: a
-    ///   trajectory is visible in a shard's store iff it is in that
-    ///   shard's tree.
+    ///   trajectory is either fully visible to queries (delta or tree) or
+    ///   not at all.
     /// * Readers are epoch-guarded: the new trajectory is built into a
     ///   copy-on-write successor of the routed shard
-    ///   ([`Arc::make_mut`] — in place when no snapshot holds the shard,
-    ///   a clone of only that shard otherwise) and published atomically.
-    ///   A [`Session::batch`] or [`Snapshot`] that started earlier keeps
-    ///   reading its original epoch — it never observes a torn shard or a
-    ///   partially visible insert, whether its queries run sequentially or
-    ///   on the parallel scatter path.
+    ///   ([`Arc::make_mut`] — in place when no snapshot holds the shard)
+    ///   and published atomically. A [`Session::batch`] or [`Snapshot`]
+    ///   that started earlier keeps reading its original epoch — it never
+    ///   observes a torn shard or a partially visible insert, whether its
+    ///   queries run sequentially or on the parallel scatter path. With a
+    ///   snapshot held, the copied unit is the routed shard's *delta
+    ///   buffer* (plus two `Arc` bumps for its immutable base), not the
+    ///   whole shard — only a delta merge pays a base copy, once per
+    ///   threshold crossing.
     /// * An insert *happens-before* every snapshot taken after it returns
     ///   (the `RwLock` synchronises publication), so
     ///   `session.insert(t); session.query(&q)` always sees `t`.
     /// * Inserts briefly block snapshot *acquisition* (never queries
-    ///   already running); raise [`SessionBuilder::shards`] to shrink the
-    ///   copied unit and spread insert load.
+    ///   already running) — and only for the in-memory apply: WAL
+    ///   append/fsync and compaction run *before* the epoch lock is
+    ///   taken, so readers are never stuck behind disk I/O.
     ///
     /// # Durability contract
     ///
     /// On a [`SessionBuilder::open`]ed session the trajectory is appended
-    /// to the write-ahead log **before** the new epoch is published, under
-    /// the configured [`traj_persist::FsyncPolicy`]. `Err` means nothing
-    /// was published *or* logged (a torn log tail, if any, is truncated on
-    /// the next open) — the failed insert is invisible both to queries and
-    /// to recovery, so the happens-before contract above extends to disk:
+    /// to the write-ahead log **before** the new epoch is published
+    /// (log-then-publish), under the configured
+    /// [`traj_persist::FsyncPolicy`]. `Err` means nothing was published
+    /// *or* logged (a torn log tail, if any, is truncated on the next
+    /// open) — the failed insert is invisible both to queries and to
+    /// recovery, so the happens-before contract above extends to disk:
     /// once `insert` returns `Ok`, a crash-and-reopen sees the trajectory.
     /// When the log reaches the configured
     /// [`DurabilityConfig::compact_after_records`] threshold, the insert
     /// first folds it into a fresh snapshot (see [`Session::compact`]).
     ///
-    /// In-memory sessions never return `Err`.
+    /// In-memory sessions never return `Err`. For bulk ingestion prefer
+    /// [`Session::insert_batch`], which amortises the WAL fsync and the
+    /// epoch publication over the whole batch.
     pub fn insert(&self, t: Trajectory) -> Result<TrajId, TrajError> {
+        let _writer = self.writer.lock().expect("session writer lock poisoned");
+        let id = self.len() as TrajId;
+        self.log_and_maybe_compact(std::slice::from_ref(&t))?;
         let mut guard = self.shards.write().expect("shard epoch lock poisoned");
-        let id = guard.iter().map(|s| s.len()).sum::<usize>() as TrajId;
-        if let Some(engine) = &self.durable {
-            let mut engine = engine.lock().expect("storage engine lock poisoned");
-            // Compact *before* the append so every error path leaves the
-            // engine and the published epoch agreeing exactly.
-            if engine.needs_compaction() {
-                let sections: Vec<&[Trajectory]> =
-                    guard.iter().map(|s| s.store.as_slice()).collect();
-                engine.compact(&sections)?;
-            }
-            engine.append(&t)?;
-        }
         let state = Arc::make_mut(&mut *guard);
         let shard = Arc::make_mut(&mut state[shard_of(id, self.num_shards)]);
-        shard.insert(t);
+        shard.insert(t, self.delta_threshold);
         Ok(id)
+    }
+
+    /// Adds a whole batch of trajectories, returning their (dense,
+    /// consecutive) global ids — the bulk-ingestion fast path.
+    ///
+    /// Same consistency and durability contracts as [`Session::insert`],
+    /// with the costs amortised over the batch:
+    ///
+    /// * on a durable session the whole batch is appended to the
+    ///   write-ahead log as **one group** — a single `fsync` under
+    ///   [`traj_persist::FsyncPolicy::Always`] instead of one per record;
+    /// * the routed per-shard sub-batches are applied on parallel workers
+    ///   (one per touched shard) when the session is sharded;
+    /// * one epoch is published for the whole batch, so readers see it
+    ///   atomically: every trajectory of the batch or none.
+    ///
+    /// `Err` means nothing was published in memory. On disk the same
+    /// exposure class as a crash applies: a prefix of the group may
+    /// survive in the log (it is a valid prefix — recovery replays it),
+    /// exactly as if the process had crashed mid-batch.
+    pub fn insert_batch(&self, batch: Vec<Trajectory>) -> Result<Vec<TrajId>, TrajError> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let _writer = self.writer.lock().expect("session writer lock poisoned");
+        let base = self.len() as TrajId;
+        self.log_and_maybe_compact(&batch)?;
+        let ids: Vec<TrajId> = (0..batch.len() as TrajId).map(|i| base + i).collect();
+        // Route by destination shard; dense ids keep each sub-batch in
+        // local-id order, so a sequential apply per shard reproduces the
+        // single-insert loop exactly.
+        let mut routed: Vec<Vec<Trajectory>> = (0..self.num_shards).map(|_| Vec::new()).collect();
+        for (t, &id) in batch.into_iter().zip(&ids) {
+            routed[shard_of(id, self.num_shards)].push(t);
+        }
+        let threshold = self.delta_threshold;
+        let mut guard = self.shards.write().expect("shard epoch lock poisoned");
+        let state = Arc::make_mut(&mut *guard);
+        let touched = routed.iter().filter(|r| !r.is_empty()).count();
+        if touched > 1 {
+            // One scoped worker per touched shard: the sub-batches are
+            // disjoint (`&mut` per shard), and each worker's work is pure
+            // CPU (delta pushes + possible merges), so holding the epoch
+            // lock across the scope costs readers no disk waits.
+            std::thread::scope(|scope| {
+                for (shard, sub) in state.iter_mut().zip(routed) {
+                    if sub.is_empty() {
+                        continue;
+                    }
+                    let shard = Arc::make_mut(shard);
+                    scope.spawn(move || {
+                        for t in sub {
+                            shard.insert(t, threshold);
+                        }
+                    });
+                }
+            });
+        } else {
+            for (shard, sub) in state.iter_mut().zip(routed) {
+                if sub.is_empty() {
+                    continue;
+                }
+                let shard = Arc::make_mut(shard);
+                for t in sub {
+                    shard.insert(t, threshold);
+                }
+            }
+        }
+        Ok(ids)
+    }
+
+    /// The durable half of a write, run under the writer lock but *off*
+    /// the epoch lock: compacts first if the log is over its threshold
+    /// (so every error path leaves engine and epoch agreeing), then
+    /// appends `batch` to the WAL as one group. No-op for in-memory
+    /// sessions.
+    fn log_and_maybe_compact(&self, batch: &[Trajectory]) -> Result<(), TrajError> {
+        let Some(engine) = &self.durable else {
+            return Ok(());
+        };
+        let mut engine = engine.lock().expect("storage engine lock poisoned");
+        if engine.needs_compaction() {
+            let snap = self.snapshot();
+            engine.compact(&shard_sections(&snap))?;
+        }
+        engine.append_group(batch)?;
+        Ok(())
     }
 
     /// Folds the write-ahead log into a fresh snapshot now: writes the
@@ -348,14 +469,18 @@ impl Session {
     /// `Ok` on in-memory sessions. Runs automatically once the log passes
     /// [`DurabilityConfig::compact_after_records`]; call it explicitly
     /// before an orderly shutdown to make the next open replay-free.
+    ///
+    /// Runs under the writer lock only — the epoch lock is taken just
+    /// long enough to pin the snapshot being written, so concurrent
+    /// readers never wait on compaction I/O.
     pub fn compact(&self) -> Result<(), TrajError> {
         let Some(engine) = &self.durable else {
             return Ok(());
         };
-        let guard = self.shards.read().expect("shard epoch lock poisoned");
+        let _writer = self.writer.lock().expect("session writer lock poisoned");
+        let snap = self.snapshot();
         let mut engine = engine.lock().expect("storage engine lock poisoned");
-        let sections: Vec<&[Trajectory]> = guard.iter().map(|s| s.store.as_slice()).collect();
-        engine.compact(&sections)?;
+        engine.compact(&shard_sections(&snap))?;
         Ok(())
     }
 
@@ -465,6 +590,7 @@ pub struct SessionBuilder {
     config: TrajTreeConfig,
     force_scalar: bool,
     durability: DurabilityConfig,
+    delta_threshold: Option<usize>,
 }
 
 impl SessionBuilder {
@@ -484,6 +610,18 @@ impl SessionBuilder {
     /// [`SessionBuilder::build`] (in-memory sessions persist nothing).
     pub fn durability(mut self, cfg: DurabilityConfig) -> Self {
         self.durability = cfg;
+        self
+    }
+
+    /// How many buffered inserts a shard's delta accumulates before being
+    /// folded into its tree (clamped to at least 1; default 32). Results
+    /// are bitwise identical at any threshold — the delta is queried by
+    /// exact brute scan — so this knob trades per-query delta-scan work
+    /// against the copy-on-write merge cost an insert under held
+    /// snapshots pays at each threshold crossing. `1` restores the old
+    /// insert-straight-into-the-tree behaviour.
+    pub fn delta_merge_threshold(mut self, threshold: usize) -> Self {
+        self.delta_threshold = Some(threshold.max(1));
         self
     }
 
@@ -556,6 +694,7 @@ impl SessionBuilder {
             config,
             force_scalar,
             durability: _,
+            delta_threshold,
         } = self;
         let n = shards.unwrap_or(1);
         debug_assert!(n >= 1, "SessionBuilder::shards maintains n >= 1");
@@ -591,6 +730,8 @@ impl SessionBuilder {
             num_shards: n,
             config,
             scratch: EdwpScratch::new(),
+            delta_threshold: delta_threshold.unwrap_or(DELTA_MERGE_THRESHOLD),
+            writer: Mutex::new(()),
             durable: None,
         }
     }
@@ -1054,7 +1195,7 @@ fn shard_sizes(views: &[SearchView<'_>], total: usize) -> Vec<usize> {
     if views.len() == 1 {
         vec![total]
     } else {
-        views.iter().map(|v| v.store.len()).collect()
+        views.iter().map(|v| v.len()).collect()
     }
 }
 
@@ -1262,7 +1403,13 @@ fn drive<C: Collector>(
 ) {
     if spec.brute_force {
         for view in views {
-            for (local, t) in view.store.iter() {
+            let base = view.store.len() as TrajId;
+            let delta = view
+                .delta
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (base + i as TrajId, t));
+            for (local, t) in view.store.iter().chain(delta) {
                 stats.bump_edwp();
                 collector.offer(
                     view.global(local),

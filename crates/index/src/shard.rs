@@ -19,16 +19,34 @@
 //! `g div n` — no per-id lookup tables, and the mapping survives any
 //! number of inserts.
 //!
+//! # Delta buffers
+//!
+//! Each shard is an **immutable base** — an `Arc`-shared store segment
+//! plus the [`TrajTree`] indexing exactly that segment — and a small
+//! append-only **delta buffer** of recently inserted trajectories that the
+//! tree does not cover yet. Local ids keep counting straight through:
+//! slot `l < base.len()` lives in the base store, slot `l >= base.len()`
+//! in the delta at offset `l - base.len()`. Queries merge the tree
+//! traversal with an exact brute scan of the delta (every delta member is
+//! seeded as a per-trajectory candidate with an admissible bound), so
+//! results stay bitwise identical to a shard whose tree covers everything.
+//! Once the delta reaches the session's merge threshold it is folded into
+//! the base via the tree's least-volume-growth insert.
+//!
 //! # Epochs
 //!
 //! Shards are immutable once published: the session's live state is an
 //! `Arc<Vec<Arc<Shard>>>`, and a [`Snapshot`] is one atomic clone of that
 //! outer `Arc`. Inserts build the next epoch copy-on-write
-//! ([`std::sync::Arc::make_mut`] — in place when no snapshot holds the
-//! shard, a clone of only the routed shard otherwise) and publish it by
-//! swapping the outer `Arc`, so a snapshot taken before an insert keeps
-//! reading the pre-insert epoch for as long as it lives. See
-//! [`crate::Session::insert`] for the full consistency contract.
+//! ([`std::sync::Arc::make_mut`]) and publish it by swapping the outer
+//! `Arc`, so a snapshot taken before an insert keeps reading the
+//! pre-insert epoch for as long as it lives. The delta split is what makes
+//! that cheap under reader pressure: cloning a shard bumps the base's two
+//! `Arc`s and deep-copies only the (small, bounded) delta, so an insert
+//! while snapshots are held no longer duplicates the shard's whole
+//! segment — only a delta merge pays a base copy, once per threshold
+//! crossing. See [`crate::Session::insert`] for the full consistency
+//! contract.
 //!
 //! # Queries over shards
 //!
@@ -49,34 +67,129 @@ use crate::tree::{TrajTree, TrajTreeConfig};
 use std::sync::Arc;
 use traj_core::{TrajError, Trajectory};
 
-/// One shard: a [`TrajStore`] segment with dense local ids and the
-/// [`TrajTree`] indexing exactly that segment (including its per-node
-/// max-length bookkeeping for the normalised metric).
+/// One shard: an immutable base (a [`TrajStore`] segment with dense local
+/// ids and the [`TrajTree`] indexing exactly that segment, both
+/// `Arc`-shared across epochs) plus the append-only delta buffer of
+/// inserts the tree does not cover yet.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Shard {
-    pub(crate) store: TrajStore,
-    pub(crate) tree: TrajTree,
+    base: Arc<TrajStore>,
+    tree: Arc<TrajTree>,
+    delta: Vec<Trajectory>,
 }
 
 impl Shard {
-    /// Bulk-loads a shard over its segment's trajectories (local id order).
+    /// Bulk-loads a shard over its segment's trajectories (local id
+    /// order); the delta starts empty.
     pub(crate) fn bulk(trajs: Vec<Trajectory>, config: TrajTreeConfig) -> Self {
         let store = TrajStore::from(trajs);
         let tree = TrajTree::bulk_load(&store, config);
-        Shard { store, tree }
+        Shard {
+            base: Arc::new(store),
+            tree: Arc::new(tree),
+            delta: Vec::new(),
+        }
     }
 
-    /// Appends one trajectory to the segment and the index, returning its
-    /// *local* id.
-    pub(crate) fn insert(&mut self, t: Trajectory) -> TrajId {
-        let local = self.store.insert(t);
-        self.tree.insert(&self.store, local);
+    /// Wraps an existing store + tree as a shard. `tree` must index
+    /// exactly the trajectories of `store`.
+    pub(crate) fn from_parts(store: TrajStore, tree: TrajTree) -> Self {
+        Shard {
+            base: Arc::new(store),
+            tree: Arc::new(tree),
+            delta: Vec::new(),
+        }
+    }
+
+    /// Appends one trajectory, returning its *local* id. The trajectory
+    /// lands in the delta buffer; once the delta holds `threshold`
+    /// members it is folded into the base store + tree
+    /// ([`Shard::merge_delta`]).
+    pub(crate) fn insert(&mut self, t: Trajectory, threshold: usize) -> TrajId {
+        let local = self.len() as TrajId;
+        self.delta.push(t);
+        if self.delta.len() >= threshold.max(1) {
+            self.merge_delta();
+        }
         local
     }
 
-    /// Number of trajectories in this shard.
+    /// Folds the delta into the base: every buffered trajectory is
+    /// appended to the store and inserted into the tree via the
+    /// least-volume-growth descent. Copy-on-write at the base level:
+    /// in place when no snapshot shares the base `Arc`s, one base copy
+    /// otherwise — the amortised cost the delta buffer bounds to once per
+    /// threshold crossing.
+    pub(crate) fn merge_delta(&mut self) {
+        if self.delta.is_empty() {
+            return;
+        }
+        let store = Arc::make_mut(&mut self.base);
+        let tree = Arc::make_mut(&mut self.tree);
+        for t in self.delta.drain(..) {
+            let local = store.insert(t);
+            tree.insert(store, local);
+        }
+    }
+
+    /// The tree over the immutable base (never covers the delta).
+    #[inline]
+    pub(crate) fn tree(&self) -> &TrajTree {
+        &self.tree
+    }
+
+    /// The immutable base segment the tree indexes.
+    #[inline]
+    pub(crate) fn base(&self) -> &TrajStore {
+        &self.base
+    }
+
+    /// The delta buffer: trajectories at local ids
+    /// `base().len() .. len()`, in insertion order.
+    #[inline]
+    pub(crate) fn delta(&self) -> &[Trajectory] {
+        &self.delta
+    }
+
+    /// The trajectory at `local`, whichever side of the base/delta split
+    /// it lives on.
+    ///
+    /// # Panics
+    /// Panics when `local` is out of range.
+    #[inline]
+    pub(crate) fn get(&self, local: TrajId) -> &Trajectory {
+        let base_len = self.base.len() as TrajId;
+        if local < base_len {
+            self.base.get(local)
+        } else {
+            &self.delta[(local - base_len) as usize]
+        }
+    }
+
+    /// The trajectory at `local`, or `None` when out of range.
+    #[inline]
+    pub(crate) fn try_get(&self, local: TrajId) -> Option<&Trajectory> {
+        let base_len = self.base.len() as TrajId;
+        if local < base_len {
+            Some(self.base.get(local))
+        } else {
+            self.delta.get((local - base_len) as usize)
+        }
+    }
+
+    /// Number of trajectories in this shard (base + delta).
     pub(crate) fn len(&self) -> usize {
-        self.store.len()
+        self.base.len() + self.delta.len()
+    }
+
+    /// Number of trajectories the tree covers (the base segment).
+    pub(crate) fn indexed_len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Number of trajectories waiting in the delta buffer.
+    pub(crate) fn delta_len(&self) -> usize {
+        self.delta.len()
     }
 }
 
@@ -96,6 +209,26 @@ pub(crate) fn local_of(id: TrajId, shards: usize) -> TrajId {
 #[inline]
 pub(crate) fn global_of(shard: usize, local: TrajId, shards: usize) -> TrajId {
     local * shards as TrajId + shard as TrajId
+}
+
+/// Occupancy of one shard at one epoch: how many trajectories its tree
+/// covers and how many sit in the delta buffer awaiting a merge — the
+/// introspection [`Snapshot::shard_sizes`] reports per shard, in shard
+/// order, so rebalancing and capacity decisions have data to act on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardOccupancy {
+    /// Trajectories in the shard's immutable base (covered by its tree).
+    pub indexed: usize,
+    /// Trajectories in the shard's delta buffer (queried by exact brute
+    /// scan until the next merge folds them into the tree).
+    pub delta: usize,
+}
+
+impl ShardOccupancy {
+    /// Total trajectories in the shard (base + delta).
+    pub fn total(&self) -> usize {
+        self.indexed + self.delta
+    }
 }
 
 /// An immutable epoch of a [`crate::Session`]'s sharded database: every
@@ -133,12 +266,27 @@ impl Snapshot {
 
     /// `true` when the epoch holds no trajectories.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.store.is_empty())
+        self.shards.iter().all(|s| s.len() == 0)
     }
 
     /// Number of shards (fixed at session build time, never 0).
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Per-shard occupancy in shard order: how many trajectories each
+    /// shard's tree covers and how many sit in its delta buffer. The
+    /// totals sum to [`Snapshot::len`]; with round-robin id routing the
+    /// totals differ by at most 1 across shards, so a larger spread is a
+    /// signal the routing assumption was violated.
+    pub fn shard_sizes(&self) -> Vec<ShardOccupancy> {
+        self.shards
+            .iter()
+            .map(|s| ShardOccupancy {
+                indexed: s.indexed_len(),
+                delta: s.delta_len(),
+            })
+            .collect()
     }
 
     /// The trajectory with the given global id — the panicking convenience
@@ -151,7 +299,7 @@ impl Snapshot {
     #[inline]
     pub fn get(&self, id: TrajId) -> &Trajectory {
         let n = self.shards.len();
-        self.shards[shard_of(id, n)].store.get(local_of(id, n))
+        self.shards[shard_of(id, n)].get(local_of(id, n))
     }
 
     /// The trajectory with the given global id, or
@@ -159,9 +307,8 @@ impl Snapshot {
     pub fn try_get(&self, id: TrajId) -> Result<&Trajectory, TrajError> {
         let n = self.shards.len();
         self.shards[shard_of(id, n)]
-            .store
             .try_get(local_of(id, n))
-            .map_err(|_| TrajError::UnknownId {
+            .ok_or_else(|| TrajError::UnknownId {
                 id,
                 len: self.len(),
             })
@@ -177,14 +324,14 @@ impl Snapshot {
     pub fn tree_height(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.tree.height())
+            .map(|s| s.tree().height())
             .max()
             .unwrap_or(0)
     }
 
     /// Total node count across all shard trees.
     pub fn node_count(&self) -> usize {
-        self.shards.iter().map(|s| s.tree.node_count()).sum()
+        self.shards.iter().map(|s| s.tree().node_count()).sum()
     }
 }
 
@@ -238,5 +385,62 @@ mod tests {
         );
         assert!(snap.tree_height() >= 1);
         assert!(snap.node_count() >= 3);
+    }
+
+    #[test]
+    fn delta_inserts_route_and_merge_at_the_threshold() {
+        let mut shard = Shard::bulk(
+            (0..4)
+                .map(|i| Trajectory::from_xy(&[(i as f64, 0.0), (i as f64 + 1.0, 1.0)]))
+                .collect(),
+            TrajTreeConfig::default(),
+        );
+        assert_eq!((shard.indexed_len(), shard.delta_len()), (4, 0));
+        // Below the threshold: inserts buffer in the delta, ids keep
+        // counting, lookups cover both sides of the split.
+        for i in 4..7u32 {
+            let local = shard.insert(
+                Trajectory::from_xy(&[(i as f64, 0.0), (i as f64 + 1.0, 1.0)]),
+                8,
+            );
+            assert_eq!(local, i);
+        }
+        assert_eq!((shard.indexed_len(), shard.delta_len()), (4, 3));
+        assert_eq!(shard.len(), 7);
+        for i in 0..7u32 {
+            assert_eq!(shard.get(i).first().p.x, i as f64);
+            assert_eq!(shard.try_get(i).unwrap().first().p.x, i as f64);
+        }
+        assert!(shard.try_get(7).is_none());
+        // The 8th member crosses the threshold: the delta folds into the
+        // base and the tree covers everything again.
+        shard.insert(Trajectory::from_xy(&[(7.0, 0.0), (8.0, 1.0)]), 4);
+        assert_eq!((shard.indexed_len(), shard.delta_len()), (8, 0));
+        assert_eq!(shard.tree().len(), 8);
+        for i in 0..8u32 {
+            assert_eq!(shard.get(i).first().p.x, i as f64);
+        }
+    }
+
+    #[test]
+    fn shard_clone_shares_the_base_and_copies_only_the_delta() {
+        let mut shard = Shard::bulk(
+            (0..16)
+                .map(|i| Trajectory::from_xy(&[(i as f64, 0.0), (i as f64 + 1.0, 1.0)]))
+                .collect(),
+            TrajTreeConfig::default(),
+        );
+        shard.insert(Trajectory::from_xy(&[(16.0, 0.0), (17.0, 1.0)]), 1000);
+        let clone = shard.clone();
+        assert!(Arc::ptr_eq(&shard.base, &clone.base), "base store shared");
+        assert!(Arc::ptr_eq(&shard.tree, &clone.tree), "base tree shared");
+        assert_eq!(clone.delta_len(), 1);
+        // A merge on the original copies the base out from under the
+        // shared Arcs; the clone keeps its epoch untouched.
+        shard.merge_delta();
+        assert_eq!(shard.indexed_len(), 17);
+        assert_eq!(clone.indexed_len(), 16);
+        assert_eq!(clone.delta_len(), 1);
+        assert_eq!(clone.get(16).first().p.x, 16.0);
     }
 }

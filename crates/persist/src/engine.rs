@@ -100,8 +100,7 @@ impl StorageEngine {
         fs::create_dir_all(dir)?;
         let mut generations = snapshot_generations(dir)?;
         if generations.is_empty() {
-            let empty: [&[Trajectory]; 1] = [&[]];
-            write_snapshot(dir, 0, &empty)?;
+            write_snapshot(dir, 0, &[Vec::new()])?;
             let wal = WalWriter::create(dir, 0, 0, cfg.fsync)?;
             sync_dir(dir)?;
             return Ok((
@@ -206,6 +205,18 @@ impl StorageEngine {
         self.wal.append(t)
     }
 
+    /// Appends a whole batch to the WAL as one group: identical on-disk
+    /// record stream to a run of [`StorageEngine::append`] calls, but one
+    /// buffered write and one application of the fsync policy for the
+    /// whole group — a single `fsync` under [`FsyncPolicy::Always`]
+    /// instead of one per record. On `Ok` every record of the group is in
+    /// the log; on `Err` nothing is logically appended, though — exactly
+    /// as with a crash mid-batch — a *prefix* of the group may survive on
+    /// disk as valid records the next recovery replays.
+    pub fn append_group(&mut self, batch: &[Trajectory]) -> Result<(), PersistError> {
+        self.wal.append_group(batch)
+    }
+
     /// Trajectories across snapshot + WAL — the id the next append gets.
     pub fn total(&self) -> u64 {
         self.base_count + self.wal.records()
@@ -251,15 +262,16 @@ impl StorageEngine {
     /// files.
     ///
     /// `shards` must be the engine's current logical contents — snapshot
-    /// plus every appended record — partitioned however the caller runs
-    /// (the session passes its live shard stores). A crash anywhere in
-    /// this sequence is safe: until the rename lands, recovery uses the
-    /// old generation (old snapshot + old WAL are untouched); after it,
-    /// recovery uses the new snapshot, with a missing WAL handled as
-    /// empty. Pruning old files is the last step and best-effort — a
-    /// leftover older generation costs disk, not correctness, and the next
-    /// compaction retries the removal.
-    pub fn compact(&mut self, shards: &[&[Trajectory]]) -> Result<(), PersistError> {
+    /// plus every appended record — partitioned however the caller runs,
+    /// as per-shard sections of borrowed trajectories (the session hands
+    /// over each shard's base + delta without materialising a copy). A
+    /// crash anywhere in this sequence is safe: until the rename lands,
+    /// recovery uses the old generation (old snapshot + old WAL are
+    /// untouched); after it, recovery uses the new snapshot, with a
+    /// missing WAL handled as empty. Pruning old files is the last step
+    /// and best-effort — a leftover older generation costs disk, not
+    /// correctness, and the next compaction retries the removal.
+    pub fn compact(&mut self, shards: &[Vec<&Trajectory>]) -> Result<(), PersistError> {
         let total: u64 = shards.iter().map(|s| s.len() as u64).sum();
         let expected = self.total();
         if total != expected {
@@ -353,6 +365,10 @@ mod tests {
         DurabilityConfig::default().compact_after(None)
     }
 
+    fn refs<'a>(sections: &[&'a [Trajectory]]) -> Vec<Vec<&'a Trajectory>> {
+        sections.iter().map(|s| s.iter().collect()).collect()
+    }
+
     #[test]
     fn initialises_an_empty_directory() {
         let dir = TempDir::new("engine-init");
@@ -397,7 +413,7 @@ mod tests {
         // Two shards, round-robin dealt, as a session would hold them.
         let s0: Vec<Trajectory> = all.iter().step_by(2).cloned().collect();
         let s1: Vec<Trajectory> = all.iter().skip(1).step_by(2).cloned().collect();
-        engine.compact(&[&s0, &s1]).expect("compact");
+        engine.compact(&refs(&[&s0, &s1])).expect("compact");
         assert_eq!(engine.generation(), 1);
         assert_eq!(engine.wal_records(), 0);
         assert_eq!(engine.total(), 6);
@@ -420,7 +436,7 @@ mod tests {
         engine.append(&traj(0.0)).expect("append");
         let wrong: Vec<Trajectory> = vec![];
         assert!(matches!(
-            engine.compact(&[&wrong]),
+            engine.compact(&refs(&[&wrong])),
             Err(PersistError::StateMismatch { .. })
         ));
     }
@@ -444,12 +460,12 @@ mod tests {
         let (_, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
         engine.append(&traj(0.0)).expect("append");
         let all = vec![traj(0.0)];
-        engine.compact(&[&all]).expect("compact to gen 1");
+        engine.compact(&refs(&[&all])).expect("compact to gen 1");
         drop(engine);
         // Corrupt generation 1's snapshot body; generation 0 is pruned, so
         // plant a valid older snapshot to fall back to.
         let g1 = dir.path().join(snapshot_file_name(1));
-        write_snapshot(dir.path(), 0, &[&[][..]]).expect("plant gen 0");
+        write_snapshot(dir.path(), 0, &[Vec::new()]).expect("plant gen 0");
         let mut bytes = fs::read(&g1).unwrap();
         let len = bytes.len();
         bytes[len - 10] ^= 0xFF;
@@ -484,7 +500,7 @@ mod tests {
         let (_, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
         engine.append(&traj(0.0)).expect("append");
         let all = vec![traj(0.0)];
-        engine.compact(&[&all]).expect("compact");
+        engine.compact(&refs(&[&all])).expect("compact");
         drop(engine);
         fs::remove_file(dir.path().join(wal_file_name(1))).unwrap();
         let (rec, engine) = StorageEngine::open(dir.path(), cfg()).expect("open");

@@ -38,7 +38,7 @@ use std::fs::{self, File};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use traj_core::codec::{put_u32, put_u64, ByteReader};
-use traj_core::Trajectory;
+use traj_core::{StPoint, Trajectory};
 
 /// First eight bytes of every snapshot file.
 pub(crate) const SNAPSHOT_MAGIC: [u8; 8] = *b"TRJSNAP1";
@@ -72,13 +72,16 @@ pub(crate) fn sync_dir(dir: &Path) -> Result<(), PersistError> {
     Ok(())
 }
 
-/// Serialises the full snapshot payload for the given shard sections.
-fn encode_snapshot(shards: &[&[Trajectory]]) -> Vec<u8> {
+/// Serialises the full snapshot payload for the given shard sections
+/// (borrowed trajectories, so callers can hand over composite views —
+/// e.g. a shard's indexed base chained with its delta buffer — without
+/// materialising a copy).
+fn encode_snapshot(shards: &[Vec<&Trajectory>]) -> Vec<u8> {
     let total: u64 = shards.iter().map(|s| s.len() as u64).sum();
     let mut body = Vec::new();
     for section in shards {
         put_u64(&mut body, section.len() as u64);
-        for t in *section {
+        for t in section {
             t.encode_into(&mut body);
         }
     }
@@ -106,7 +109,7 @@ fn encode_snapshot(shards: &[&[Trajectory]]) -> Vec<u8> {
 pub fn write_snapshot(
     dir: &Path,
     generation: u64,
-    shards: &[&[Trajectory]],
+    shards: &[Vec<&Trajectory>],
 ) -> Result<PathBuf, PersistError> {
     let bytes = encode_snapshot(shards);
     let final_path = dir.join(snapshot_file_name(generation));
@@ -193,6 +196,39 @@ pub fn load_snapshot(path: &Path) -> Result<Vec<Vec<Trajectory>>, PersistError> 
         });
     }
 
+    let sections = decode_sections(body, shard_count)?;
+    let seen: u64 = sections.iter().map(|s| s.len() as u64).sum();
+    if seen != total {
+        return Err(PersistError::StateMismatch {
+            detail: format!("header declares {total} trajectories, sections hold {seen}"),
+        });
+    }
+    Ok(sections)
+}
+
+/// Entry floor below which parallel decode is not worth the thread spawns.
+const PARALLEL_DECODE_MIN: usize = 1024;
+
+/// Decodes the checksum-verified body into per-shard sections. Large
+/// bodies on multi-core hosts take the parallel path: a cheap boundary
+/// scan (each trajectory is a `u64` point count plus `count` fixed-size
+/// points, so spans are found without touching the floats) splits the
+/// body into independent chunks decoded on scoped worker threads. Any
+/// irregularity — a scan that doesn't tile the body exactly, or a chunk
+/// that fails to decode — falls back to the sequential path so errors
+/// surface with the same typed causes in the same order regardless of
+/// core count.
+fn decode_sections(body: &[u8], shard_count: u32) -> Result<Vec<Vec<Trajectory>>, PersistError> {
+    if let Some(sections) = try_parallel_decode(body, shard_count) {
+        return Ok(sections);
+    }
+    decode_sections_sequential(body, shard_count)
+}
+
+fn decode_sections_sequential(
+    body: &[u8],
+    shard_count: u32,
+) -> Result<Vec<Vec<Trajectory>>, PersistError> {
     let mut r = ByteReader::new(body);
     let mut sections = Vec::with_capacity(shard_count as usize);
     for _ in 0..shard_count {
@@ -208,13 +244,89 @@ pub fn load_snapshot(path: &Path) -> Result<Vec<Vec<Trajectory>>, PersistError> 
             detail: format!("{} trailing bytes after the last section", r.remaining()),
         });
     }
-    let seen: u64 = sections.iter().map(|s| s.len() as u64).sum();
-    if seen != total {
-        return Err(PersistError::StateMismatch {
-            detail: format!("header declares {total} trajectories, sections hold {seen}"),
-        });
-    }
     Ok(sections)
+}
+
+fn read_u64_at(body: &[u8], pos: usize) -> Option<u64> {
+    let bytes = body.get(pos..pos.checked_add(8)?)?;
+    Some(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+}
+
+/// Per-section trajectory counts plus every trajectory's byte span, in
+/// body order — the output of [`scan_sections`].
+type SectionScan = (Vec<usize>, Vec<(usize, usize)>);
+
+/// Walks the body reading only the length fields, returning each
+/// section's trajectory count and the byte span of every trajectory in
+/// body order. `None` if the declared lengths do not tile the body
+/// exactly — the sequential decoder then reports the canonical error.
+fn scan_sections(body: &[u8], shard_count: u32) -> Option<SectionScan> {
+    let mut pos = 0usize;
+    let mut counts = Vec::with_capacity(shard_count as usize);
+    let mut spans = Vec::new();
+    for _ in 0..shard_count {
+        let count = usize::try_from(read_u64_at(body, pos)?).ok()?;
+        pos += 8;
+        // Each trajectory consumes at least its 8-byte count field.
+        if count > (body.len() - pos) / 8 {
+            return None;
+        }
+        counts.push(count);
+        for _ in 0..count {
+            let points = usize::try_from(read_u64_at(body, pos)?).ok()?;
+            let len = 8usize.checked_add(points.checked_mul(StPoint::ENCODED_SIZE)?)?;
+            let end = pos.checked_add(len)?;
+            if end > body.len() {
+                return None;
+            }
+            spans.push((pos, end));
+            pos = end;
+        }
+    }
+    (pos == body.len()).then_some((counts, spans))
+}
+
+/// The parallel decode path: `None` means "use the sequential decoder"
+/// (small body, single core, malformed lengths, or a decode failure that
+/// must be re-reported with its canonical typed error).
+fn try_parallel_decode(body: &[u8], shard_count: u32) -> Option<Vec<Vec<Trajectory>>> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if workers < 2 {
+        return None;
+    }
+    let (counts, spans) = scan_sections(body, shard_count)?;
+    if spans.len() < PARALLEL_DECODE_MIN {
+        return None;
+    }
+    let chunk_len = spans.len().div_ceil(workers);
+    let decoded = std::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|&(start, end)| {
+                            Trajectory::decode(&mut ByteReader::new(&body[start..end])).ok()
+                        })
+                        .collect::<Option<Vec<_>>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("snapshot decode worker panicked"))
+            .collect::<Option<Vec<_>>>()
+    })?;
+    let mut flat = decoded.into_iter().flatten();
+    Some(
+        counts
+            .iter()
+            .map(|&c| flat.by_ref().take(c).collect())
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -226,12 +338,16 @@ mod tests {
         Trajectory::from_xy(&[(x, 0.0), (x + 1.0, 1.0)])
     }
 
+    fn refs<'a>(sections: &[&'a [Trajectory]]) -> Vec<Vec<&'a Trajectory>> {
+        sections.iter().map(|s| s.iter().collect()).collect()
+    }
+
     #[test]
     fn round_trips_sections_bit_exactly() {
         let dir = TempDir::new("snapshot-roundtrip");
         let s0 = vec![traj(0.0), traj(2.0)];
         let s1 = vec![traj(1.0)];
-        let path = write_snapshot(dir.path(), 3, &[&s0, &s1]).expect("write");
+        let path = write_snapshot(dir.path(), 3, &refs(&[&s0, &s1])).expect("write");
         assert!(path.ends_with("snapshot-00000003.snap"));
         let sections = load_snapshot(&path).expect("load");
         assert_eq!(sections, vec![s0, s1]);
@@ -240,14 +356,37 @@ mod tests {
     #[test]
     fn empty_store_snapshot_round_trips() {
         let dir = TempDir::new("snapshot-empty");
-        let path = write_snapshot(dir.path(), 0, &[&[]]).expect("write");
+        let path = write_snapshot(dir.path(), 0, &[Vec::new()]).expect("write");
         assert_eq!(load_snapshot(&path).expect("load"), vec![Vec::new()]);
+    }
+
+    #[test]
+    fn large_snapshot_round_trips_through_the_parallel_decoder() {
+        // Enough entries to clear PARALLEL_DECODE_MIN, so on multi-core
+        // hosts this exercises the boundary scan + worker decode path
+        // (and the sequential fallback elsewhere) with uneven sections
+        // and varied point counts.
+        let dir = TempDir::new("snapshot-parallel");
+        let many: Vec<Trajectory> = (0..PARALLEL_DECODE_MIN + 300)
+            .map(|i| {
+                let x = i as f64;
+                if i % 3 == 0 {
+                    Trajectory::from_xy(&[(x, 0.0), (x + 1.0, 1.0), (x + 2.0, 0.5)])
+                } else {
+                    traj(x)
+                }
+            })
+            .collect();
+        let (s0, s1) = many.split_at(PARALLEL_DECODE_MIN / 2 + 7);
+        let path = write_snapshot(dir.path(), 0, &refs(&[s0, s1])).expect("write");
+        let sections = load_snapshot(&path).expect("load");
+        assert_eq!(sections, vec![s0.to_vec(), s1.to_vec()]);
     }
 
     #[test]
     fn rejects_wrong_magic_and_future_version() {
         let dir = TempDir::new("snapshot-magic");
-        let path = write_snapshot(dir.path(), 0, &[&[traj(0.0)]]).expect("write");
+        let path = write_snapshot(dir.path(), 0, &[vec![&traj(0.0)]]).expect("write");
         let mut bytes = fs::read(&path).unwrap();
         let good = bytes.clone();
 
@@ -281,7 +420,7 @@ mod tests {
     #[test]
     fn every_truncation_is_typed() {
         let dir = TempDir::new("snapshot-trunc");
-        let path = write_snapshot(dir.path(), 0, &[&[traj(0.0), traj(1.0)]]).expect("write");
+        let path = write_snapshot(dir.path(), 0, &[vec![&traj(0.0), &traj(1.0)]]).expect("write");
         let bytes = fs::read(&path).unwrap();
         for cut in 0..bytes.len() {
             fs::write(&path, &bytes[..cut]).unwrap();
@@ -299,7 +438,7 @@ mod tests {
     #[test]
     fn every_body_bit_flip_is_a_checksum_error() {
         let dir = TempDir::new("snapshot-flip");
-        let path = write_snapshot(dir.path(), 0, &[&[traj(0.0)]]).expect("write");
+        let path = write_snapshot(dir.path(), 0, &[vec![&traj(0.0)]]).expect("write");
         let bytes = fs::read(&path).unwrap();
         for byte in SNAPSHOT_HEADER_LEN..bytes.len() - 4 {
             let mut flipped = bytes.clone();

@@ -72,7 +72,7 @@ proptest! {
             sections[g % shards].push(edge_trajectory(2 + g % 7, offset + g));
         }
         let dir = TempDir::new("codec-snapshot");
-        let refs: Vec<&[Trajectory]> = sections.iter().map(|s| s.as_slice()).collect();
+        let refs: Vec<Vec<&Trajectory>> = sections.iter().map(|s| s.iter().collect()).collect();
         write_snapshot(dir.path(), 3, &refs).expect("write");
         let back = load_snapshot(&dir.path().join(snapshot_file_name(3)))
             .expect("load");
@@ -85,7 +85,7 @@ proptest! {
 #[test]
 fn empty_store_round_trips() {
     let dir = TempDir::new("codec-empty");
-    let empty: Vec<&[Trajectory]> = vec![&[], &[], &[]];
+    let empty: Vec<Vec<&Trajectory>> = vec![Vec::new(), Vec::new(), Vec::new()];
     write_snapshot(dir.path(), 0, &empty).expect("write");
     let back = load_snapshot(&dir.path().join(snapshot_file_name(0))).expect("load");
     assert_eq!(back.len(), 3);

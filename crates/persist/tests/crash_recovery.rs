@@ -147,7 +147,7 @@ fn bit_flips_in_the_snapshot_are_typed_refusals() {
     // is nontrivial.
     let (rec, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
     let all = rec.trajs;
-    engine.compact(&[&all]).expect("compact");
+    engine.compact(&[all.iter().collect()]).expect("compact");
     drop(engine);
 
     let snap_path = dir.path().join(snapshot_file_name(1));
@@ -213,7 +213,7 @@ fn empty_wal_file_recreation_does_not_lose_the_snapshot() {
     let (dir, _) = populated_dir(2, "wal-zero-len");
     let (rec, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
     let all = rec.trajs.clone();
-    engine.compact(&[&all]).expect("compact");
+    engine.compact(&[all.iter().collect()]).expect("compact");
     drop(engine);
     // Zero-length WAL: torn during creation, before the header landed.
     let wal_path = dir.path().join(wal_file_name(1));

@@ -66,8 +66,8 @@ pub use traj_dist::{
 pub use traj_gen::{GenConfig, TrajGen};
 pub use traj_index::{
     BatchQueryBuilder, BatchQueryResult, DurabilityConfig, FsyncPolicy, Neighbor, PersistError,
-    QueryBuilder, QueryResult, QueryStats, Session, SessionBuilder, Snapshot, TrajId, TrajStore,
-    TrajTree, TrajTreeConfig,
+    QueryBuilder, QueryResult, QueryStats, Session, SessionBuilder, ShardOccupancy, Snapshot,
+    TrajId, TrajStore, TrajTree, TrajTreeConfig,
 };
 
 /// Metric helpers (precision, recall, reciprocal rank, pruning summaries).
@@ -203,6 +203,7 @@ mod tests {
             type_name::<Segment>(),
             type_name::<Session>(),
             type_name::<SessionBuilder>(),
+            type_name::<ShardOccupancy>(),
             type_name::<Snapshot>(),
             type_name::<StBox>(),
             type_name::<StPoint>(),
@@ -221,7 +222,7 @@ mod tests {
         ];
         assert_eq!(
             types.len(),
-            35,
+            36,
             "type surface changed — update the snapshot"
         );
 
