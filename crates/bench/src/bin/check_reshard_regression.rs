@@ -1,0 +1,129 @@
+//! Regression guard over `lifecycle_ops` bench results.
+//!
+//! Reads the JSON summary the vendored criterion shim writes to
+//! `target/bench-results/lifecycle_ops.json` and asserts that online
+//! resharding keeps its reason to exist: `reshard/4` (re-deal the live
+//! set from memory, rebuild trees, one logged record, one epoch swap)
+//! must cost at most `factor ×` a `full_rebuild/4` (drop the session and
+//! reopen the same database cold — snapshot decode, WAL replay, the same
+//! tree build). Both rows land on an identical 4-shard layout over the
+//! same live set, so their means compare directly. If the online path
+//! drifts up to the cold path's cost, callers may as well bounce the
+//! process — the whole point of `Session::reshard` is gone.
+//!
+//! Usage: `cargo run -p traj-bench --bin check_reshard_regression [path]`.
+//! Without an argument the file is located via `CARGO_TARGET_DIR` or by
+//! walking up from the current directory to the workspace `Cargo.lock`.
+//! `TRAJ_RESHARD_FACTOR` overrides the required cost ceiling (default
+//! 0.5 — online must be at least twice as fast; CI's 1 ms-budget smoke
+//! runs are noisy and may set a looser value). Exits 1 with the measured
+//! ratio on failure.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const DEFAULT_FACTOR: f64 = 0.5;
+
+fn main() -> ExitCode {
+    let path = match std::env::args().nth(1).map(PathBuf::from) {
+        Some(p) => p,
+        None => match locate_results() {
+            Some(p) => p,
+            None => {
+                eprintln!(
+                    "check_reshard_regression: could not locate \
+                     target/bench-results/lifecycle_ops.json; run \
+                     `cargo bench -p traj-bench --bench lifecycle_ops` first \
+                     or pass the path explicitly"
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "check_reshard_regression: cannot read {}: {e}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let factor = match std::env::var("TRAJ_RESHARD_FACTOR") {
+        Ok(s) => match s.parse::<f64>() {
+            Ok(v) if v.is_finite() && v > 0.0 => v,
+            _ => {
+                eprintln!("check_reshard_regression: invalid TRAJ_RESHARD_FACTOR {s:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => DEFAULT_FACTOR,
+    };
+
+    println!(
+        "checking {} (required ceiling {factor}x of a cold rebuild)",
+        path.display()
+    );
+    let reshard = mean_ns(&text, "reshard", "4");
+    let rebuild = mean_ns(&text, "full_rebuild", "4");
+    let (reshard, rebuild) = match (reshard, rebuild) {
+        (Some(s), Some(b)) => (s, b),
+        _ => {
+            eprintln!("FAIL: missing reshard/4 or full_rebuild/4 entry in results file");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ratio = reshard / rebuild;
+    let verdict = if ratio <= factor { "ok  " } else { "FAIL" };
+    println!(
+        "{verdict} online reshard {:.3} ms vs cold rebuild {:.3} ms \
+         (ratio {ratio:.2}x, ceiling {factor}x)",
+        reshard / 1e6,
+        rebuild / 1e6,
+    );
+    if ratio <= factor {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("check_reshard_regression: online reshard lost its edge over a cold rebuild");
+        ExitCode::FAILURE
+    }
+}
+
+/// Pull `mean_ns` for `lifecycle_ops/<row>/<param>` out of the summary
+/// JSON. The shim writes one flat `{"name": ..., "mean_ns": ...}` object
+/// per line, so a keyed scan is enough — no JSON dependency needed.
+fn mean_ns(text: &str, row: &str, param: &str) -> Option<f64> {
+    let name = format!("\"lifecycle_ops/{row}/{param}\"");
+    let line = text.lines().find(|l| l.contains(&name))?;
+    let rest = line.split("\"mean_ns\":").nth(1)?;
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+/// `$CARGO_TARGET_DIR/bench-results/lifecycle_ops.json`, or the same
+/// under `<workspace root>/target` found by walking up to a `Cargo.lock` —
+/// mirroring how the criterion shim picks its output directory.
+fn locate_results() -> Option<PathBuf> {
+    let rel = Path::new("bench-results").join("lifecycle_ops.json");
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        let p = Path::new(&dir).join(&rel);
+        if p.is_file() {
+            return Some(p);
+        }
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            let p = dir.join("target").join(&rel);
+            return p.is_file().then_some(p);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

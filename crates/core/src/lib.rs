@@ -43,6 +43,14 @@ pub use stpoint::StPoint;
 pub use total::TotalF64;
 pub use trajectory::Trajectory;
 
+/// Identifier of a trajectory in a database's global id space. Ids are
+/// issued by a monotone watermark in ingestion order and are **never
+/// reused**: removing a trajectory retires its id forever, so an id
+/// observed in any query result names the same trajectory for the
+/// lifetime of the database. Lives here (rather than in `traj-index`)
+/// so the storage layer's typed WAL records can name trajectories too.
+pub type TrajId = u32;
+
 /// Absolute tolerance used for floating-point comparisons in tests and
 /// tie-breaking guards throughout the workspace.
 pub const EPSILON: f64 = 1e-9;

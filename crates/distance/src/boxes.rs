@@ -92,6 +92,22 @@ impl BoxSeq {
         Some(seq)
     }
 
+    /// Builds a tBoxSeq directly from a box sequence — the roll-up
+    /// constructor for summaries-of-summaries. Every admissible lower
+    /// bound over a tBoxSeq ([`edwp_lower_bound_boxes`] and friends)
+    /// depends only on the *coverage* invariant — each summarised
+    /// trajectory's polyline lies inside the union of the boxes — and
+    /// takes a minimum over all boxes per query segment, so concatenating
+    /// the box sequences of several child summaries (and optionally
+    /// [`BoxSeq::coalesce`]-ing, which only unions boxes) yields a valid
+    /// summary of their combined member sets without re-aligning a single
+    /// trajectory. The sequence *order* only matters to the construction
+    /// alignment ([`BoxSeq::merge_trajectory`] / [`edwp_sub_boxes`]),
+    /// where a coarser order costs summary quality, never correctness.
+    pub fn from_boxes(boxes: Vec<StBox>) -> Self {
+        BoxSeq { boxes }
+    }
+
     /// The boxes in sequence order.
     #[inline]
     pub fn boxes(&self) -> &[StBox] {

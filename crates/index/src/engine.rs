@@ -55,7 +55,7 @@ use crate::cache::{BoundCache, BoundEntry};
 use crate::store::{TrajId, TrajStore};
 use crate::tree::{Node, TrajTree};
 use std::cmp::Ordering as CmpOrdering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use traj_core::{StBox, TotalF64, Trajectory};
 use traj_dist::{edwp_lower_bound_aabb_batch, BoxSeq, Cutoff, EdwpScratch, Metric, QueryMode};
@@ -401,29 +401,57 @@ pub(crate) fn sort_neighbors(mut neighbors: Vec<Neighbor>) -> Vec<Neighbor> {
 }
 
 /// One shard as the engine sees it — the immutable base (`tree` over
-/// `store`) plus the delta buffer the tree does not cover — and the
-/// routing parameters that map its local ids back to global ids
-/// (`local * stride + shard`, the inverse of the id-hash router). Delta
-/// members occupy the local ids `store.len() ..` in buffer order.
+/// `store`) plus the delta buffer the tree does not cover — and the id
+/// bookkeeping that maps its dense local ids back to global ids and marks
+/// tombstoned members. Delta members occupy the local ids `store.len() ..`
+/// in buffer order.
+///
+/// `globals` is the ascending global id of each base slot (`None` for the
+/// borrowed single-store path, whose local ids *are* the global ids);
+/// `dead` is the shard's tombstone set (`None` when nothing was ever
+/// removed). Node summaries still cover dead members — a superset bound
+/// is admissible — so the traversal consults `is_dead` only where a
+/// member could actually reach a collector: leaf refinement, delta
+/// seeding, and the brute-scan fallback.
 pub(crate) struct SearchView<'v> {
     pub(crate) tree: &'v TrajTree,
     pub(crate) store: &'v TrajStore,
-    pub(crate) delta: &'v [Trajectory],
+    pub(crate) delta: &'v [(TrajId, Trajectory)],
+    pub(crate) globals: Option<&'v [TrajId]>,
+    pub(crate) dead: Option<&'v BTreeSet<TrajId>>,
     pub(crate) shard: usize,
-    pub(crate) stride: usize,
 }
 
 impl SearchView<'_> {
     /// The global id of this view's local id.
     #[inline]
     pub(crate) fn global(&self, local: TrajId) -> TrajId {
-        crate::shard::global_of(self.shard, local, self.stride)
+        let base = self.store.len() as TrajId;
+        if local < base {
+            match self.globals {
+                Some(g) => g[local as usize],
+                None => local,
+            }
+        } else {
+            self.delta[(local - base) as usize].0
+        }
     }
 
-    /// Total trajectories this view answers over (base + delta).
+    /// **Live** trajectories this view answers over (base + delta minus
+    /// tombstones).
     #[inline]
     pub(crate) fn len(&self) -> usize {
-        self.store.len() + self.delta.len()
+        self.store.len() + self.delta.len() - self.dead.map_or(0, |d| d.len())
+    }
+
+    /// Whether the member at `local` is tombstoned (must be skipped at
+    /// refinement — it can never be offered to a collector).
+    #[inline]
+    pub(crate) fn is_dead(&self, local: TrajId) -> bool {
+        match self.dead {
+            Some(dead) => dead.contains(&self.global(local)),
+            None => false,
+        }
     }
 
     /// The trajectory at `local`, whichever side of the base/delta split
@@ -434,7 +462,7 @@ impl SearchView<'_> {
         if local < base {
             self.store.get(local)
         } else {
-            &self.delta[(local - base) as usize]
+            &self.delta[(local - base) as usize].1
         }
     }
 }
@@ -635,15 +663,18 @@ pub(crate) fn best_first<C: Collector>(
                 QueueItem::Node(root, vi as u32),
             );
         }
-        // Delta members are invisible to the tree: seed each one directly
-        // as a per-trajectory candidate under its (admissible) polyline
-        // bound. From here they compete in the same queue under the same
-        // threshold and the same exact-distance refinement as tree-routed
-        // candidates, so a shard mid-delta answers bitwise identically to
-        // one whose tree covers everything. Never routed through the bound
-        // cache — cache keys are stable *node* ids.
+        // Delta members are invisible to the tree: seed each live one
+        // directly as a per-trajectory candidate under its (admissible)
+        // polyline bound. From here they compete in the same queue under
+        // the same threshold and the same exact-distance refinement as
+        // tree-routed candidates, so a shard mid-delta answers bitwise
+        // identically to one whose tree covers everything. Never routed
+        // through the bound cache — cache keys are stable *node* ids.
         let base = view.store.len() as TrajId;
-        for (di, t) in view.delta.iter().enumerate() {
+        for (di, (gid, t)) in view.delta.iter().enumerate() {
+            if view.dead.is_some_and(|d| d.contains(gid)) {
+                continue;
+            }
             stats.bump_bounds();
             let lb = metric.lower_bound_trajectory(mode, query, t, collector.cutoff(), scratch);
             push(
@@ -751,6 +782,13 @@ pub(crate) fn best_first<C: Collector>(
                     }
                     Node::Leaf { ids, .. } => {
                         for &id in ids {
+                            // Tombstoned members still sit in the tree (the
+                            // base is immutable until the next reshard or
+                            // fold); skip them here so they never become
+                            // candidates.
+                            if view.is_dead(id) {
+                                continue;
+                            }
                             stats.bump_bounds();
                             // Tighter per-trajectory refinement: exact
                             // segment-to-polyline distances instead of box

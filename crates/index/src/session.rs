@@ -61,8 +61,9 @@ use crate::engine::{
 use crate::shard::{shard_of, Shard, Snapshot};
 use crate::store::{TrajId, TrajStore};
 use crate::tree::{TrajTree, TrajTreeConfig};
+use std::collections::BTreeSet;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use traj_core::{TrajError, Trajectory};
 use traj_dist::{EdwpScratch, Metric, QueryMode};
@@ -144,8 +145,9 @@ impl Source<'_> {
                 tree,
                 store,
                 delta: &[],
+                globals: None,
+                dead: None,
                 shard: 0,
-                stride: 1,
             }],
             Source::Sharded(snap) => snap
                 .shards
@@ -155,8 +157,9 @@ impl Source<'_> {
                     tree: s.tree(),
                     store: s.base(),
                     delta: s.delta(),
+                    globals: Some(s.base_globals()),
+                    dead: (!s.dead().is_empty()).then(|| s.dead()),
                     shard,
-                    stride: snap.shards.len(),
                 })
                 .collect(),
         }
@@ -170,14 +173,59 @@ impl Source<'_> {
 /// insert under held snapshots would otherwise pay every time.
 const DELTA_MERGE_THRESHOLD: usize = 32;
 
-/// The full logical contents of an epoch as per-shard borrow sections, in
-/// shard order with each section in local-id order (base then delta) —
-/// what the storage engine's compaction writes.
-fn shard_sections(snap: &Snapshot) -> Vec<Vec<&Trajectory>> {
+/// The full **live** contents of an epoch as per-shard borrow sections, in
+/// shard order with each section ascending by global id (base survivors,
+/// then delta survivors) — what the storage engine's compaction writes.
+/// Tombstoned members are simply absent: compaction is where a removal
+/// stops costing disk space.
+fn shard_sections(snap: &Snapshot) -> Vec<Vec<(TrajId, &Trajectory)>> {
     snap.shards
         .iter()
-        .map(|s| s.base().as_slice().iter().chain(s.delta().iter()).collect())
+        .map(|s| s.live_pairs().collect())
         .collect()
+}
+
+/// Deals `(global id, trajectory)` pairs across `n` shards by the id-hash
+/// router and STR-bulk-loads one tree per shard — on one scoped worker
+/// thread per shard when there is more than one, since the bulk loads are
+/// independent (and deterministic, so the parallel build is bit-identical
+/// to the sequential one). The shared unit of [`SessionBuilder::build`],
+/// [`SessionBuilder::open`] and [`Session::reshard`]. `rollup` picks the
+/// per-tree internal-summary strategy: offline builds pass `false` (full
+/// merge-DP summaries); online resharding passes `true` (child summaries
+/// rolled up — a fraction of the cost, identical results, marginally
+/// coarser internal pruning until the next offline build).
+fn build_shards(
+    pairs: Vec<(TrajId, Trajectory)>,
+    n: usize,
+    config: &TrajTreeConfig,
+    rollup: bool,
+) -> Vec<Arc<Shard>> {
+    debug_assert!(n >= 1, "the shard count is clamped before routing");
+    let mut parts: Vec<Vec<(TrajId, Trajectory)>> = (0..n).map(|_| Vec::new()).collect();
+    for (gid, t) in pairs {
+        parts[shard_of(gid, n)].push((gid, t));
+    }
+    if n > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|part| {
+                    let config = config.clone();
+                    scope.spawn(move || Arc::new(Shard::bulk(part, config, rollup)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard bulk-load worker panicked"))
+                .collect()
+        })
+    } else {
+        parts
+            .into_iter()
+            .map(|part| Arc::new(Shard::bulk(part, config.clone(), rollup)))
+            .collect()
+    }
 }
 
 /// A sharded trajectory database, its per-shard TrajTree indexes and
@@ -220,7 +268,12 @@ pub struct Session {
     /// writers swap in the next epoch under the write lock — held only
     /// for the in-memory apply + publish, never across disk I/O.
     shards: RwLock<Arc<Vec<Arc<Shard>>>>,
-    num_shards: usize,
+    /// Watermark the next insert's global id is issued from — monotone,
+    /// so ids are never reused: once a trajectory is removed its id is
+    /// retired forever. Mutated only under the writer lock (the atomic is
+    /// for lock-free reads; `Relaxed` suffices since the writer lock
+    /// orders every mutation).
+    next_id: AtomicU32,
     config: TrajTreeConfig,
     scratch: EdwpScratch,
     /// Delta-merge threshold: a shard folds its delta buffer into its
@@ -257,7 +310,7 @@ impl Clone for Session {
     fn clone(&self) -> Self {
         Session {
             shards: RwLock::new(self.snapshot().shards),
-            num_shards: self.num_shards,
+            next_id: AtomicU32::new(self.next_id.load(Ordering::Relaxed)),
             config: self.config.clone(),
             scratch: EdwpScratch::new(),
             delta_threshold: self.delta_threshold,
@@ -292,10 +345,11 @@ impl Session {
     /// index searches).
     pub fn from_parts(store: TrajStore, tree: TrajTree) -> Self {
         let config = tree.config().clone();
+        let next_id = store.len() as u32;
         let shard = Arc::new(Shard::from_parts(store, tree));
         Session {
             shards: RwLock::new(Arc::new(vec![shard])),
-            num_shards: 1,
+            next_id: AtomicU32::new(next_id),
             config,
             scratch: EdwpScratch::new(),
             delta_threshold: DELTA_MERGE_THRESHOLD,
@@ -304,9 +358,11 @@ impl Session {
         }
     }
 
-    /// Releases the database as one [`TrajStore`] in global-id order (e.g.
-    /// to rebuild with another configuration or shard count). Trajectories
-    /// still shared with outstanding snapshots are cloned.
+    /// Releases the **live** database as one [`TrajStore`] in global-id
+    /// order (e.g. to rebuild with another configuration or shard count).
+    /// Trajectories still shared with outstanding snapshots are cloned.
+    /// Store ids are dense `0..len` — any holes removal punched in the
+    /// session's id space are closed, so ids shift when removals happened.
     pub fn into_store(self) -> TrajStore {
         let shards = self.shards.into_inner().expect("shard epoch lock poisoned");
         let snap = Snapshot { shards };
@@ -367,17 +423,20 @@ impl Session {
     /// epoch publication over the whole batch.
     pub fn insert(&self, t: Trajectory) -> Result<TrajId, TrajError> {
         let _writer = self.writer.lock().expect("session writer lock poisoned");
-        let id = self.len() as TrajId;
+        let id = self.next_id.load(Ordering::Relaxed);
         self.log_and_maybe_compact(std::slice::from_ref(&t))?;
         let mut guard = self.shards.write().expect("shard epoch lock poisoned");
+        let n = guard.len();
         let state = Arc::make_mut(&mut *guard);
-        let shard = Arc::make_mut(&mut state[shard_of(id, self.num_shards)]);
-        shard.insert(t, self.delta_threshold);
+        let shard = Arc::make_mut(&mut state[shard_of(id, n)]);
+        shard.insert(id, t, self.delta_threshold);
+        drop(guard);
+        self.next_id.store(id + 1, Ordering::Relaxed);
         Ok(id)
     }
 
-    /// Adds a whole batch of trajectories, returning their (dense,
-    /// consecutive) global ids — the bulk-ingestion fast path.
+    /// Adds a whole batch of trajectories, returning their consecutive
+    /// global ids — the bulk-ingestion fast path.
     ///
     /// Same consistency and durability contracts as [`Session::insert`],
     /// with the costs amortised over the batch:
@@ -399,15 +458,18 @@ impl Session {
             return Ok(Vec::new());
         }
         let _writer = self.writer.lock().expect("session writer lock poisoned");
-        let base = self.len() as TrajId;
+        let base = self.next_id.load(Ordering::Relaxed);
         self.log_and_maybe_compact(&batch)?;
         let ids: Vec<TrajId> = (0..batch.len() as TrajId).map(|i| base + i).collect();
-        // Route by destination shard; dense ids keep each sub-batch in
-        // local-id order, so a sequential apply per shard reproduces the
-        // single-insert loop exactly.
-        let mut routed: Vec<Vec<Trajectory>> = (0..self.num_shards).map(|_| Vec::new()).collect();
+        // Route by destination shard. The shard count is stable here: only
+        // `reshard` changes it and it also takes the writer lock, so a
+        // momentary epoch read gives this batch's routing denominator.
+        let n = self.shards.read().expect("shard epoch lock poisoned").len();
+        // Consecutive ids keep each sub-batch ascending, so a sequential
+        // apply per shard reproduces the single-insert loop exactly.
+        let mut routed: Vec<Vec<(TrajId, Trajectory)>> = (0..n).map(|_| Vec::new()).collect();
         for (t, &id) in batch.into_iter().zip(&ids) {
-            routed[shard_of(id, self.num_shards)].push(t);
+            routed[shard_of(id, n)].push((id, t));
         }
         let threshold = self.delta_threshold;
         let mut guard = self.shards.write().expect("shard epoch lock poisoned");
@@ -425,8 +487,8 @@ impl Session {
                     }
                     let shard = Arc::make_mut(shard);
                     scope.spawn(move || {
-                        for t in sub {
-                            shard.insert(t, threshold);
+                        for (id, t) in sub {
+                            shard.insert(id, t, threshold);
                         }
                     });
                 }
@@ -437,12 +499,129 @@ impl Session {
                     continue;
                 }
                 let shard = Arc::make_mut(shard);
-                for t in sub {
-                    shard.insert(t, threshold);
+                for (id, t) in sub {
+                    shard.insert(id, t, threshold);
                 }
             }
         }
+        drop(guard);
+        self.next_id
+            .store(base + ids.len() as u32, Ordering::Relaxed);
         Ok(ids)
+    }
+
+    /// Removes the trajectory with global id `id` from the database — the
+    /// lifecycle counterpart of [`Session::insert`]. The member is
+    /// **tombstoned**: immediately invisible to every query, lookup and
+    /// iteration on epochs taken after this returns, while epochs taken
+    /// before keep answering from their original contents. The id is
+    /// retired forever — ids are watermark-issued and never reused, so a
+    /// removed id stays [`TrajError::UnknownId`] for the rest of the
+    /// database's life. Physical space is reclaimed lazily: a delta-buffer
+    /// member is dropped at the next fold, an indexed member at the next
+    /// [`Session::compact`] (disk) / [`Session::reshard`] (memory) —
+    /// results are exact either way, since traversals skip tombstones at
+    /// refinement.
+    ///
+    /// Errors with [`TrajError::UnknownId`] (and changes nothing) when
+    /// `id` is not live. On a durable session the tombstone is logged to
+    /// the write-ahead log before the new epoch is published, under the
+    /// same log-then-publish contract as inserts: once `remove` returns
+    /// `Ok`, a crash-and-reopen no longer contains the trajectory.
+    pub fn remove(&self, id: TrajId) -> Result<(), TrajError> {
+        self.remove_batch(std::slice::from_ref(&id))
+    }
+
+    /// Removes a whole batch of trajectories in one atomic, group-committed
+    /// step — same contracts as [`Session::remove`], with the WAL fsync
+    /// (one tombstone group) and the epoch publication amortised over the
+    /// batch.
+    ///
+    /// All-or-nothing: if any id is not live — never issued, already
+    /// removed, or repeated within `ids` — the call errors with
+    /// [`TrajError::UnknownId`] for the offending id and **no** trajectory
+    /// is removed, in memory or on disk.
+    pub fn remove_batch(&self, ids: &[TrajId]) -> Result<(), TrajError> {
+        if ids.is_empty() {
+            return Ok(());
+        }
+        let _writer = self.writer.lock().expect("session writer lock poisoned");
+        let snap = self.snapshot();
+        let n = snap.num_shards();
+        // Validate up front so the WAL never sees a tombstone that could
+        // fail to apply (replay treats tombstone-of-non-live as
+        // corruption). A duplicate in the batch is the same offence: the
+        // second occurrence tombstones an id that is no longer live.
+        let mut seen = BTreeSet::new();
+        for &id in ids {
+            if !seen.insert(id) || snap.try_get(id).is_err() {
+                return Err(TrajError::UnknownId {
+                    id,
+                    len: snap.len(),
+                });
+            }
+        }
+        self.log_tombstones(ids)?;
+        let mut guard = self.shards.write().expect("shard epoch lock poisoned");
+        let state = Arc::make_mut(&mut *guard);
+        for &id in ids {
+            let shard = Arc::make_mut(&mut state[shard_of(id, n)]);
+            let removed = shard.remove(id);
+            debug_assert!(removed, "validated live against the same epoch above");
+        }
+        Ok(())
+    }
+
+    /// Rebalances the database across `shards` shards (clamped to at
+    /// least 1) **online**: held [`Snapshot`]s and in-flight queries keep
+    /// answering from the old layout while the new one is built, and the
+    /// switch is one atomic epoch publication. Queries are bitwise
+    /// identical before, during and after — the shard count is invisible
+    /// in results — and global ids are stable across the move (unlike
+    /// [`Session::into_store`] round-trips, which re-densify).
+    ///
+    /// This is a rebuild of the *live* set, not a full-database rebuild
+    /// plus replay: live trajectories are re-dealt by the id-hash router
+    /// and one tree per shard is STR-bulk-loaded on parallel workers —
+    /// with **rolled-up internal summaries** (child tBoxSeqs concatenated
+    /// and coalesced instead of re-aligning every trajectory at every
+    /// level), so the rebalance costs a fraction of a cold
+    /// [`SessionBuilder::build`]. Rolled-up summaries still cover every
+    /// member, so answers stay exact; only internal-node pruning is
+    /// marginally coarser until the next offline build (a reopen)
+    /// re-derives full-quality summaries. Resharding to the **current**
+    /// count is deliberately not a no-op: it folds every delta buffer and
+    /// evicts every tombstone from memory, so
+    /// `session.reshard(session.num_shards())` doubles as an in-memory
+    /// vacuum.
+    ///
+    /// On a durable session the move is logged as one `Reshard` record
+    /// (after compacting first if the log is over its threshold), so a
+    /// crash at any point recovers either the old or the new layout —
+    /// never a mix — and a plain [`SessionBuilder::open`] without
+    /// `.shards(..)` reopens with the new count.
+    pub fn reshard(&self, shards: usize) -> Result<(), TrajError> {
+        let n = shards.max(1);
+        let _writer = self.writer.lock().expect("session writer lock poisoned");
+        let snap = self.snapshot();
+        let pairs: Vec<(TrajId, Trajectory)> =
+            snap.iter().map(|(gid, t)| (gid, t.clone())).collect();
+        let built = build_shards(pairs, n, &self.config, true);
+        // Durable half, off the epoch lock: the old layout is compacted
+        // first if due (its snapshot still describes the published epoch),
+        // then the layout change becomes one logged record. Log then
+        // publish, as everywhere: an `Err` here leaves memory and disk on
+        // the old layout.
+        if let Some(engine) = &self.durable {
+            let mut engine = engine.lock().expect("storage engine lock poisoned");
+            if engine.needs_compaction() {
+                engine.compact(&shard_sections(&snap))?;
+            }
+            engine.append_reshard(n as u32)?;
+        }
+        let mut guard = self.shards.write().expect("shard epoch lock poisoned");
+        *guard = Arc::new(built);
+        Ok(())
     }
 
     /// The durable half of a write, run under the writer lock but *off*
@@ -460,6 +639,23 @@ impl Session {
             engine.compact(&shard_sections(&snap))?;
         }
         engine.append_group(batch)?;
+        Ok(())
+    }
+
+    /// The durable half of a removal — [`Session::log_and_maybe_compact`]
+    /// for tombstones: compacts first if the log is over its threshold,
+    /// then appends the whole batch as one tombstone group (one fsync).
+    /// No-op for in-memory sessions.
+    fn log_tombstones(&self, ids: &[TrajId]) -> Result<(), TrajError> {
+        let Some(engine) = &self.durable else {
+            return Ok(());
+        };
+        let mut engine = engine.lock().expect("storage engine lock poisoned");
+        if engine.needs_compaction() {
+            let snap = self.snapshot();
+            engine.compact(&shard_sections(&snap))?;
+        }
+        engine.append_tombstones(ids)?;
         Ok(())
     }
 
@@ -519,19 +715,22 @@ impl Session {
         }
     }
 
-    /// Number of indexed trajectories (current epoch).
+    /// Number of **live** trajectories (current epoch) — removed
+    /// trajectories are not counted, though their ids stay retired.
     pub fn len(&self) -> usize {
         self.snapshot().len()
     }
 
-    /// `true` when the session holds no trajectories.
+    /// `true` when the session holds no live trajectories.
     pub fn is_empty(&self) -> bool {
         self.snapshot().is_empty()
     }
 
-    /// Number of shards the database is partitioned across.
+    /// Number of shards the database is currently partitioned across —
+    /// fixed at build/open time until a [`Session::reshard`] publishes a
+    /// new layout.
     pub fn num_shards(&self) -> usize {
-        self.num_shards
+        self.shards.read().expect("shard epoch lock poisoned").len()
     }
 
     /// The tree configuration every shard was built with.
@@ -642,16 +841,30 @@ impl SessionBuilder {
         let (recovered, engine) = StorageEngine::open(dir.as_ref(), self.durability)?;
         let stored_shards = recovered.snapshot_shards.max(1);
         let shards = self.shards.unwrap_or(stored_shards);
-        let builder = SessionBuilder {
-            shards: Some(shards),
-            ..self
+        if self.force_scalar {
+            traj_dist::force_isa(traj_dist::Isa::Scalar);
+        }
+        // The recovered set is the live set with its original (possibly
+        // holey) global ids — removals and reshards were replayed — so the
+        // session is built straight from the pairs, watermark included.
+        let session = Session {
+            shards: RwLock::new(Arc::new(build_shards(
+                recovered.trajs,
+                shards,
+                &self.config,
+                false,
+            ))),
+            next_id: AtomicU32::new(recovered.next_id as u32),
+            config: self.config,
+            scratch: EdwpScratch::new(),
+            delta_threshold: self.delta_threshold.unwrap_or(DELTA_MERGE_THRESHOLD),
+            writer: Mutex::new(()),
+            durable: Some(Mutex::new(engine)),
         };
-        let mut session = builder.build(TrajStore::from(recovered.trajs));
-        session.durable = Some(Mutex::new(engine));
-        // The shard count reaches disk only through a snapshot, so when
-        // the caller picked a layout the stored snapshot doesn't have,
-        // write one now — a later `open` without `.shards(..)` then reopens
-        // with this layout, as documented.
+        // The shard count reaches disk only through a snapshot or a
+        // Reshard record, so when the caller picked a layout the store
+        // doesn't have, write a snapshot now — a later `open` without
+        // `.shards(..)` then reopens with this layout, as documented.
         if shards != stored_shards {
             session.compact()?;
         }
@@ -701,33 +914,17 @@ impl SessionBuilder {
         if force_scalar {
             traj_dist::force_isa(traj_dist::Isa::Scalar);
         }
-        let mut parts: Vec<Vec<Trajectory>> = (0..n).map(|_| Vec::new()).collect();
-        for (i, t) in store.into_vec().into_iter().enumerate() {
-            parts[i % n].push(t);
-        }
-        let shards: Vec<Arc<Shard>> = if n > 1 {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = parts
-                    .into_iter()
-                    .map(|part| {
-                        let config = config.clone();
-                        scope.spawn(move || Arc::new(Shard::bulk(part, config)))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard bulk-load worker panicked"))
-                    .collect()
-            })
-        } else {
-            parts
-                .into_iter()
-                .map(|part| Arc::new(Shard::bulk(part, config.clone())))
-                .collect()
-        };
+        let pairs: Vec<(TrajId, Trajectory)> = store
+            .into_vec()
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (i as TrajId, t))
+            .collect();
+        let next_id = pairs.len() as u32;
+        let shards = build_shards(pairs, n, &config, false);
         Session {
             shards: RwLock::new(Arc::new(shards)),
-            num_shards: n,
+            next_id: AtomicU32::new(next_id),
             config,
             scratch: EdwpScratch::new(),
             delta_threshold: delta_threshold.unwrap_or(DELTA_MERGE_THRESHOLD),
@@ -1408,8 +1605,13 @@ fn drive<C: Collector>(
                 .delta
                 .iter()
                 .enumerate()
-                .map(|(i, t)| (base + i as TrajId, t));
+                .map(|(i, (_, t))| (base + i as TrajId, t));
             for (local, t) in view.store.iter().chain(delta) {
+                // The reference scan honours tombstones the same way the
+                // index does: a dead member is never evaluated or offered.
+                if view.is_dead(local) {
+                    continue;
+                }
                 stats.bump_edwp();
                 collector.offer(
                     view.global(local),
@@ -1538,6 +1740,157 @@ mod tests {
             assert_eq!(sharded.query(&q).knn(5).neighbors, want_knn.neighbors);
             let batch = sharded.batch(std::slice::from_ref(&q)).threads(4).knn(5);
             assert_eq!(batch.neighbors[0], want_knn.neighbors);
+        }
+    }
+
+    #[test]
+    fn remove_tombstones_and_retires_the_id() {
+        let session = Session::builder().shards(3).build(two_cluster_store());
+        assert_eq!(session.len(), 20);
+        session.remove(7).expect("live id");
+        assert_eq!(session.len(), 19);
+        let snap = session.snapshot();
+        assert!(snap.try_get(7).is_err(), "removed ids stop resolving");
+        assert!(!snap.iter().any(|(g, _)| g == 7));
+        // Queries skip the dead member on every path.
+        let q = snap.get(6).clone();
+        for parallel in [false, true] {
+            let res = snap.query(&q).parallel_scatter(parallel).knn(20);
+            assert_eq!(res.neighbors.len(), 19);
+            assert!(res.neighbors.iter().all(|nb| nb.id != 7));
+        }
+        let brute = snap.query(&q).brute_force().knn(20);
+        assert!(brute.neighbors.iter().all(|nb| nb.id != 7));
+        // The id is retired: the next insert gets a fresh watermark id,
+        // and removing 7 again is an error.
+        let id = session
+            .insert(Trajectory::from_xy(&[(1.0, 1.0), (2.0, 2.0)]))
+            .expect("in-memory insert");
+        assert_eq!(id, 20, "ids are never reused");
+        assert_eq!(
+            session.remove(7).unwrap_err(),
+            TrajError::UnknownId { id: 7, len: 20 }
+        );
+    }
+
+    #[test]
+    fn remove_batch_is_all_or_nothing() {
+        let session = Session::builder().shards(2).build(two_cluster_store());
+        // Unknown member poisons the whole batch.
+        assert_eq!(
+            session.remove_batch(&[3, 99]).unwrap_err(),
+            TrajError::UnknownId { id: 99, len: 20 }
+        );
+        assert_eq!(session.len(), 20, "nothing was removed");
+        // So does a duplicate within the batch.
+        assert_eq!(
+            session.remove_batch(&[3, 5, 3]).unwrap_err(),
+            TrajError::UnknownId { id: 3, len: 20 }
+        );
+        assert_eq!(session.len(), 20);
+        // A valid batch lands atomically; an empty one is a no-op.
+        session.remove_batch(&[]).expect("empty batch");
+        session.remove_batch(&[3, 5, 11]).expect("all live");
+        assert_eq!(session.len(), 17);
+        let snap = session.snapshot();
+        for id in [3u32, 5, 11] {
+            assert!(snap.try_get(id).is_err());
+        }
+    }
+
+    #[test]
+    fn removal_is_invisible_to_held_snapshots() {
+        let session = Session::builder().shards(2).build(two_cluster_store());
+        let before = session.snapshot();
+        session.remove(4).expect("live id");
+        assert_eq!(before.len(), 20, "old epoch still answers in full");
+        assert_eq!(before.get(4), before.get(4));
+        assert_eq!(session.snapshot().len(), 19);
+    }
+
+    #[test]
+    fn reshard_rebalances_without_changing_answers() {
+        let session = Session::builder().shards(2).build(two_cluster_store());
+        session.remove_batch(&[2, 9, 15]).expect("live ids");
+        let q = Trajectory::from_xy(&[(1.0, 0.5), (5.0, 1.5)]);
+        let want = session.snapshot().query(&q).knn(6).neighbors;
+        let held = session.snapshot();
+        for n in [4usize, 3, 1, 2] {
+            session.reshard(n).expect("in-memory reshard");
+            assert_eq!(session.num_shards(), n);
+            assert_eq!(session.len(), 17);
+            let snap = session.snapshot();
+            assert_eq!(
+                snap.query(&q).knn(6).neighbors,
+                want,
+                "answers diverged at {n} shards"
+            );
+            // Ids are stable across the move (reshard never re-densifies).
+            assert!(snap.try_get(2).is_err());
+            assert_eq!(snap.get(3), held.get(3));
+            // The rebuild purged tombstones and folded deltas: occupancy
+            // is all-indexed and sums to the live count.
+            let sizes = snap.shard_sizes();
+            assert_eq!(sizes.len(), n);
+            assert!(sizes.iter().all(|o| o.delta == 0));
+            assert_eq!(sizes.iter().map(|o| o.total()).sum::<usize>(), 17);
+        }
+        // The held pre-reshard epoch still answers from the old layout.
+        assert_eq!(held.num_shards(), 2);
+        assert_eq!(held.query(&q).knn(6).neighbors, want);
+        // reshard(0) clamps to one shard, like SessionBuilder::shards(0).
+        session.reshard(0).expect("clamped");
+        assert_eq!(session.num_shards(), 1);
+        // Inserts after a reshard route by the new layout.
+        let id = session
+            .insert(Trajectory::from_xy(&[(2.0, 2.0), (3.0, 3.0)]))
+            .expect("in-memory insert");
+        assert_eq!(id, 20);
+        assert_eq!(session.snapshot().get(id).first().p.x, 2.0);
+    }
+
+    #[test]
+    fn shard_sizes_and_db_size_report_live_counts_under_tombstones() {
+        // Satellite regression: occupancy and stats must not count the
+        // dead. Grid over shard counts, with removals split across base
+        // and delta members.
+        for shards in [1usize, 2, 4] {
+            let session = Session::builder()
+                .shards(shards)
+                .delta_merge_threshold(64)
+                .build(two_cluster_store());
+            // 20 indexed; 4 more land in deltas (threshold 64 keeps them
+            // there).
+            for i in 0..4u32 {
+                session
+                    .insert(Trajectory::from_xy(&[
+                        (i as f64, 30.0),
+                        (i as f64 + 1.0, 31.0),
+                    ]))
+                    .expect("in-memory insert");
+            }
+            session.remove_batch(&[1, 8, 21]).expect("live ids");
+            let snap = session.snapshot();
+            assert_eq!(snap.len(), 21, "shards: {shards}");
+            let sizes = snap.shard_sizes();
+            let indexed: usize = sizes.iter().map(|o| o.indexed).sum();
+            let delta: usize = sizes.iter().map(|o| o.delta).sum();
+            assert_eq!(indexed, 18, "two dead base members (shards: {shards})");
+            assert_eq!(delta, 3, "one dead delta member (shards: {shards})");
+            let q = Trajectory::from_xy(&[(1.0, 0.5), (5.0, 1.5)]);
+            let stats = snap.query(&q).collect_stats().knn(3).stats.unwrap();
+            assert_eq!(stats.db_size, 21, "shards: {shards}");
+            let brute = snap
+                .query(&q)
+                .brute_force()
+                .collect_stats()
+                .knn(3)
+                .stats
+                .unwrap();
+            assert_eq!(
+                brute.edwp_evaluations, 21,
+                "brute force evaluates exactly the live set"
+            );
         }
     }
 

@@ -4,34 +4,45 @@
 //! # Sharding model
 //!
 //! A [`crate::Session`] partitions its database across `n` shards, each a
-//! self-contained `(TrajStore segment, TrajTree, max-len bookkeeping)`
-//! unit with its own dense *local* ids. The router is pure arithmetic over
-//! the dense global id space:
+//! self-contained `(TrajStore segment, TrajTree, id bookkeeping)` unit.
+//! The router is pure arithmetic over the global id space:
 //!
 //! ```text
-//! shard(g)  = g mod n          local(g)  = g div n
-//! global(s, l) = l · n + s
+//! shard(g) = g mod n
 //! ```
 //!
-//! Because global ids are issued densely in insertion order, routing by
-//! `g mod n` deals ids round-robin: shard `s` holds globals
-//! `s, s + n, s + 2n, …` in order, so a trajectory's local slot is exactly
-//! `g div n` — no per-id lookup tables, and the mapping survives any
-//! number of inserts.
+//! Global ids are issued by a monotone watermark in insertion order and
+//! are **never reused** — removing a trajectory retires its id forever.
+//! With dense ids the router deals round-robin; once removals punch holes
+//! in the id space the residue-class invariant still holds (shard `s`
+//! owns exactly the live ids with `g mod n == s`, in ascending order), so
+//! each shard carries an explicit ascending `base_globals` table mapping
+//! its dense base slots back to global ids.
 //!
-//! # Delta buffers
+//! # Delta buffers and tombstones
 //!
 //! Each shard is an **immutable base** — an `Arc`-shared store segment
 //! plus the [`TrajTree`] indexing exactly that segment — and a small
-//! append-only **delta buffer** of recently inserted trajectories that the
-//! tree does not cover yet. Local ids keep counting straight through:
-//! slot `l < base.len()` lives in the base store, slot `l >= base.len()`
-//! in the delta at offset `l - base.len()`. Queries merge the tree
-//! traversal with an exact brute scan of the delta (every delta member is
-//! seeded as a per-trajectory candidate with an admissible bound), so
+//! append-only **delta buffer** of recently inserted `(id, trajectory)`
+//! pairs the tree does not cover yet. Local ids keep counting straight
+//! through: slot `l < base.len()` lives in the base store, slot
+//! `l >= base.len()` in the delta at offset `l - base.len()`. Queries
+//! merge the tree traversal with an exact brute scan of the delta, so
 //! results stay bitwise identical to a shard whose tree covers everything.
 //! Once the delta reaches the session's merge threshold it is folded into
 //! the base via the tree's least-volume-growth insert.
+//!
+//! Removal is a **tombstone**: the base stays physically untouched (it is
+//! shared with live snapshots), and the shard records the dead global id
+//! in an `Arc`-shared set every traversal consults — a dead member is
+//! skipped at leaf refinement, delta seeding and brute scan, so it can
+//! never be offered to a collector and results match a shard rebuilt from
+//! the survivors bitwise. Node summaries still cover dead members; a
+//! superset bound is still admissible, so only pruning tightness (never
+//! exactness) is affected until the next fold or reshard rewrites the
+//! base. A tombstoned *delta* entry is physically dropped at the next
+//! fold; a tombstoned *base* entry leaves the disk at the next
+//! compaction and leaves memory at the next [`crate::Session::reshard`].
 //!
 //! # Epochs
 //!
@@ -39,14 +50,13 @@
 //! `Arc<Vec<Arc<Shard>>>`, and a [`Snapshot`] is one atomic clone of that
 //! outer `Arc`. Inserts build the next epoch copy-on-write
 //! ([`std::sync::Arc::make_mut`]) and publish it by swapping the outer
-//! `Arc`, so a snapshot taken before an insert keeps reading the
-//! pre-insert epoch for as long as it lives. The delta split is what makes
-//! that cheap under reader pressure: cloning a shard bumps the base's two
-//! `Arc`s and deep-copies only the (small, bounded) delta, so an insert
-//! while snapshots are held no longer duplicates the shard's whole
-//! segment — only a delta merge pays a base copy, once per threshold
-//! crossing. See [`crate::Session::insert`] for the full consistency
-//! contract.
+//! `Arc`, so a snapshot taken before a write keeps reading the pre-write
+//! epoch for as long as it lives. The delta split is what makes that
+//! cheap under reader pressure: cloning a shard bumps the base's `Arc`s
+//! (store, globals table, tree, tombstone set) and deep-copies only the
+//! (small, bounded) delta — only a delta merge pays a base copy, once per
+//! threshold crossing. See [`crate::Session::insert`] for the full
+//! consistency contract.
 //!
 //! # Queries over shards
 //!
@@ -57,77 +67,149 @@
 //! while all workers tighten one shared atomic threshold
 //! ([`crate::engine::SharedThreshold`]). Either way the whole epoch is
 //! pinned once (`Arc` clone of the shard vector) before any traversal
-//! starts, so a concurrent insert publishing a new epoch mid-query is
+//! starts, so a concurrent write publishing a new epoch mid-query is
 //! invisible: every shard walked belongs to the same published
 //! generation, and results stay bitwise identical to the sequential
 //! single-shard answer.
 
 use crate::store::{TrajId, TrajStore};
 use crate::tree::{TrajTree, TrajTreeConfig};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use traj_core::{TrajError, Trajectory};
 
 /// One shard: an immutable base (a [`TrajStore`] segment with dense local
-/// ids and the [`TrajTree`] indexing exactly that segment, both
-/// `Arc`-shared across epochs) plus the append-only delta buffer of
-/// inserts the tree does not cover yet.
+/// ids, the ascending global-id table of those slots, and the
+/// [`TrajTree`] indexing exactly that segment — all `Arc`-shared across
+/// epochs), the `Arc`-shared tombstone set of dead global ids, and the
+/// append-only delta buffer of inserts the tree does not cover yet.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Shard {
     base: Arc<TrajStore>,
+    /// Global id of each base slot, ascending (`base_globals[l]` is the
+    /// id of `base.get(l)`). Dense sessions start with slot `l` holding
+    /// `l·n + s`; removals and reshards make the gaps explicit.
+    base_globals: Arc<Vec<TrajId>>,
     tree: Arc<TrajTree>,
-    delta: Vec<Trajectory>,
+    /// Tombstoned global ids, both base and delta members. Invariant:
+    /// every element is a member of this shard.
+    dead: Arc<BTreeSet<TrajId>>,
+    /// How many of `dead` are delta members (the rest are base members) —
+    /// keeps occupancy reporting O(1).
+    dead_delta: usize,
+    delta: Vec<(TrajId, Trajectory)>,
 }
 
 impl Shard {
-    /// Bulk-loads a shard over its segment's trajectories (local id
-    /// order); the delta starts empty.
-    pub(crate) fn bulk(trajs: Vec<Trajectory>, config: TrajTreeConfig) -> Self {
+    /// Bulk-loads a shard over its `(global id, trajectory)` pairs, which
+    /// must be ascending by id; the delta and tombstone set start empty.
+    /// `rollup` picks the tree's internal-summary strategy: `false` is the
+    /// full merge-DP build, `true` the cheaper rolled-up build online
+    /// resharding uses ([`TrajTree::bulk_load_rollup`]).
+    pub(crate) fn bulk(
+        pairs: Vec<(TrajId, Trajectory)>,
+        config: TrajTreeConfig,
+        rollup: bool,
+    ) -> Self {
+        let mut globals = Vec::with_capacity(pairs.len());
+        let mut trajs = Vec::with_capacity(pairs.len());
+        for (gid, t) in pairs {
+            debug_assert!(
+                globals.last().is_none_or(|&p| p < gid),
+                "shard base ids must ascend"
+            );
+            globals.push(gid);
+            trajs.push(t);
+        }
         let store = TrajStore::from(trajs);
-        let tree = TrajTree::bulk_load(&store, config);
+        let tree = if rollup {
+            TrajTree::bulk_load_rollup(&store, config)
+        } else {
+            TrajTree::bulk_load(&store, config)
+        };
         Shard {
             base: Arc::new(store),
+            base_globals: Arc::new(globals),
             tree: Arc::new(tree),
+            dead: Arc::new(BTreeSet::new()),
+            dead_delta: 0,
             delta: Vec::new(),
         }
     }
 
-    /// Wraps an existing store + tree as a shard. `tree` must index
-    /// exactly the trajectories of `store`.
+    /// Wraps an existing store + tree as a shard with dense global ids
+    /// `0..store.len()`. `tree` must index exactly the trajectories of
+    /// `store`.
     pub(crate) fn from_parts(store: TrajStore, tree: TrajTree) -> Self {
+        let globals: Vec<TrajId> = (0..store.len() as TrajId).collect();
         Shard {
             base: Arc::new(store),
+            base_globals: Arc::new(globals),
             tree: Arc::new(tree),
+            dead: Arc::new(BTreeSet::new()),
+            dead_delta: 0,
             delta: Vec::new(),
         }
     }
 
-    /// Appends one trajectory, returning its *local* id. The trajectory
-    /// lands in the delta buffer; once the delta holds `threshold`
-    /// members it is folded into the base store + tree
-    /// ([`Shard::merge_delta`]).
-    pub(crate) fn insert(&mut self, t: Trajectory, threshold: usize) -> TrajId {
-        let local = self.len() as TrajId;
-        self.delta.push(t);
+    /// Appends the trajectory with global id `gid` (which must exceed
+    /// every id already in the shard — ids are issued by the session's
+    /// monotone watermark). The trajectory lands in the delta buffer;
+    /// once the delta holds `threshold` members it is folded into the
+    /// base store + tree ([`Shard::merge_delta`]).
+    pub(crate) fn insert(&mut self, gid: TrajId, t: Trajectory, threshold: usize) {
+        debug_assert!(
+            self.delta.last().map(|e| e.0).is_none_or(|p| p < gid)
+                && self.base_globals.last().is_none_or(|&p| p < gid),
+            "ids are issued monotonically"
+        );
+        self.delta.push((gid, t));
         if self.delta.len() >= threshold.max(1) {
             self.merge_delta();
         }
-        local
     }
 
-    /// Folds the delta into the base: every buffered trajectory is
-    /// appended to the store and inserted into the tree via the
-    /// least-volume-growth descent. Copy-on-write at the base level:
-    /// in place when no snapshot shares the base `Arc`s, one base copy
-    /// otherwise — the amortised cost the delta buffer bounds to once per
-    /// threshold crossing.
+    /// Tombstones the live member with global id `gid`. Returns `false`
+    /// (and changes nothing) when `gid` is not a live member of this
+    /// shard — already dead, never inserted here, or routed elsewhere.
+    pub(crate) fn remove(&mut self, gid: TrajId) -> bool {
+        if self.dead.contains(&gid) {
+            return false;
+        }
+        let in_base = self.base_globals.binary_search(&gid).is_ok();
+        let in_delta = !in_base && self.delta.iter().any(|e| e.0 == gid);
+        if !in_base && !in_delta {
+            return false;
+        }
+        Arc::make_mut(&mut self.dead).insert(gid);
+        if in_delta {
+            self.dead_delta += 1;
+        }
+        true
+    }
+
+    /// Folds the delta into the base: tombstoned entries are dropped for
+    /// good (their tombstones retire with them), every survivor is
+    /// appended to the store + globals table and inserted into the tree
+    /// via the least-volume-growth descent. Copy-on-write at the base
+    /// level: in place when no snapshot shares the base `Arc`s, one base
+    /// copy otherwise — the amortised cost the delta buffer bounds to
+    /// once per threshold crossing.
     pub(crate) fn merge_delta(&mut self) {
         if self.delta.is_empty() {
             return;
         }
         let store = Arc::make_mut(&mut self.base);
+        let globals = Arc::make_mut(&mut self.base_globals);
         let tree = Arc::make_mut(&mut self.tree);
-        for t in self.delta.drain(..) {
+        if self.dead_delta > 0 {
+            let dead = Arc::make_mut(&mut self.dead);
+            self.delta.retain(|(gid, _)| !dead.remove(gid));
+            self.dead_delta = 0;
+        }
+        for (gid, t) in self.delta.drain(..) {
             let local = store.insert(t);
+            globals.push(gid);
             tree.insert(store, local);
         }
     }
@@ -144,52 +226,65 @@ impl Shard {
         &self.base
     }
 
-    /// The delta buffer: trajectories at local ids
-    /// `base().len() .. len()`, in insertion order.
+    /// Global id of each base slot, ascending.
     #[inline]
-    pub(crate) fn delta(&self) -> &[Trajectory] {
+    pub(crate) fn base_globals(&self) -> &[TrajId] {
+        &self.base_globals
+    }
+
+    /// The delta buffer: `(id, trajectory)` pairs at local ids
+    /// `base().len() .. `, in insertion (= ascending id) order.
+    #[inline]
+    pub(crate) fn delta(&self) -> &[(TrajId, Trajectory)] {
         &self.delta
     }
 
-    /// The trajectory at `local`, whichever side of the base/delta split
-    /// it lives on.
-    ///
-    /// # Panics
-    /// Panics when `local` is out of range.
+    /// The tombstone set (global ids of dead members).
     #[inline]
-    pub(crate) fn get(&self, local: TrajId) -> &Trajectory {
-        let base_len = self.base.len() as TrajId;
-        if local < base_len {
-            self.base.get(local)
-        } else {
-            &self.delta[(local - base_len) as usize]
-        }
+    pub(crate) fn dead(&self) -> &BTreeSet<TrajId> {
+        &self.dead
     }
 
-    /// The trajectory at `local`, or `None` when out of range.
-    #[inline]
-    pub(crate) fn try_get(&self, local: TrajId) -> Option<&Trajectory> {
-        let base_len = self.base.len() as TrajId;
-        if local < base_len {
-            Some(self.base.get(local))
-        } else {
-            self.delta.get((local - base_len) as usize)
+    /// The **live** trajectory with global id `gid`, or `None` when the
+    /// id is not a live member of this shard.
+    pub(crate) fn get_global(&self, gid: TrajId) -> Option<&Trajectory> {
+        if self.dead.contains(&gid) {
+            return None;
         }
+        if let Ok(slot) = self.base_globals.binary_search(&gid) {
+            return Some(self.base.get(slot as TrajId));
+        }
+        self.delta.iter().find(|&&(g, _)| g == gid).map(|(_, t)| t)
     }
 
-    /// Number of trajectories in this shard (base + delta).
+    /// All live `(global id, trajectory)` pairs of this shard, ascending
+    /// by id — the base survivors followed by the delta survivors (delta
+    /// ids always exceed base ids).
+    pub(crate) fn live_pairs(&self) -> impl Iterator<Item = (TrajId, &Trajectory)> {
+        let base = self
+            .base_globals
+            .iter()
+            .zip(self.base.as_slice())
+            .map(|(&gid, t)| (gid, t));
+        let delta = self.delta.iter().map(|&(gid, ref t)| (gid, t));
+        base.chain(delta)
+            .filter(|(gid, _)| !self.dead.contains(gid))
+    }
+
+    /// Number of **live** trajectories in this shard (members minus
+    /// tombstones).
     pub(crate) fn len(&self) -> usize {
-        self.base.len() + self.delta.len()
+        self.base.len() + self.delta.len() - self.dead.len()
     }
 
-    /// Number of trajectories the tree covers (the base segment).
+    /// Live trajectories the tree covers (base survivors).
     pub(crate) fn indexed_len(&self) -> usize {
-        self.base.len()
+        self.base.len() - (self.dead.len() - self.dead_delta)
     }
 
-    /// Number of trajectories waiting in the delta buffer.
+    /// Live trajectories waiting in the delta buffer.
     pub(crate) fn delta_len(&self) -> usize {
-        self.delta.len()
+        self.delta.len() - self.dead_delta
     }
 }
 
@@ -199,33 +294,26 @@ pub(crate) fn shard_of(id: TrajId, shards: usize) -> usize {
     id as usize % shards
 }
 
-/// The router's local slot for a global id.
-#[inline]
-pub(crate) fn local_of(id: TrajId, shards: usize) -> TrajId {
-    id / shards as TrajId
-}
-
-/// Inverse router: the global id of `local` in `shard`.
-#[inline]
-pub(crate) fn global_of(shard: usize, local: TrajId, shards: usize) -> TrajId {
-    local * shards as TrajId + shard as TrajId
-}
-
-/// Occupancy of one shard at one epoch: how many trajectories its tree
-/// covers and how many sit in the delta buffer awaiting a merge — the
-/// introspection [`Snapshot::shard_sizes`] reports per shard, in shard
-/// order, so rebalancing and capacity decisions have data to act on.
+/// Occupancy of one shard at one epoch: how many **live** trajectories
+/// its tree covers and how many sit in the delta buffer awaiting a merge
+/// — the introspection [`Snapshot::shard_sizes`] reports per shard, in
+/// shard order, so rebalancing and capacity decisions have data to act
+/// on. Tombstoned members are excluded on both sides of the split (a
+/// dead base member still occupies store memory until the next reshard
+/// or compaction, but it is not *occupancy* — it can never answer a
+/// query).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardOccupancy {
-    /// Trajectories in the shard's immutable base (covered by its tree).
+    /// Live trajectories in the shard's immutable base (covered by its
+    /// tree).
     pub indexed: usize,
-    /// Trajectories in the shard's delta buffer (queried by exact brute
-    /// scan until the next merge folds them into the tree).
+    /// Live trajectories in the shard's delta buffer (queried by exact
+    /// brute scan until the next merge folds them into the tree).
     pub delta: usize,
 }
 
 impl ShardOccupancy {
-    /// Total trajectories in the shard (base + delta).
+    /// Total live trajectories in the shard (base + delta).
     pub fn total(&self) -> usize {
         self.indexed + self.delta
     }
@@ -233,13 +321,13 @@ impl ShardOccupancy {
 
 /// An immutable epoch of a [`crate::Session`]'s sharded database: every
 /// query scatter-gathers over exactly the shards captured here, so results
-/// are stable no matter how many inserts land concurrently.
+/// are stable no matter how many inserts or removals land concurrently.
 ///
-/// Snapshots are cheap (`n + 1` `Arc` clones, no data copied) and `Send` +
-/// `Sync`: clone one per reader thread, or share one behind a reference.
-/// Queries run through [`Snapshot::query`] / [`Snapshot::batch`] — same
-/// builders, same bitwise results as the owning session at the epoch the
-/// snapshot was taken.
+/// Snapshots are cheap (a handful of `Arc` clones, no data copied) and
+/// `Send` + `Sync`: clone one per reader thread, or share one behind a
+/// reference. Queries run through [`Snapshot::query`] /
+/// [`Snapshot::batch`] — same builders, same bitwise results as the
+/// owning session at the epoch the snapshot was taken.
 ///
 /// ```
 /// use traj_core::Trajectory;
@@ -259,26 +347,30 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Total number of trajectories across all shards of this epoch.
+    /// Total number of **live** trajectories across all shards of this
+    /// epoch (tombstoned members are not counted).
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.len()).sum()
     }
 
-    /// `true` when the epoch holds no trajectories.
+    /// `true` when the epoch holds no live trajectories.
     pub fn is_empty(&self) -> bool {
         self.shards.iter().all(|s| s.len() == 0)
     }
 
-    /// Number of shards (fixed at session build time, never 0).
+    /// Number of shards in this epoch (never 0). Fixed per epoch;
+    /// [`crate::Session::reshard`] publishes a new epoch with a new
+    /// count.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
     }
 
-    /// Per-shard occupancy in shard order: how many trajectories each
-    /// shard's tree covers and how many sit in its delta buffer. The
-    /// totals sum to [`Snapshot::len`]; with round-robin id routing the
-    /// totals differ by at most 1 across shards, so a larger spread is a
-    /// signal the routing assumption was violated.
+    /// Per-shard **live** occupancy in shard order: how many live
+    /// trajectories each shard's tree covers and how many sit in its
+    /// delta buffer. The totals sum to [`Snapshot::len`]; with id-hash
+    /// routing over watermark-issued ids the totals stay balanced to
+    /// within the removal skew, so a large spread is a rebalancing
+    /// signal for [`crate::Session::reshard`].
     pub fn shard_sizes(&self) -> Vec<ShardOccupancy> {
         self.shards
             .iter()
@@ -289,35 +381,42 @@ impl Snapshot {
             .collect()
     }
 
-    /// The trajectory with the given global id — the panicking convenience
-    /// for ids known valid in this epoch (e.g. ids straight out of one of
-    /// its query results). See [`Snapshot::try_get`] for the fallible
-    /// variant.
+    /// The live trajectory with the given global id — the panicking
+    /// convenience for ids known valid in this epoch (e.g. ids straight
+    /// out of one of its query results). See [`Snapshot::try_get`] for
+    /// the fallible variant.
     ///
     /// # Panics
-    /// Panics when `id` is not part of this epoch.
+    /// Panics when `id` is not live in this epoch (never inserted, or
+    /// removed before the epoch was taken).
     #[inline]
     pub fn get(&self, id: TrajId) -> &Trajectory {
-        let n = self.shards.len();
-        self.shards[shard_of(id, n)].get(local_of(id, n))
+        self.try_get(id)
+            .unwrap_or_else(|_| panic!("trajectory id {id} is not live in this epoch"))
     }
 
-    /// The trajectory with the given global id, or
-    /// [`TrajError::UnknownId`] for ids this epoch does not contain.
+    /// The live trajectory with the given global id, or
+    /// [`TrajError::UnknownId`] for ids this epoch does not contain
+    /// (including ids tombstoned before the epoch was taken — removal
+    /// retires an id forever).
     pub fn try_get(&self, id: TrajId) -> Result<&Trajectory, TrajError> {
         let n = self.shards.len();
         self.shards[shard_of(id, n)]
-            .try_get(local_of(id, n))
+            .get_global(id)
             .ok_or_else(|| TrajError::UnknownId {
                 id,
                 len: self.len(),
             })
     }
 
-    /// All `(global id, trajectory)` pairs in ascending global-id order —
-    /// i.e. insertion order, independent of the shard count.
+    /// All live `(global id, trajectory)` pairs in ascending global-id
+    /// order — i.e. insertion order, independent of the shard count,
+    /// with removed trajectories absent.
     pub fn iter(&self) -> impl Iterator<Item = (TrajId, &Trajectory)> {
-        (0..self.len() as TrajId).map(move |id| (id, self.get(id)))
+        let mut pairs: Vec<(TrajId, &Trajectory)> =
+            self.shards.iter().flat_map(|s| s.live_pairs()).collect();
+        pairs.sort_unstable_by_key(|&(gid, _)| gid);
+        pairs.into_iter()
     }
 
     /// Height of the tallest shard tree (0 when empty).
@@ -339,35 +438,29 @@ impl Snapshot {
 mod tests {
     use super::*;
 
+    fn t(x: f64) -> Trajectory {
+        Trajectory::from_xy(&[(x, 0.0), (x + 1.0, 1.0)])
+    }
+
+    fn dense(ids: impl IntoIterator<Item = TrajId>) -> Vec<(TrajId, Trajectory)> {
+        ids.into_iter().map(|g| (g, t(g as f64))).collect()
+    }
+
     #[test]
-    fn router_is_a_bijection_on_dense_ids() {
+    fn router_deals_by_residue_class() {
         for shards in [1usize, 2, 3, 4, 7] {
-            let mut counts = vec![0u32; shards];
             for g in 0u32..50 {
-                let s = shard_of(g, shards);
-                let l = local_of(g, shards);
-                assert_eq!(global_of(s, l, shards), g);
-                // Dense ids fill each shard's local slots in order.
-                assert_eq!(l, counts[s]);
-                counts[s] += 1;
+                assert_eq!(shard_of(g, shards), g as usize % shards);
             }
         }
     }
 
     #[test]
     fn snapshot_routes_global_ids() {
-        let trajs: Vec<Trajectory> = (0..7)
-            .map(|i| Trajectory::from_xy(&[(i as f64, 0.0), (i as f64 + 1.0, 1.0)]))
-            .collect();
         let shards: Vec<Arc<Shard>> = (0..3)
             .map(|s| {
-                let part: Vec<Trajectory> = trajs
-                    .iter()
-                    .enumerate()
-                    .filter(|(g, _)| g % 3 == s)
-                    .map(|(_, t)| t.clone())
-                    .collect();
-                Arc::new(Shard::bulk(part, TrajTreeConfig::default()))
+                let part = dense((0..7u32).filter(|g| *g as usize % 3 == s));
+                Arc::new(Shard::bulk(part, TrajTreeConfig::default(), false))
             })
             .collect();
         let snap = Snapshot {
@@ -375,8 +468,8 @@ mod tests {
         };
         assert_eq!(snap.len(), 7);
         assert_eq!(snap.num_shards(), 3);
-        for (g, t) in snap.iter() {
-            assert_eq!(t.first().p.x, g as f64, "global id {g} routed wrongly");
+        for (g, tr) in snap.iter() {
+            assert_eq!(tr.first().p.x, g as f64, "global id {g} routed wrongly");
         }
         assert_eq!(snap.try_get(3).unwrap(), snap.get(3));
         assert_eq!(
@@ -389,58 +482,129 @@ mod tests {
 
     #[test]
     fn delta_inserts_route_and_merge_at_the_threshold() {
-        let mut shard = Shard::bulk(
-            (0..4)
-                .map(|i| Trajectory::from_xy(&[(i as f64, 0.0), (i as f64 + 1.0, 1.0)]))
-                .collect(),
-            TrajTreeConfig::default(),
-        );
+        let mut shard = Shard::bulk(dense(0..4), TrajTreeConfig::default(), false);
         assert_eq!((shard.indexed_len(), shard.delta_len()), (4, 0));
-        // Below the threshold: inserts buffer in the delta, ids keep
-        // counting, lookups cover both sides of the split.
+        // Below the threshold: inserts buffer in the delta, lookups cover
+        // both sides of the split.
         for i in 4..7u32 {
-            let local = shard.insert(
-                Trajectory::from_xy(&[(i as f64, 0.0), (i as f64 + 1.0, 1.0)]),
-                8,
-            );
-            assert_eq!(local, i);
+            shard.insert(i, t(i as f64), 8);
         }
         assert_eq!((shard.indexed_len(), shard.delta_len()), (4, 3));
         assert_eq!(shard.len(), 7);
         for i in 0..7u32 {
-            assert_eq!(shard.get(i).first().p.x, i as f64);
-            assert_eq!(shard.try_get(i).unwrap().first().p.x, i as f64);
+            assert_eq!(shard.get_global(i).unwrap().first().p.x, i as f64);
         }
-        assert!(shard.try_get(7).is_none());
+        assert!(shard.get_global(7).is_none());
         // The 8th member crosses the threshold: the delta folds into the
         // base and the tree covers everything again.
-        shard.insert(Trajectory::from_xy(&[(7.0, 0.0), (8.0, 1.0)]), 4);
+        shard.insert(7, t(7.0), 4);
         assert_eq!((shard.indexed_len(), shard.delta_len()), (8, 0));
         assert_eq!(shard.tree().len(), 8);
-        for i in 0..8u32 {
-            assert_eq!(shard.get(i).first().p.x, i as f64);
+        assert_eq!(shard.base_globals(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tombstones_hide_members_and_fold_out_of_the_delta() {
+        let mut shard = Shard::bulk(dense([0, 2, 4]), TrajTreeConfig::default(), false);
+        shard.insert(6, t(6.0), 100);
+        shard.insert(8, t(8.0), 100);
+        assert_eq!(shard.len(), 5);
+        // Kill one base member and one delta member.
+        assert!(shard.remove(2), "base member");
+        assert!(shard.remove(6), "delta member");
+        assert!(!shard.remove(2), "already dead");
+        assert!(!shard.remove(3), "never a member");
+        assert_eq!(shard.len(), 3);
+        assert_eq!((shard.indexed_len(), shard.delta_len()), (2, 1));
+        assert!(shard.get_global(2).is_none(), "dead ids stop resolving");
+        assert!(shard.get_global(6).is_none());
+        assert_eq!(
+            shard.live_pairs().map(|(g, _)| g).collect::<Vec<_>>(),
+            vec![0, 4, 8]
+        );
+        // Folding drops the dead delta entry physically and keeps the dead
+        // base entry tombstoned.
+        shard.merge_delta();
+        assert_eq!(shard.base_globals(), &[0, 2, 4, 8]);
+        assert_eq!(shard.dead().iter().copied().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(shard.len(), 3);
+        assert_eq!((shard.indexed_len(), shard.delta_len()), (3, 0));
+    }
+
+    #[test]
+    fn holey_ids_keep_resolving_after_a_fold() {
+        // Ids with gaps (as removal + fresh inserts produce): the globals
+        // table, not arithmetic, maps slots to ids.
+        let mut shard = Shard::bulk(dense([1, 5, 9]), TrajTreeConfig::default(), false);
+        shard.insert(13, t(13.0), 1); // threshold 1: folds immediately
+        assert_eq!(shard.base_globals(), &[1, 5, 9, 13]);
+        for g in [1u32, 5, 9, 13] {
+            assert_eq!(shard.get_global(g).unwrap().first().p.x, g as f64);
         }
+        assert!(shard.get_global(3).is_none());
+    }
+
+    #[test]
+    fn snapshot_len_and_sizes_report_live_counts() {
+        let mut a = Shard::bulk(dense([0, 2]), TrajTreeConfig::default(), false);
+        let mut b = Shard::bulk(dense([1, 3]), TrajTreeConfig::default(), false);
+        a.insert(4, t(4.0), 100);
+        b.insert(5, t(5.0), 100);
+        a.remove(2);
+        b.remove(5);
+        let snap = Snapshot {
+            shards: Arc::new(vec![Arc::new(a), Arc::new(b)]),
+        };
+        assert_eq!(snap.len(), 4, "two of six members are dead");
+        let sizes = snap.shard_sizes();
+        assert_eq!(
+            sizes[0],
+            ShardOccupancy {
+                indexed: 1,
+                delta: 1
+            }
+        );
+        assert_eq!(
+            sizes[1],
+            ShardOccupancy {
+                indexed: 2,
+                delta: 0
+            }
+        );
+        assert_eq!(sizes.iter().map(|o| o.total()).sum::<usize>(), snap.len());
+        assert!(snap.try_get(2).is_err(), "dead id");
+        assert!(snap.try_get(5).is_err(), "dead delta id");
+        assert_eq!(
+            snap.iter().map(|(g, _)| g).collect::<Vec<_>>(),
+            vec![0, 1, 3, 4]
+        );
     }
 
     #[test]
     fn shard_clone_shares_the_base_and_copies_only_the_delta() {
-        let mut shard = Shard::bulk(
-            (0..16)
-                .map(|i| Trajectory::from_xy(&[(i as f64, 0.0), (i as f64 + 1.0, 1.0)]))
-                .collect(),
-            TrajTreeConfig::default(),
-        );
-        shard.insert(Trajectory::from_xy(&[(16.0, 0.0), (17.0, 1.0)]), 1000);
+        let mut shard = Shard::bulk(dense(0..16), TrajTreeConfig::default(), false);
+        shard.insert(16, t(16.0), 1000);
+        shard.remove(3);
         let clone = shard.clone();
         assert!(Arc::ptr_eq(&shard.base, &clone.base), "base store shared");
         assert!(Arc::ptr_eq(&shard.tree, &clone.tree), "base tree shared");
+        assert!(
+            Arc::ptr_eq(&shard.base_globals, &clone.base_globals),
+            "globals table shared"
+        );
+        assert!(Arc::ptr_eq(&shard.dead, &clone.dead), "tombstones shared");
         assert_eq!(clone.delta_len(), 1);
         // A merge on the original copies the base out from under the
         // shared Arcs; the clone keeps its epoch untouched.
         shard.merge_delta();
-        assert_eq!(shard.indexed_len(), 17);
-        assert_eq!(clone.indexed_len(), 16);
+        assert_eq!(shard.indexed_len(), 16);
+        assert_eq!(clone.indexed_len(), 15);
         assert_eq!(clone.delta_len(), 1);
-        assert_eq!(clone.get(16).first().p.x, 16.0);
+        assert_eq!(clone.get_global(16).unwrap().first().p.x, 16.0);
+        // A removal on the clone copies only the tombstone set.
+        let mut clone2 = clone.clone();
+        clone2.remove(0);
+        assert!(clone.get_global(0).is_some());
+        assert!(clone2.get_global(0).is_none());
     }
 }

@@ -1,7 +1,10 @@
 use traj_core::{TrajError, Trajectory};
 
-/// Identifier of a trajectory inside a [`TrajStore`]; dense, starting at 0.
-pub type TrajId = u32;
+/// Identifier of a trajectory — re-exported from `traj-core`, where the
+/// storage layer's typed WAL records also name trajectories by it. Dense
+/// inside a [`TrajStore`]; in a session's global id space, issued by a
+/// monotone watermark and never reused after removal.
+pub use traj_core::TrajId;
 
 /// Append-only owner of a trajectory database — either the whole corpus
 /// (what callers hand to [`crate::Session::build`]) or one shard's segment

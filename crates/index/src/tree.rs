@@ -161,6 +161,29 @@ impl TrajTree {
     /// full leaves, and parent levels are packed the same way until a
     /// single root remains.
     pub fn bulk_load(store: &TrajStore, config: TrajTreeConfig) -> Self {
+        TrajTree::bulk_load_with(store, config, false)
+    }
+
+    /// Bulk-loads with **rolled-up internal summaries**: the STR packing
+    /// and the leaf summaries are identical to [`TrajTree::bulk_load`],
+    /// but each internal node's tBoxSeq is formed by concatenating its
+    /// children's box sequences and coalescing to the internal budget —
+    /// no per-trajectory alignment DP above the leaf level. Coverage is
+    /// preserved (every member's polyline lies in some child's boxes, and
+    /// coalescing only unions boxes), and the admissible bounds take a
+    /// minimum over all boxes, so search through a rolled-up tree is
+    /// exactly as correct — just marginally less selective at internal
+    /// nodes than the merge-DP summaries the full build computes.
+    ///
+    /// This is the online-rebalancing build ([`crate::Session::reshard`]):
+    /// it trades a sliver of internal-node pruning for an epoch swap that
+    /// costs a fraction of a cold rebuild. Offline builds (bulk load,
+    /// reopen, compaction) keep the full-quality path.
+    pub(crate) fn bulk_load_rollup(store: &TrajStore, config: TrajTreeConfig) -> Self {
+        TrajTree::bulk_load_with(store, config, true)
+    }
+
+    fn bulk_load_with(store: &TrajStore, config: TrajTreeConfig, rollup: bool) -> Self {
         let mut items: Vec<(TrajId, Point)> =
             store.iter().map(|(id, t)| (id, centroid(t))).collect();
         if items.is_empty() {
@@ -191,7 +214,11 @@ impl TrajTree {
                         .iter()
                         .map(|&i| slots[i].take().expect("each node tiled once"))
                         .collect();
-                    make_internal(store, children, &config)
+                    if rollup {
+                        make_internal_rollup(children, &config)
+                    } else {
+                        make_internal(store, children, &config)
+                    }
                 })
                 .collect();
         }
@@ -335,6 +362,26 @@ fn make_internal(store: &TrajStore, children: Vec<Node>, config: &TrajTreeConfig
         c.collect_ids(&mut ids);
     }
     let summary = summary_over(store, &ids, config.internal_boxes);
+    let max_len = children.iter().map(Node::max_len).fold(0.0, f64::max);
+    Node::Internal {
+        id: 0, // placeholder until the post-change renumber pass
+        children,
+        summary,
+        max_len,
+    }
+}
+
+/// Builds an internal node by rolling its children's summaries up —
+/// concatenate their box sequences, coalesce to the internal budget —
+/// instead of re-aligning every descendant trajectory. See
+/// [`TrajTree::bulk_load_rollup`] for the admissibility argument.
+fn make_internal_rollup(children: Vec<Node>, config: &TrajTreeConfig) -> Node {
+    let boxes: Vec<_> = children
+        .iter()
+        .flat_map(|c| c.summary().boxes().iter().copied())
+        .collect();
+    let mut summary = BoxSeq::from_boxes(boxes);
+    summary.coalesce(Some(config.internal_boxes));
     let max_len = children.iter().map(Node::max_len).fold(0.0, f64::max);
     Node::Internal {
         id: 0, // placeholder until the post-change renumber pass

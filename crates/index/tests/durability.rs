@@ -220,6 +220,112 @@ fn compaction_preserves_equivalence_and_trims_the_log() {
 }
 
 #[test]
+fn removals_and_reshards_survive_reopen() {
+    let trajs = fleet(32, 17);
+    let queries = fleet(3, 808);
+    let removed: Vec<u32> = vec![0, 5, 13, 21, 30];
+    let dir = TempDir::new("durability-lifecycle");
+    let session = Session::builder()
+        .shards(2)
+        .durability(DurabilityConfig::default().compact_after(None))
+        .open(dir.path())
+        .expect("open");
+    session.insert_batch(trajs.clone()).expect("insert");
+    session.remove_batch(&removed).expect("remove");
+    session.reshard(4).expect("reshard");
+    drop(session);
+
+    // Reopen without `.shards(..)`: the logged Reshard's layout is reused.
+    let reopened = Session::builder().open(dir.path()).expect("reopen");
+    assert_eq!(reopened.num_shards(), 4, "Reshard record sets the layout");
+    assert_eq!(reopened.len(), trajs.len() - removed.len());
+    for &id in &removed {
+        assert!(
+            reopened.snapshot().try_get(id).is_err(),
+            "removed id {id} must stay dead across reopen"
+        );
+    }
+    // Global ids are stable across remove + reshard + reopen, so an
+    // in-memory session running the same ops is the bitwise reference.
+    let reference = Session::builder()
+        .shards(4)
+        .build(TrajStore::from(trajs.clone()));
+    reference.remove_batch(&removed).expect("remove in memory");
+    assert_equivalent(&reopened, &reference, &queries);
+
+    // Ingestion resumes above the watermark: removed ids are never reused.
+    let id = reopened.insert(trajs[0].clone()).expect("insert");
+    assert_eq!(id as usize, trajs.len());
+}
+
+#[test]
+fn tombstones_survive_compaction() {
+    let trajs = fleet(24, 29);
+    let queries = fleet(3, 606);
+    let removed: Vec<u32> = vec![2, 7, 19];
+    let dir = TempDir::new("durability-tombstone-compact");
+    let session = Session::builder()
+        .shards(3)
+        .durability(DurabilityConfig::default().compact_after(None))
+        .open(dir.path())
+        .expect("open");
+    session.insert_batch(trajs.clone()).expect("insert");
+    session.remove_batch(&removed).expect("remove");
+    // Compaction rewrites the snapshot without the dead trajectories and
+    // truncates the log — the removal must not resurrect.
+    session.compact().expect("compact");
+    drop(session);
+
+    let reopened = Session::builder().open(dir.path()).expect("reopen");
+    assert_eq!(reopened.len(), trajs.len() - removed.len());
+    for &id in &removed {
+        assert!(reopened.snapshot().try_get(id).is_err());
+    }
+    let reference = Session::builder()
+        .shards(3)
+        .build(TrajStore::from(trajs.clone()));
+    reference.remove_batch(&removed).expect("remove in memory");
+    assert_equivalent(&reopened, &reference, &queries);
+    // The watermark survives compaction too: dead ids stay retired.
+    let id = reopened.insert(trajs[0].clone()).expect("insert");
+    assert_eq!(id as usize, trajs.len());
+}
+
+#[test]
+fn torn_tombstone_tail_drops_only_the_removal() {
+    let trajs = fleet(12, 31);
+    let dir = TempDir::new("durability-torn-tombstone");
+    let session = Session::builder()
+        .shards(2)
+        .durability(DurabilityConfig::default().compact_after(None))
+        .open(dir.path())
+        .expect("open");
+    session.insert_batch(trajs.clone()).expect("insert");
+    // Fold the inserts into the snapshot so the WAL holds exactly one
+    // record: the tombstone about to be torn.
+    session.compact().expect("compact");
+    session.remove(3).expect("remove");
+    drop(session);
+
+    let wal = fs::read_dir(dir.path())
+        .expect("list")
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().ends_with(".wal"))
+        .expect("wal file")
+        .path();
+    let bytes = fs::read(&wal).expect("read wal");
+    fs::write(&wal, &bytes[..bytes.len() - 3]).expect("tear");
+
+    // A removal whose record was torn simply never happened: the
+    // trajectory is back, and the session keeps working.
+    let reopened = Session::builder().open(dir.path()).expect("reopen");
+    assert_eq!(reopened.len(), trajs.len());
+    assert!(reopened.snapshot().try_get(3).is_ok());
+    reopened.remove(3).expect("remove again after recovery");
+    assert_eq!(reopened.len(), trajs.len() - 1);
+}
+
+#[test]
 fn clones_of_durable_sessions_fork_in_memory() {
     let dir = TempDir::new("durability-clone");
     let session = Session::builder()

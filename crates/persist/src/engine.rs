@@ -3,17 +3,20 @@
 //! (`snapshot-g.snap`) plus the append-only WAL that extends it
 //! (`wal-g.wal`); compaction folds the WAL into snapshot `g + 1` and the
 //! chain moves on. Opening a directory finds the newest generation whose
-//! snapshot verifies, replays its WAL (truncating a torn tail), and hands
-//! back the database in global-id order.
+//! snapshot verifies, replays its WAL — inserts numbered from the
+//! snapshot's id watermark, tombstones removing live ids, reshard records
+//! adjusting the layout — truncating a torn tail, and hands back the live
+//! database in global-id order.
 
 use crate::error::PersistError;
 use crate::snapshot::{
     load_snapshot, parse_generation, snapshot_file_name, sync_dir, write_snapshot,
 };
-use crate::wal::{replay_wal, wal_file_name, FsyncPolicy, WalWriter};
+use crate::wal::{replay_wal, wal_file_name, FsyncPolicy, WalRecord, WalWriter};
+use crate::FORMAT_VERSION;
 use std::fs;
 use std::path::{Path, PathBuf};
-use traj_core::Trajectory;
+use traj_core::{TrajId, Trajectory};
 
 /// How the engine trades write latency against durability and when it
 /// compacts. Builder-style setters so call sites read as policy:
@@ -56,13 +59,18 @@ impl DurabilityConfig {
 /// Everything recovery found in a database directory.
 #[derive(Debug)]
 pub struct Recovered {
-    /// The database in global-id order: the snapshot's trajectories (their
-    /// shard sections re-interleaved) followed by the WAL tail.
-    pub trajs: Vec<Trajectory>,
-    /// Shard count the snapshot was written with — what a session reopens
-    /// with unless told otherwise.
+    /// The **live** database in ascending global-id order: the snapshot's
+    /// entries with every replayed insert appended and every replayed
+    /// tombstone removed. Ids carry removal holes; they are never reused.
+    pub trajs: Vec<(TrajId, Trajectory)>,
+    /// The shard layout in force at the end of the log: the snapshot's
+    /// shard count, overridden by the last replayed `Reshard` record —
+    /// what a session reopens with unless told otherwise.
     pub snapshot_shards: usize,
-    /// How many trajectories came from the WAL (the rest are snapshot).
+    /// Smallest id the database has never issued. The next insert gets it.
+    pub next_id: u64,
+    /// How many WAL records were replayed (inserts, tombstones and
+    /// reshards alike).
     pub wal_records: u64,
     /// The torn/corrupt-tail error the WAL replay stopped on, if any; the
     /// file has already been truncated to its valid prefix.
@@ -78,7 +86,8 @@ pub struct StorageEngine {
     dir: PathBuf,
     cfg: DurabilityConfig,
     generation: u64,
-    base_count: u64,
+    live: u64,
+    next_id: u64,
     wal: WalWriter,
 }
 
@@ -89,10 +98,17 @@ impl StorageEngine {
     /// * An empty or missing directory is initialised: generation 0 gets
     ///   an empty single-shard snapshot and an empty WAL.
     /// * Otherwise the newest snapshot that fully verifies wins; its WAL
-    ///   is replayed and truncated at the first torn or corrupt record. A
-    ///   WAL that is missing (crash between snapshot rename and WAL
-    ///   creation) or torn within its header (crash during creation, when
-    ///   no record can exist yet) is replaced by a fresh empty one.
+    ///   is replayed (typed records applied in order) and truncated at the
+    ///   first torn or corrupt record. A WAL that is missing (crash
+    ///   between snapshot rename and WAL creation) or torn within its
+    ///   header (crash during creation, when no record can exist yet) is
+    ///   replaced by a fresh empty one.
+    /// * A generation written in an older format version is **upgraded on
+    ///   open**: its recovered state is immediately compacted into a
+    ///   fresh current-version generation, because the live WAL writer
+    ///   only speaks the current record framing. Old files load forever;
+    ///   they just stop being the live generation the moment a writer
+    ///   opens them.
     /// * If snapshots exist but none verifies, opening fails with
     ///   [`PersistError::NoUsableSnapshot`] — silently starting empty
     ///   would be data loss.
@@ -100,13 +116,14 @@ impl StorageEngine {
         fs::create_dir_all(dir)?;
         let mut generations = snapshot_generations(dir)?;
         if generations.is_empty() {
-            write_snapshot(dir, 0, &[Vec::new()])?;
+            write_snapshot(dir, 0, &[Vec::new()], 0)?;
             let wal = WalWriter::create(dir, 0, 0, cfg.fsync)?;
             sync_dir(dir)?;
             return Ok((
                 Recovered {
                     trajs: Vec::new(),
                     snapshot_shards: 1,
+                    next_id: 0,
                     wal_records: 0,
                     wal_tail_error: None,
                 },
@@ -114,7 +131,8 @@ impl StorageEngine {
                     dir: dir.to_path_buf(),
                     cfg,
                     generation: 0,
-                    base_count: 0,
+                    live: 0,
+                    next_id: 0,
                     wal,
                 },
             ));
@@ -123,8 +141,8 @@ impl StorageEngine {
         generations.sort_unstable_by(|a, b| b.cmp(a)); // newest first
         let mut last_err: Option<PersistError> = None;
         for &generation in &generations {
-            let sections = match load_snapshot(&dir.join(snapshot_file_name(generation))) {
-                Ok(s) => s,
+            let contents = match load_snapshot(&dir.join(snapshot_file_name(generation))) {
+                Ok(c) => c,
                 Err(e) => {
                     // Keep the error from the *newest* candidate — that is
                     // the one whose failure explains the fallback.
@@ -132,32 +150,42 @@ impl StorageEngine {
                     continue;
                 }
             };
-            let snapshot_shards = sections.len();
-            let mut trajs = interleave_sections(sections)?;
-            let base_count = trajs.len() as u64;
+            let snapshot_version = contents.version;
+            let snapshot_shards = contents.sections.len();
+            // Ascending per section with pairwise-distinct residues, so a
+            // plain merge-by-id reconstructs global order.
+            let mut trajs: Vec<(TrajId, Trajectory)> =
+                contents.sections.into_iter().flatten().collect();
+            trajs.sort_unstable_by_key(|&(gid, _)| gid);
+            let base_live = trajs.len() as u64;
+            let mut next_id = contents.next_id;
+            let mut layout = snapshot_shards;
 
             let wal_path = dir.join(wal_file_name(generation));
-            let (wal, wal_records, wal_tail_error) = match replay_wal(&wal_path) {
+            let (wal, wal_version, wal_records, wal_tail_error) = match replay_wal(&wal_path) {
                 Ok(replay) => {
-                    if replay.base_count != base_count {
+                    if replay.base_count != base_live {
                         return Err(PersistError::StateMismatch {
                             detail: format!(
                                 "wal generation {generation} extends a {}-trajectory \
-                                 snapshot but the snapshot holds {base_count}",
+                                 snapshot but the snapshot holds {base_live}",
                                 replay.base_count
                             ),
                         });
                     }
-                    let records = replay.trajs.len() as u64;
-                    trajs.extend(replay.trajs);
+                    let records = replay.records.len() as u64;
+                    for (i, record) in replay.records.into_iter().enumerate() {
+                        apply_record(&mut trajs, &mut next_id, &mut layout, record, i)?;
+                    }
                     let writer =
                         WalWriter::reopen(&wal_path, replay.valid_len, records, cfg.fsync)?;
-                    (writer, records, replay.tail_error)
+                    (writer, replay.version, records, replay.tail_error)
                 }
                 Err(PersistError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
                     // Crash between snapshot rename and WAL creation.
                     (
-                        WalWriter::create(dir, generation, base_count, cfg.fsync)?,
+                        WalWriter::create(dir, generation, base_live, cfg.fsync)?,
+                        FORMAT_VERSION,
                         0,
                         None,
                     )
@@ -168,27 +196,38 @@ impl StorageEngine {
                     // Torn during creation: the header never finished, so
                     // no record was ever appended. Recreate it.
                     (
-                        WalWriter::create(dir, generation, base_count, cfg.fsync)?,
+                        WalWriter::create(dir, generation, base_live, cfg.fsync)?,
+                        FORMAT_VERSION,
                         0,
                         None,
                     )
                 }
                 Err(e) => return Err(e),
             };
+            let mut engine = StorageEngine {
+                dir: dir.to_path_buf(),
+                cfg,
+                generation,
+                live: trajs.len() as u64,
+                next_id,
+                wal,
+            };
+            if snapshot_version < FORMAT_VERSION || wal_version < FORMAT_VERSION {
+                // Upgrade on open: the recovered state becomes a fresh
+                // current-version generation before any append happens —
+                // the live writer must never extend an old-format file.
+                let sections = deal_sections(&trajs, layout);
+                engine.compact(&sections)?;
+            }
             return Ok((
                 Recovered {
                     trajs,
-                    snapshot_shards,
+                    snapshot_shards: layout,
+                    next_id,
                     wal_records,
                     wal_tail_error,
                 },
-                StorageEngine {
-                    dir: dir.to_path_buf(),
-                    cfg,
-                    generation,
-                    base_count,
-                    wal,
-                },
+                engine,
             ));
         }
         Err(PersistError::NoUsableSnapshot {
@@ -197,29 +236,75 @@ impl StorageEngine {
         })
     }
 
-    /// Appends one trajectory to the WAL under the configured fsync
-    /// policy. On `Ok` the record is in the log (and as durable as the
-    /// policy promises); on `Err` nothing is logically appended — a torn
-    /// tail, if any, is truncated by the next recovery.
+    /// Appends one insert record to the WAL under the configured fsync
+    /// policy, issuing the next id from the watermark. On `Ok` the record
+    /// is in the log (and as durable as the policy promises); on `Err`
+    /// nothing is logically appended — a torn tail, if any, is truncated
+    /// by the next recovery.
     pub fn append(&mut self, t: &Trajectory) -> Result<(), PersistError> {
-        self.wal.append(t)
+        self.wal.append_insert(t)?;
+        self.live += 1;
+        self.next_id += 1;
+        Ok(())
     }
 
-    /// Appends a whole batch to the WAL as one group: identical on-disk
-    /// record stream to a run of [`StorageEngine::append`] calls, but one
-    /// buffered write and one application of the fsync policy for the
-    /// whole group — a single `fsync` under [`FsyncPolicy::Always`]
-    /// instead of one per record. On `Ok` every record of the group is in
-    /// the log; on `Err` nothing is logically appended, though — exactly
-    /// as with a crash mid-batch — a *prefix* of the group may survive on
-    /// disk as valid records the next recovery replays.
+    /// Appends a whole batch of inserts to the WAL as one group:
+    /// identical on-disk record stream to a run of
+    /// [`StorageEngine::append`] calls, but one buffered write and one
+    /// application of the fsync policy for the whole group — a single
+    /// `fsync` under [`FsyncPolicy::Always`] instead of one per record.
+    /// On `Ok` every record of the group is in the log; on `Err` nothing
+    /// is logically appended, though — exactly as with a crash mid-batch
+    /// — a *prefix* of the group may survive on disk as valid records the
+    /// next recovery replays.
     pub fn append_group(&mut self, batch: &[Trajectory]) -> Result<(), PersistError> {
-        self.wal.append_group(batch)
+        self.wal.append_inserts(batch)?;
+        self.live += batch.len() as u64;
+        self.next_id += batch.len() as u64;
+        Ok(())
     }
 
-    /// Trajectories across snapshot + WAL — the id the next append gets.
-    pub fn total(&self) -> u64 {
-        self.base_count + self.wal.records()
+    /// Appends one tombstone record per id as one group commit. The
+    /// caller (the session, under its writer lock) must have verified
+    /// every id is live and the ids are distinct — replay treats a
+    /// tombstone of a non-live id as a hard state mismatch.
+    pub fn append_tombstones(&mut self, ids: &[TrajId]) -> Result<(), PersistError> {
+        if (ids.len() as u64) > self.live {
+            return Err(PersistError::StateMismatch {
+                detail: format!(
+                    "tombstoning {} ids but only {} trajectories are live",
+                    ids.len(),
+                    self.live
+                ),
+            });
+        }
+        self.wal.append_tombstones(ids)?;
+        self.live -= ids.len() as u64;
+        Ok(())
+    }
+
+    /// Appends one reshard record declaring the new shard layout. The
+    /// live set is untouched; the next compaction writes its snapshot in
+    /// the new layout.
+    pub fn append_reshard(&mut self, shards: u32) -> Result<(), PersistError> {
+        if shards == 0 {
+            return Err(PersistError::StateMismatch {
+                detail: "cannot reshard to 0 shards".into(),
+            });
+        }
+        self.wal.append_reshard(shards)
+    }
+
+    /// Live trajectories across snapshot + WAL (inserts minus
+    /// tombstones).
+    pub fn live(&self) -> u64 {
+        self.live
+    }
+
+    /// Smallest id never issued — what the next insert gets. Monotone:
+    /// removal retires ids forever.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
     }
 
     /// Records currently in the WAL (resets to 0 on compaction).
@@ -255,38 +340,62 @@ impl StorageEngine {
         self.wal.sync()
     }
 
-    /// Compacts: writes the full database (as the given shard sections, in
-    /// shard order) to the next generation's snapshot, atomically swaps it
-    /// in (write `.tmp` + fsync + rename + directory fsync), starts that
+    /// Compacts: writes the **live** database (as the given shard
+    /// sections, in shard order, each entry carrying its global id) to
+    /// the next generation's snapshot, atomically swaps it in (write
+    /// `.tmp` + fsync + rename + directory fsync), starts that
     /// generation's empty WAL, and then prunes every older generation's
-    /// files.
+    /// files. Tombstoned trajectories are *not* handed over — compaction
+    /// is where dead entries leave the disk for good.
     ///
-    /// `shards` must be the engine's current logical contents — snapshot
-    /// plus every appended record — partitioned however the caller runs,
-    /// as per-shard sections of borrowed trajectories (the session hands
-    /// over each shard's base + delta without materialising a copy). A
-    /// crash anywhere in this sequence is safe: until the rename lands,
+    /// `shards` must be the engine's current live contents — everything
+    /// appended minus everything tombstoned — partitioned by the id
+    /// router (`gid mod n`, ids ascending per section). The count and the
+    /// id discipline are verified before any byte is written: a session
+    /// bug must fail the compaction, not brick the directory. A crash
+    /// anywhere in this sequence is safe: until the rename lands,
     /// recovery uses the old generation (old snapshot + old WAL are
     /// untouched); after it, recovery uses the new snapshot, with a
     /// missing WAL handled as empty. Pruning old files is the last step
     /// and best-effort — a leftover older generation costs disk, not
     /// correctness, and the next compaction retries the removal.
-    pub fn compact(&mut self, shards: &[Vec<&Trajectory>]) -> Result<(), PersistError> {
+    pub fn compact(&mut self, shards: &[Vec<(TrajId, &Trajectory)>]) -> Result<(), PersistError> {
         let total: u64 = shards.iter().map(|s| s.len() as u64).sum();
-        let expected = self.total();
-        if total != expected {
+        if total != self.live {
             return Err(PersistError::StateMismatch {
                 detail: format!(
-                    "compaction handed {total} trajectories but the engine logged {expected}"
+                    "compaction handed {total} trajectories but the engine holds {} live",
+                    self.live
                 ),
             });
         }
+        let n = shards.len();
+        for (s, section) in shards.iter().enumerate() {
+            let mut prev: Option<TrajId> = None;
+            for &(gid, _) in section {
+                if gid as usize % n != s || gid as u64 >= self.next_id {
+                    return Err(PersistError::StateMismatch {
+                        detail: format!(
+                            "compaction handed id {gid} to section {s} of {n} \
+                             (watermark {})",
+                            self.next_id
+                        ),
+                    });
+                }
+                if prev.is_some_and(|p| p >= gid) {
+                    return Err(PersistError::StateMismatch {
+                        detail: format!("compaction section {s} ids are not ascending at {gid}"),
+                    });
+                }
+                prev = Some(gid);
+            }
+        }
         let next = self.generation + 1;
-        write_snapshot(&self.dir, next, shards)?;
+        write_snapshot(&self.dir, next, shards, self.next_id)?;
         let wal = WalWriter::create(&self.dir, next, total, self.cfg.fsync)?;
         sync_dir(&self.dir)?;
         self.generation = next;
-        self.base_count = total;
+        self.live = total;
         self.wal = wal;
         self.prune_older_generations();
         Ok(())
@@ -311,6 +420,58 @@ impl StorageEngine {
     }
 }
 
+/// Applies one replayed WAL record to the recovered state. `trajs` stays
+/// ascending by id throughout: inserts are numbered from the watermark
+/// (above every existing id), tombstones remove by binary search.
+fn apply_record(
+    trajs: &mut Vec<(TrajId, Trajectory)>,
+    next_id: &mut u64,
+    layout: &mut usize,
+    record: WalRecord,
+    index: usize,
+) -> Result<(), PersistError> {
+    match record {
+        WalRecord::Insert(t) => {
+            let gid = TrajId::try_from(*next_id).map_err(|_| PersistError::StateMismatch {
+                detail: format!("wal record {index} overflows the trajectory id space"),
+            })?;
+            trajs.push((gid, t));
+            *next_id += 1;
+        }
+        WalRecord::Tombstone(gid) => {
+            match trajs.binary_search_by_key(&gid, |&(g, _)| g) {
+                Ok(at) => {
+                    trajs.remove(at);
+                }
+                Err(_) => {
+                    // The writer only logs tombstones for live ids, so
+                    // this log disagrees with its snapshot — hard error.
+                    return Err(PersistError::StateMismatch {
+                        detail: format!(
+                            "wal record {index} tombstones id {gid}, which is not live"
+                        ),
+                    });
+                }
+            }
+        }
+        WalRecord::Reshard(n) => {
+            *layout = n as usize;
+        }
+    }
+    Ok(())
+}
+
+/// Deals live `(id, trajectory)` pairs (ascending) into `n` borrowed
+/// sections by the id router — the layout compaction writes.
+fn deal_sections(trajs: &[(TrajId, Trajectory)], n: usize) -> Vec<Vec<(TrajId, &Trajectory)>> {
+    let n = n.max(1);
+    let mut sections: Vec<Vec<(TrajId, &Trajectory)>> = vec![Vec::new(); n];
+    for &(gid, ref t) in trajs {
+        sections[gid as usize % n].push((gid, t));
+    }
+    sections
+}
+
 /// Generation numbers of every `snapshot-*.snap` in `dir`.
 fn snapshot_generations(dir: &Path) -> Result<Vec<u64>, PersistError> {
     let mut generations = Vec::new();
@@ -324,38 +485,12 @@ fn snapshot_generations(dir: &Path) -> Result<Vec<u64>, PersistError> {
     Ok(generations)
 }
 
-/// Rebuilds global-id order from per-shard sections: the writer dealt
-/// global id `g` to shard `g mod n`, slot `g div n`, so reading one
-/// element from each section round-robin reproduces `0, 1, 2, …`.
-/// Sections whose lengths cannot arise from that dealing are rejected.
-fn interleave_sections(sections: Vec<Vec<Trajectory>>) -> Result<Vec<Trajectory>, PersistError> {
-    let n = sections.len();
-    let total: usize = sections.iter().map(|s| s.len()).sum();
-    for (s, section) in sections.iter().enumerate() {
-        // Shard s of n holds ids s, s+n, s+2n, … < total.
-        let expected = (total + n - 1 - s) / n;
-        if section.len() != expected {
-            return Err(PersistError::StateMismatch {
-                detail: format!(
-                    "snapshot section {s} holds {} trajectories where round-robin \
-                     dealing of {total} over {n} shards requires {expected}",
-                    section.len()
-                ),
-            });
-        }
-    }
-    let mut iters: Vec<_> = sections.into_iter().map(|s| s.into_iter()).collect();
-    let mut out = Vec::with_capacity(total);
-    for g in 0..total {
-        out.push(iters[g % n].next().expect("section lengths verified"));
-    }
-    Ok(out)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::crc::crc32;
     use crate::tempdir::TempDir;
+    use traj_core::codec::{put_u32, put_u64};
 
     fn traj(x: f64) -> Trajectory {
         Trajectory::from_xy(&[(x, 0.0), (x + 1.0, 1.0)])
@@ -365,8 +500,12 @@ mod tests {
         DurabilityConfig::default().compact_after(None)
     }
 
-    fn refs<'a>(sections: &[&'a [Trajectory]]) -> Vec<Vec<&'a Trajectory>> {
-        sections.iter().map(|s| s.iter().collect()).collect()
+    fn dense_pairs(trajs: &[Trajectory]) -> Vec<(TrajId, Trajectory)> {
+        trajs
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as TrajId, t.clone()))
+            .collect()
     }
 
     #[test]
@@ -375,8 +514,9 @@ mod tests {
         let (rec, engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
         assert!(rec.trajs.is_empty());
         assert_eq!(rec.snapshot_shards, 1);
+        assert_eq!(rec.next_id, 0);
         assert_eq!(engine.generation(), 0);
-        assert_eq!(engine.total(), 0);
+        assert_eq!(engine.live(), 0);
         drop(engine);
         // Reopening finds the same (still empty) generation.
         let (rec, engine) = StorageEngine::open(dir.path(), cfg()).expect("reopen");
@@ -391,15 +531,64 @@ mod tests {
         for i in 0..5 {
             engine.append(&traj(i as f64)).expect("append");
         }
-        assert_eq!(engine.total(), 5);
+        assert_eq!(engine.live(), 5);
+        assert_eq!(engine.next_id(), 5);
         drop(engine);
         let (rec, engine) = StorageEngine::open(dir.path(), cfg()).expect("reopen");
-        assert_eq!(
-            rec.trajs,
-            (0..5).map(|i| traj(i as f64)).collect::<Vec<_>>()
-        );
+        let want: Vec<Trajectory> = (0..5).map(|i| traj(i as f64)).collect();
+        assert_eq!(rec.trajs, dense_pairs(&want));
         assert_eq!(rec.wal_records, 5);
-        assert_eq!(engine.total(), 5);
+        assert_eq!(rec.next_id, 5);
+        assert_eq!(engine.live(), 5);
+    }
+
+    #[test]
+    fn tombstones_and_reshards_replay_in_order() {
+        let dir = TempDir::new("engine-lifecycle");
+        let (_, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
+        for i in 0..6 {
+            engine.append(&traj(i as f64)).expect("append");
+        }
+        engine.append_tombstones(&[1, 4]).expect("tombstones");
+        engine.append_reshard(3).expect("reshard");
+        engine.append(&traj(6.0)).expect("append after removal");
+        assert_eq!(engine.live(), 5);
+        assert_eq!(engine.next_id(), 7, "removal never recycles ids");
+        drop(engine);
+
+        let (rec, engine) = StorageEngine::open(dir.path(), cfg()).expect("reopen");
+        let want: Vec<(TrajId, Trajectory)> = [0u32, 2, 3, 5, 6]
+            .iter()
+            .map(|&g| (g, traj(g as f64)))
+            .collect();
+        assert_eq!(rec.trajs, want);
+        assert_eq!(rec.snapshot_shards, 3, "last reshard record wins");
+        assert_eq!(rec.next_id, 7);
+        assert_eq!(rec.wal_records, 10);
+        assert_eq!(engine.live(), 5);
+        assert_eq!(engine.next_id(), 7);
+    }
+
+    #[test]
+    fn tombstone_of_a_dead_id_is_a_hard_replay_error() {
+        let dir = TempDir::new("engine-double-kill");
+        let (_, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
+        engine.append(&traj(0.0)).expect("append");
+        engine.append(&traj(1.0)).expect("append");
+        // The engine trusts its caller about *which* ids are live (it only
+        // tracks the count), so a double tombstone lands in the log — and
+        // replay must refuse it.
+        engine.append_tombstones(&[0]).expect("first kill");
+        engine
+            .append_tombstones(&[0])
+            .expect("second kill reaches the log");
+        drop(engine);
+        match StorageEngine::open(dir.path(), cfg()) {
+            Err(PersistError::StateMismatch { detail }) => {
+                assert!(detail.contains("tombstones id 0"), "{detail}");
+            }
+            other => panic!("expected StateMismatch, got {other:?}"),
+        }
     }
 
     #[test]
@@ -410,23 +599,44 @@ mod tests {
         for t in &all {
             engine.append(t).expect("append");
         }
-        // Two shards, round-robin dealt, as a session would hold them.
-        let s0: Vec<Trajectory> = all.iter().step_by(2).cloned().collect();
-        let s1: Vec<Trajectory> = all.iter().skip(1).step_by(2).cloned().collect();
-        engine.compact(&refs(&[&s0, &s1])).expect("compact");
+        // Two shards, dealt by the id router, as a session would hold them.
+        let pairs = dense_pairs(&all);
+        let sections = deal_sections(&pairs, 2);
+        engine.compact(&sections).expect("compact");
         assert_eq!(engine.generation(), 1);
         assert_eq!(engine.wal_records(), 0);
-        assert_eq!(engine.total(), 6);
+        assert_eq!(engine.live(), 6);
+        assert_eq!(engine.next_id(), 6);
         // Old generation's files are gone.
         assert!(!dir.path().join(snapshot_file_name(0)).exists());
         assert!(!dir.path().join(wal_file_name(0)).exists());
         drop(engine);
 
         let (rec, engine) = StorageEngine::open(dir.path(), cfg()).expect("reopen");
-        assert_eq!(rec.trajs, all, "interleave must restore global order");
+        assert_eq!(rec.trajs, pairs, "merge must restore global order");
         assert_eq!(rec.snapshot_shards, 2);
         assert_eq!(rec.wal_records, 0);
         assert_eq!(engine.generation(), 1);
+    }
+
+    #[test]
+    fn compaction_drops_tombstoned_ids_for_good() {
+        let dir = TempDir::new("engine-compact-dead");
+        let (_, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
+        let all: Vec<Trajectory> = (0..4).map(|i| traj(i as f64)).collect();
+        for t in &all {
+            engine.append(t).expect("append");
+        }
+        engine.append_tombstones(&[2]).expect("tombstone");
+        let live: Vec<(TrajId, Trajectory)> =
+            [0u32, 1, 3].iter().map(|&g| (g, traj(g as f64))).collect();
+        engine.compact(&deal_sections(&live, 2)).expect("compact");
+        assert_eq!(engine.live(), 3);
+        assert_eq!(engine.next_id(), 4, "the watermark survives compaction");
+        drop(engine);
+        let (rec, _) = StorageEngine::open(dir.path(), cfg()).expect("reopen");
+        assert_eq!(rec.trajs, live);
+        assert_eq!(rec.next_id, 4);
     }
 
     #[test]
@@ -434,9 +644,22 @@ mod tests {
         let dir = TempDir::new("engine-compact-guard");
         let (_, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
         engine.append(&traj(0.0)).expect("append");
-        let wrong: Vec<Trajectory> = vec![];
+        // Wrong count.
         assert!(matches!(
-            engine.compact(&refs(&[&wrong])),
+            engine.compact(&[Vec::new()]),
+            Err(PersistError::StateMismatch { .. })
+        ));
+        // Right count, wrong section for the id.
+        let t = traj(0.0);
+        let bad: Vec<Vec<(TrajId, &Trajectory)>> = vec![Vec::new(), vec![(0, &t)]];
+        assert!(matches!(
+            engine.compact(&bad),
+            Err(PersistError::StateMismatch { .. })
+        ));
+        // Right count, id at the watermark.
+        let bad: Vec<Vec<(TrajId, &Trajectory)>> = vec![vec![(7, &t)]];
+        assert!(matches!(
+            engine.compact(&bad),
             Err(PersistError::StateMismatch { .. })
         ));
     }
@@ -450,7 +673,9 @@ mod tests {
             engine.append(&traj(i as f64)).expect("append");
             assert!(!engine.needs_compaction());
         }
-        engine.append(&traj(2.0)).expect("append");
+        // A tombstone is a record too: the trigger counts log growth, not
+        // database growth.
+        engine.append_tombstones(&[1]).expect("tombstone");
         assert!(engine.needs_compaction());
     }
 
@@ -459,13 +684,15 @@ mod tests {
         let dir = TempDir::new("engine-fallback");
         let (_, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
         engine.append(&traj(0.0)).expect("append");
-        let all = vec![traj(0.0)];
-        engine.compact(&refs(&[&all])).expect("compact to gen 1");
+        let live = vec![(0u32, traj(0.0))];
+        engine
+            .compact(&deal_sections(&live, 1))
+            .expect("compact to gen 1");
         drop(engine);
         // Corrupt generation 1's snapshot body; generation 0 is pruned, so
         // plant a valid older snapshot to fall back to.
         let g1 = dir.path().join(snapshot_file_name(1));
-        write_snapshot(dir.path(), 0, &[Vec::new()]).expect("plant gen 0");
+        write_snapshot(dir.path(), 0, &[Vec::new()], 0).expect("plant gen 0");
         let mut bytes = fs::read(&g1).unwrap();
         let len = bytes.len();
         bytes[len - 10] ^= 0xFF;
@@ -499,14 +726,14 @@ mod tests {
         let dir = TempDir::new("engine-missing-wal");
         let (_, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
         engine.append(&traj(0.0)).expect("append");
-        let all = vec![traj(0.0)];
-        engine.compact(&refs(&[&all])).expect("compact");
+        let live = vec![(0u32, traj(0.0))];
+        engine.compact(&deal_sections(&live, 1)).expect("compact");
         drop(engine);
         fs::remove_file(dir.path().join(wal_file_name(1))).unwrap();
         let (rec, engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
-        assert_eq!(rec.trajs, all);
+        assert_eq!(rec.trajs, live);
         assert_eq!(rec.wal_records, 0);
-        assert_eq!(engine.total(), 1);
+        assert_eq!(engine.live(), 1);
     }
 
     #[test]
@@ -521,5 +748,85 @@ mod tests {
             StorageEngine::open(dir.path(), cfg()),
             Err(PersistError::StateMismatch { .. })
         ));
+    }
+
+    /// Hand-writes a complete version-1 generation (36-byte snapshot
+    /// header, id-less sections, kind-less WAL records) so upgrades can
+    /// be tested without keeping a v1 writer around.
+    fn write_v1_generation(
+        dir: &Path,
+        generation: u64,
+        sections: &[&[Trajectory]],
+        wal_tail: &[Trajectory],
+    ) {
+        let total: u64 = sections.iter().map(|s| s.len() as u64).sum();
+        let mut body = Vec::new();
+        for section in sections {
+            put_u64(&mut body, section.len() as u64);
+            for t in *section {
+                t.encode_into(&mut body);
+            }
+        }
+        let mut snap = Vec::new();
+        snap.extend_from_slice(b"TRJSNAP1");
+        put_u32(&mut snap, 1);
+        put_u32(&mut snap, sections.len() as u32);
+        put_u64(&mut snap, total);
+        put_u64(&mut snap, body.len() as u64);
+        let header_crc = crc32(&snap);
+        put_u32(&mut snap, header_crc);
+        let body_crc = crc32(&body);
+        snap.extend_from_slice(&body);
+        put_u32(&mut snap, body_crc);
+        fs::write(dir.join(snapshot_file_name(generation)), &snap).unwrap();
+
+        let mut wal = Vec::new();
+        wal.extend_from_slice(b"TRJWAL01");
+        put_u32(&mut wal, 1);
+        put_u64(&mut wal, total);
+        let crc = crc32(&wal);
+        put_u32(&mut wal, crc);
+        for t in wal_tail {
+            let payload = t.encode();
+            put_u32(&mut wal, payload.len() as u32);
+            put_u32(&mut wal, crc32(&payload));
+            wal.extend_from_slice(&payload);
+        }
+        fs::write(dir.join(wal_file_name(generation)), &wal).unwrap();
+    }
+
+    #[test]
+    fn version_1_generations_are_upgraded_on_open() {
+        let dir = TempDir::new("engine-upgrade");
+        // Dense dealing over 2 shards of ids 0..4, plus one WAL insert.
+        let s0 = [traj(0.0), traj(2.0)];
+        let s1 = [traj(1.0), traj(3.0)];
+        write_v1_generation(dir.path(), 7, &[&s0, &s1], &[traj(4.0)]);
+
+        let (rec, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("upgrade open");
+        let want: Vec<Trajectory> = (0..5).map(|i| traj(i as f64)).collect();
+        assert_eq!(rec.trajs, dense_pairs(&want));
+        assert_eq!(rec.snapshot_shards, 2);
+        assert_eq!(rec.next_id, 5);
+        assert_eq!(
+            engine.generation(),
+            8,
+            "upgrade compacts into a fresh generation"
+        );
+        // The old-format files are gone and the new generation loads as
+        // the current version.
+        assert!(!dir.path().join(snapshot_file_name(7)).exists());
+        assert!(!dir.path().join(wal_file_name(7)).exists());
+        let reloaded = load_snapshot(&dir.path().join(snapshot_file_name(8))).expect("reload");
+        assert_eq!(reloaded.version, FORMAT_VERSION);
+        assert_eq!(reloaded.next_id, 5);
+        // Typed records now append cleanly.
+        engine
+            .append_tombstones(&[0])
+            .expect("tombstone after upgrade");
+        drop(engine);
+        let (rec, _) = StorageEngine::open(dir.path(), cfg()).expect("reopen");
+        assert_eq!(rec.trajs, dense_pairs(&want)[1..].to_vec());
+        assert_eq!(rec.next_id, 5);
     }
 }

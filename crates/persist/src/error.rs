@@ -57,6 +57,17 @@ pub enum PersistError {
     /// they claim to be — a writer bug or a format drift, never a torn
     /// write.
     Codec(CodecError),
+    /// A checksum-valid WAL record whose kind byte this build does not
+    /// understand. New record kinds only ship together with a header
+    /// format-version bump (which [`PersistError::UnsupportedVersion`]
+    /// refuses up front), so an unknown kind inside a readable file is a
+    /// writer bug or tampering — a hard error, never a torn tail.
+    UnknownRecordKind {
+        /// The kind byte found.
+        kind: u8,
+        /// Largest record kind this build understands.
+        supported: u8,
+    },
     /// Recovered pieces that disagree with each other (e.g. a WAL whose
     /// `base_count` does not match the snapshot it claims to extend).
     StateMismatch {
@@ -101,6 +112,10 @@ impl fmt::Display for PersistError {
                 write!(f, "{what}: truncated ({got} of {needed} bytes present)")
             }
             PersistError::Codec(e) => write!(f, "undecodable payload: {e}"),
+            PersistError::UnknownRecordKind { kind, supported } => write!(
+                f,
+                "wal record kind {kind} is unknown (this build understands kinds 0..={supported})"
+            ),
             PersistError::StateMismatch { detail } => {
                 write!(f, "inconsistent on-disk state: {detail}")
             }

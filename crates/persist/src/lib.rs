@@ -35,11 +35,24 @@ pub mod tempdir;
 pub mod wal;
 
 /// Version stamped into every snapshot and WAL header. Readers refuse
-/// anything newer with [`PersistError::UnsupportedVersion`].
-pub const FORMAT_VERSION: u32 = 1;
+/// anything newer with [`PersistError::UnsupportedVersion`]; version-1
+/// files (insert-only WALs, snapshots without per-entry ids or an id
+/// watermark) still load, and the engine upgrades them by compacting
+/// into a fresh version-2 generation the first time the directory is
+/// opened for writing.
+///
+/// Version 2 (the trajectory lifecycle rev): WAL payloads start with a
+/// record kind byte (`Insert | Tombstone | Reshard`), snapshot sections
+/// carry each trajectory's explicit global id, and the snapshot header
+/// carries the `next_id` watermark — ids are never reused after removal.
+pub const FORMAT_VERSION: u32 = 2;
 
 pub use crc::crc32;
 pub use engine::{DurabilityConfig, Recovered, StorageEngine};
 pub use error::PersistError;
-pub use snapshot::{load_snapshot, snapshot_file_name, write_snapshot, SNAPSHOT_HEADER_LEN};
-pub use wal::{replay_wal, wal_file_name, FsyncPolicy, WalReplay, WAL_FRAME_LEN, WAL_HEADER_LEN};
+pub use snapshot::{
+    load_snapshot, snapshot_file_name, write_snapshot, SnapshotContents, SNAPSHOT_HEADER_LEN,
+};
+pub use wal::{
+    replay_wal, wal_file_name, FsyncPolicy, WalRecord, WalReplay, WAL_FRAME_LEN, WAL_HEADER_LEN,
+};

@@ -7,19 +7,28 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic "TRJSNAP1"
-//! 8       4     format version (u32 LE, currently 1)
+//! 8       4     format version (u32 LE, currently 2)
 //! 12      4     shard count n (u32 LE, >= 1)
-//! 16      8     total trajectory count (u64 LE)
-//! 24      8     body length in bytes (u64 LE)
-//! 32      4     CRC-32 over bytes 0..32 (u32 LE)
-//! 36      ...   body: n sections, section s = u64 count_s + count_s
-//!               encoded trajectories (traj-core codec, local-id order)
-//! 36+body 4     CRC-32 over the body bytes (u32 LE)
+//! 16      8     live trajectory count (u64 LE)
+//! 24      8     next_id watermark (u64 LE): smallest never-issued id
+//! 32      8     body length in bytes (u64 LE)
+//! 40      4     CRC-32 over bytes 0..40 (u32 LE)
+//! 44      ...   body: n sections, section s = u64 count_s + count_s
+//!               entries; entry = u32 global id + one encoded trajectory
+//! 44+body 4     CRC-32 over the body bytes (u32 LE)
 //! ```
+//!
+//! Since format version 2 every entry carries its **explicit global id**
+//! (ascending within a section, `≡ s (mod n)`, below the `next_id`
+//! watermark) — removals punch holes in the id space, so ids can no
+//! longer be derived from position. Version-1 snapshots (36-byte header,
+//! no per-entry ids, no watermark) still load: their dense round-robin
+//! dealing makes every id derivable, and `next_id` is the total count.
 //!
 //! A snapshot is **valid** only if the magic, version and both checksums
 //! verify, the declared body length matches the file's actual size, every
-//! trajectory decodes, and the section counts sum to the declared total —
+//! trajectory decodes, the section counts sum to the declared total, and
+//! (version ≥ 2) every id respects the section/ordering/watermark rules —
 //! anything less surfaces a typed [`PersistError`] and the loader moves on
 //! to an older generation (or refuses to open). Loading never panics on
 //! untrusted bytes.
@@ -38,13 +47,15 @@ use std::fs::{self, File};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use traj_core::codec::{put_u32, put_u64, ByteReader};
-use traj_core::{StPoint, Trajectory};
+use traj_core::{StPoint, TrajId, Trajectory};
 
 /// First eight bytes of every snapshot file.
 pub(crate) const SNAPSHOT_MAGIC: [u8; 8] = *b"TRJSNAP1";
-/// Fixed header size: magic + version + shard count + total + body length
-/// + header CRC.
-pub const SNAPSHOT_HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8 + 4;
+/// Fixed header size (version ≥ 2): magic + version + shard count +
+/// live count + next_id watermark + body length + header CRC.
+pub const SNAPSHOT_HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8 + 8 + 4;
+/// Version-1 header size: no `next_id` field.
+const V1_HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8 + 4;
 
 /// Canonical file name of the snapshot for `generation`.
 pub fn snapshot_file_name(generation: u64) -> String {
@@ -72,16 +83,33 @@ pub(crate) fn sync_dir(dir: &Path) -> Result<(), PersistError> {
     Ok(())
 }
 
+/// The verified contents of a snapshot file: per-shard sections of
+/// `(global id, trajectory)` entries plus the id watermark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotContents {
+    /// One section per shard; entries ascending by global id, every id
+    /// `≡ section (mod shard count)`.
+    pub sections: Vec<Vec<(TrajId, Trajectory)>>,
+    /// Smallest id the database had never issued when the snapshot was
+    /// written. Ids are never reused, so replayed inserts are numbered
+    /// from here.
+    pub next_id: u64,
+    /// Format version the file was written in. Version-1 files load with
+    /// synthesized dense ids; the engine upgrades them on first open.
+    pub version: u32,
+}
+
 /// Serialises the full snapshot payload for the given shard sections
 /// (borrowed trajectories, so callers can hand over composite views —
-/// e.g. a shard's indexed base chained with its delta buffer — without
+/// e.g. a shard's live base chained with its delta buffer — without
 /// materialising a copy).
-fn encode_snapshot(shards: &[Vec<&Trajectory>]) -> Vec<u8> {
+fn encode_snapshot(shards: &[Vec<(TrajId, &Trajectory)>], next_id: u64) -> Vec<u8> {
     let total: u64 = shards.iter().map(|s| s.len() as u64).sum();
     let mut body = Vec::new();
     for section in shards {
         put_u64(&mut body, section.len() as u64);
-        for t in section {
+        for (gid, t) in section {
+            put_u32(&mut body, *gid);
             t.encode_into(&mut body);
         }
     }
@@ -91,6 +119,7 @@ fn encode_snapshot(shards: &[Vec<&Trajectory>]) -> Vec<u8> {
     put_u32(&mut file, FORMAT_VERSION);
     put_u32(&mut file, shards.len() as u32);
     put_u64(&mut file, total);
+    put_u64(&mut file, next_id);
     put_u64(&mut file, body.len() as u64);
     let header_crc = crc32(&file);
     put_u32(&mut file, header_crc);
@@ -109,9 +138,10 @@ fn encode_snapshot(shards: &[Vec<&Trajectory>]) -> Vec<u8> {
 pub fn write_snapshot(
     dir: &Path,
     generation: u64,
-    shards: &[Vec<&Trajectory>],
+    shards: &[Vec<(TrajId, &Trajectory)>],
+    next_id: u64,
 ) -> Result<PathBuf, PersistError> {
-    let bytes = encode_snapshot(shards);
+    let bytes = encode_snapshot(shards, next_id);
     let final_path = dir.join(snapshot_file_name(generation));
     let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(generation)));
     {
@@ -124,32 +154,29 @@ pub fn write_snapshot(
     Ok(final_path)
 }
 
-/// Loads and fully verifies the snapshot at `path`, returning its shard
-/// sections (trajectories in local-id order per shard). Strict: any
+/// Loads and fully verifies the snapshot at `path`. Strict: any
 /// corruption — torn tail, flipped bit, unknown version, section counts
-/// that disagree with the header — is a typed error, never a panic and
-/// never a partial result.
-pub fn load_snapshot(path: &Path) -> Result<Vec<Vec<Trajectory>>, PersistError> {
+/// or ids that disagree with the header — is a typed error, never a panic
+/// and never a partial result.
+pub fn load_snapshot(path: &Path) -> Result<SnapshotContents, PersistError> {
     let bytes = fs::read(path)?;
-    if bytes.len() < SNAPSHOT_HEADER_LEN {
+    // Magic and version live in the first 12 bytes and decide how long
+    // the header is; anything shorter is a torn header either way.
+    if bytes.len() < 12 {
         return Err(PersistError::Truncated {
             what: "snapshot header",
             needed: SNAPSHOT_HEADER_LEN as u64,
             got: bytes.len() as u64,
         });
     }
-    let (header, rest) = bytes.split_at(SNAPSHOT_HEADER_LEN);
-    let mut r = ByteReader::new(header);
-    let magic: [u8; 8] = r.bytes(8).expect("header length checked")[..8]
-        .try_into()
-        .expect("8-byte slice");
+    let magic: [u8; 8] = bytes[..8].try_into().expect("8-byte slice");
     if magic != SNAPSHOT_MAGIC {
         return Err(PersistError::BadMagic {
             what: "snapshot",
             found: magic,
         });
     }
-    let version = r.u32().expect("header length checked");
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
     if version > FORMAT_VERSION {
         return Err(PersistError::UnsupportedVersion {
             what: "snapshot",
@@ -157,11 +184,31 @@ pub fn load_snapshot(path: &Path) -> Result<Vec<Vec<Trajectory>>, PersistError> 
             supported: FORMAT_VERSION,
         });
     }
+    let header_len = if version <= 1 {
+        V1_HEADER_LEN
+    } else {
+        SNAPSHOT_HEADER_LEN
+    };
+    if bytes.len() < header_len {
+        return Err(PersistError::Truncated {
+            what: "snapshot header",
+            needed: header_len as u64,
+            got: bytes.len() as u64,
+        });
+    }
+    let (header, rest) = bytes.split_at(header_len);
+    let mut r = ByteReader::new(&header[12..]);
     let shard_count = r.u32().expect("header length checked");
     let total = r.u64().expect("header length checked");
+    let next_id = if version <= 1 {
+        // Version 1 had no watermark: ids were dense, so the total is it.
+        total
+    } else {
+        r.u64().expect("header length checked")
+    };
     let body_len = r.u64().expect("header length checked");
     let stored_header_crc = r.u32().expect("header length checked");
-    let computed_header_crc = crc32(&header[..SNAPSHOT_HEADER_LEN - 4]);
+    let computed_header_crc = crc32(&header[..header_len - 4]);
     if stored_header_crc != computed_header_crc {
         return Err(PersistError::Checksum {
             what: "snapshot header",
@@ -196,14 +243,43 @@ pub fn load_snapshot(path: &Path) -> Result<Vec<Vec<Trajectory>>, PersistError> 
         });
     }
 
-    let sections = decode_sections(body, shard_count)?;
+    let sections = decode_sections(body, shard_count, version)?;
     let seen: u64 = sections.iter().map(|s| s.len() as u64).sum();
     if seen != total {
         return Err(PersistError::StateMismatch {
             detail: format!("header declares {total} trajectories, sections hold {seen}"),
         });
     }
-    Ok(sections)
+    // The id discipline the router and replay rely on: ascending per
+    // section, residue matches the section, nothing at or above the
+    // watermark. Version-1 ids are synthesized and satisfy this by
+    // construction, but checking is cheap and uniform.
+    for (s, section) in sections.iter().enumerate() {
+        let mut prev: Option<TrajId> = None;
+        for &(gid, _) in section {
+            if gid as usize % shard_count as usize != s {
+                return Err(PersistError::StateMismatch {
+                    detail: format!("global id {gid} cannot live in section {s} of {shard_count}"),
+                });
+            }
+            if prev.is_some_and(|p| p >= gid) {
+                return Err(PersistError::StateMismatch {
+                    detail: format!("section {s} global ids are not strictly ascending at {gid}"),
+                });
+            }
+            if gid as u64 >= next_id {
+                return Err(PersistError::StateMismatch {
+                    detail: format!("global id {gid} is at or above the id watermark {next_id}"),
+                });
+            }
+            prev = Some(gid);
+        }
+    }
+    Ok(SnapshotContents {
+        sections,
+        next_id,
+        version,
+    })
 }
 
 /// Entry floor below which parallel decode is not worth the thread spawns.
@@ -211,31 +287,53 @@ const PARALLEL_DECODE_MIN: usize = 1024;
 
 /// Decodes the checksum-verified body into per-shard sections. Large
 /// bodies on multi-core hosts take the parallel path: a cheap boundary
-/// scan (each trajectory is a `u64` point count plus `count` fixed-size
-/// points, so spans are found without touching the floats) splits the
-/// body into independent chunks decoded on scoped worker threads. Any
-/// irregularity — a scan that doesn't tile the body exactly, or a chunk
-/// that fails to decode — falls back to the sequential path so errors
-/// surface with the same typed causes in the same order regardless of
-/// core count.
-fn decode_sections(body: &[u8], shard_count: u32) -> Result<Vec<Vec<Trajectory>>, PersistError> {
-    if let Some(sections) = try_parallel_decode(body, shard_count) {
+/// scan (each entry is an optional `u32` id, a `u64` point count and
+/// `count` fixed-size points, so spans are found without touching the
+/// floats) splits the body into independent chunks decoded on scoped
+/// worker threads. Any irregularity — a scan that doesn't tile the body
+/// exactly, or a chunk that fails to decode — falls back to the
+/// sequential path so errors surface with the same typed causes in the
+/// same order regardless of core count.
+fn decode_sections(
+    body: &[u8],
+    shard_count: u32,
+    version: u32,
+) -> Result<Vec<Vec<(TrajId, Trajectory)>>, PersistError> {
+    let with_gids = version >= 2;
+    if let Some(sections) = try_parallel_decode(body, shard_count, with_gids) {
         return Ok(sections);
     }
-    decode_sections_sequential(body, shard_count)
+    decode_sections_sequential(body, shard_count, with_gids)
+}
+
+/// The dense round-robin id a version-1 snapshot implies for entry `j` of
+/// section `s`: `s + j * n`. `None` when it would overflow the id space.
+fn v1_gid(s: usize, j: usize, shard_count: u32) -> Option<TrajId> {
+    let gid = (s as u64).checked_add((j as u64).checked_mul(shard_count as u64)?)?;
+    TrajId::try_from(gid).ok()
 }
 
 fn decode_sections_sequential(
     body: &[u8],
     shard_count: u32,
-) -> Result<Vec<Vec<Trajectory>>, PersistError> {
+    with_gids: bool,
+) -> Result<Vec<Vec<(TrajId, Trajectory)>>, PersistError> {
     let mut r = ByteReader::new(body);
     let mut sections = Vec::with_capacity(shard_count as usize);
-    for _ in 0..shard_count {
-        let count = r.checked_count(8)?;
+    for s in 0..shard_count as usize {
+        // Every entry consumes at least its count field (plus its id in
+        // version 2), which bounds plausible section counts.
+        let count = r.checked_count(if with_gids { 12 } else { 8 })?;
         let mut section = Vec::with_capacity(count);
-        for _ in 0..count {
-            section.push(Trajectory::decode(&mut r)?);
+        for j in 0..count {
+            let gid = if with_gids {
+                r.u32()?
+            } else {
+                v1_gid(s, j, shard_count).ok_or_else(|| PersistError::StateMismatch {
+                    detail: format!("section {s} entry {j} overflows the trajectory id space"),
+                })?
+            };
+            section.push((gid, Trajectory::decode(&mut r)?));
         }
         sections.push(section);
     }
@@ -252,29 +350,31 @@ fn read_u64_at(body: &[u8], pos: usize) -> Option<u64> {
     Some(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
 }
 
-/// Per-section trajectory counts plus every trajectory's byte span, in
-/// body order — the output of [`scan_sections`].
+/// Per-section trajectory counts plus every entry's byte span, in body
+/// order — the output of [`scan_sections`].
 type SectionScan = (Vec<usize>, Vec<(usize, usize)>);
 
 /// Walks the body reading only the length fields, returning each
-/// section's trajectory count and the byte span of every trajectory in
-/// body order. `None` if the declared lengths do not tile the body
-/// exactly — the sequential decoder then reports the canonical error.
-fn scan_sections(body: &[u8], shard_count: u32) -> Option<SectionScan> {
+/// section's entry count and the byte span of every entry in body order.
+/// `None` if the declared lengths do not tile the body exactly — the
+/// sequential decoder then reports the canonical error.
+fn scan_sections(body: &[u8], shard_count: u32, with_gids: bool) -> Option<SectionScan> {
+    let gid_len = if with_gids { 4 } else { 0 };
+    let min_entry = gid_len + 8;
     let mut pos = 0usize;
     let mut counts = Vec::with_capacity(shard_count as usize);
     let mut spans = Vec::new();
     for _ in 0..shard_count {
         let count = usize::try_from(read_u64_at(body, pos)?).ok()?;
         pos += 8;
-        // Each trajectory consumes at least its 8-byte count field.
-        if count > (body.len() - pos) / 8 {
+        // Each entry consumes at least its fixed-size prefix.
+        if count > (body.len() - pos) / min_entry {
             return None;
         }
         counts.push(count);
         for _ in 0..count {
-            let points = usize::try_from(read_u64_at(body, pos)?).ok()?;
-            let len = 8usize.checked_add(points.checked_mul(StPoint::ENCODED_SIZE)?)?;
+            let points = usize::try_from(read_u64_at(body, pos.checked_add(gid_len)?)?).ok()?;
+            let len = min_entry.checked_add(points.checked_mul(StPoint::ENCODED_SIZE)?)?;
             let end = pos.checked_add(len)?;
             if end > body.len() {
                 return None;
@@ -286,17 +386,30 @@ fn scan_sections(body: &[u8], shard_count: u32) -> Option<SectionScan> {
     (pos == body.len()).then_some((counts, spans))
 }
 
+/// Decodes one scanned entry span. `gid` is the explicit id (version 2)
+/// or `None` for a version-1 entry whose id the caller synthesizes.
+fn decode_entry(bytes: &[u8], with_gids: bool) -> Option<(TrajId, Trajectory)> {
+    let mut r = ByteReader::new(bytes);
+    let gid = if with_gids { r.u32().ok()? } else { 0 };
+    let t = Trajectory::decode(&mut r).ok()?;
+    r.is_empty().then_some((gid, t))
+}
+
 /// The parallel decode path: `None` means "use the sequential decoder"
 /// (small body, single core, malformed lengths, or a decode failure that
 /// must be re-reported with its canonical typed error).
-fn try_parallel_decode(body: &[u8], shard_count: u32) -> Option<Vec<Vec<Trajectory>>> {
+fn try_parallel_decode(
+    body: &[u8],
+    shard_count: u32,
+    with_gids: bool,
+) -> Option<Vec<Vec<(TrajId, Trajectory)>>> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     if workers < 2 {
         return None;
     }
-    let (counts, spans) = scan_sections(body, shard_count)?;
+    let (counts, spans) = scan_sections(body, shard_count, with_gids)?;
     if spans.len() < PARALLEL_DECODE_MIN {
         return None;
     }
@@ -308,9 +421,7 @@ fn try_parallel_decode(body: &[u8], shard_count: u32) -> Option<Vec<Vec<Trajecto
                 scope.spawn(move || {
                     chunk
                         .iter()
-                        .map(|&(start, end)| {
-                            Trajectory::decode(&mut ByteReader::new(&body[start..end])).ok()
-                        })
+                        .map(|&(start, end)| decode_entry(&body[start..end], with_gids))
                         .collect::<Option<Vec<_>>>()
                 })
             })
@@ -321,12 +432,17 @@ fn try_parallel_decode(body: &[u8], shard_count: u32) -> Option<Vec<Vec<Trajecto
             .collect::<Option<Vec<_>>>()
     })?;
     let mut flat = decoded.into_iter().flatten();
-    Some(
-        counts
-            .iter()
-            .map(|&c| flat.by_ref().take(c).collect())
-            .collect(),
-    )
+    let mut sections = Vec::with_capacity(counts.len());
+    for (s, &c) in counts.iter().enumerate() {
+        let mut section: Vec<(TrajId, Trajectory)> = flat.by_ref().take(c).collect();
+        if !with_gids {
+            for (j, entry) in section.iter_mut().enumerate() {
+                entry.0 = v1_gid(s, j, shard_count)?;
+            }
+        }
+        sections.push(section);
+    }
+    Some(sections)
 }
 
 #[cfg(test)]
@@ -338,8 +454,27 @@ mod tests {
         Trajectory::from_xy(&[(x, 0.0), (x + 1.0, 1.0)])
     }
 
-    fn refs<'a>(sections: &[&'a [Trajectory]]) -> Vec<Vec<&'a Trajectory>> {
-        sections.iter().map(|s| s.iter().collect()).collect()
+    /// Borrows `sections` with the dense round-robin ids a fresh build
+    /// deals: entry `j` of section `s` gets id `s + j * n`.
+    fn dense<'a>(sections: &[&'a [Trajectory]]) -> Vec<Vec<(TrajId, &'a Trajectory)>> {
+        let n = sections.len() as u32;
+        sections
+            .iter()
+            .enumerate()
+            .map(|(s, sec)| {
+                sec.iter()
+                    .enumerate()
+                    .map(|(j, t)| (v1_gid(s, j, n).unwrap(), t))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn owned(sections: Vec<Vec<(TrajId, &Trajectory)>>) -> Vec<Vec<(TrajId, Trajectory)>> {
+        sections
+            .into_iter()
+            .map(|sec| sec.into_iter().map(|(g, t)| (g, t.clone())).collect())
+            .collect()
     }
 
     #[test]
@@ -347,17 +482,65 @@ mod tests {
         let dir = TempDir::new("snapshot-roundtrip");
         let s0 = vec![traj(0.0), traj(2.0)];
         let s1 = vec![traj(1.0)];
-        let path = write_snapshot(dir.path(), 3, &refs(&[&s0, &s1])).expect("write");
+        let sections = dense(&[&s0, &s1]);
+        let path = write_snapshot(dir.path(), 3, &sections, 4).expect("write");
         assert!(path.ends_with("snapshot-00000003.snap"));
-        let sections = load_snapshot(&path).expect("load");
-        assert_eq!(sections, vec![s0, s1]);
+        let loaded = load_snapshot(&path).expect("load");
+        assert_eq!(loaded.sections, owned(sections));
+        assert_eq!(loaded.next_id, 4);
+        assert_eq!(loaded.version, FORMAT_VERSION);
+    }
+
+    #[test]
+    fn round_trips_holey_ids() {
+        // Ids with removal holes: section residues still respected, but
+        // nothing dense — exactly what a post-removal compaction writes.
+        let dir = TempDir::new("snapshot-holey");
+        let (a, b, c) = (traj(0.0), traj(1.0), traj(2.0));
+        let sections: Vec<Vec<(TrajId, &Trajectory)>> = vec![vec![(0, &a), (6, &b)], vec![(3, &c)]];
+        let path = write_snapshot(dir.path(), 0, &sections, 9).expect("write");
+        let loaded = load_snapshot(&path).expect("load");
+        assert_eq!(loaded.sections, owned(sections));
+        assert_eq!(loaded.next_id, 9);
     }
 
     #[test]
     fn empty_store_snapshot_round_trips() {
         let dir = TempDir::new("snapshot-empty");
-        let path = write_snapshot(dir.path(), 0, &[Vec::new()]).expect("write");
-        assert_eq!(load_snapshot(&path).expect("load"), vec![Vec::new()]);
+        let path = write_snapshot(dir.path(), 0, &[Vec::new()], 0).expect("write");
+        let loaded = load_snapshot(&path).expect("load");
+        assert_eq!(loaded.sections, vec![Vec::new()]);
+        assert_eq!(loaded.next_id, 0);
+    }
+
+    #[test]
+    fn rejects_id_discipline_violations() {
+        let dir = TempDir::new("snapshot-ids");
+        let (a, b) = (traj(0.0), traj(1.0));
+
+        // Wrong residue: id 1 in section 0 of 2.
+        let bad: Vec<Vec<(TrajId, &Trajectory)>> = vec![vec![(1, &a)], vec![]];
+        let path = write_snapshot(dir.path(), 0, &bad, 2).expect("write");
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(PersistError::StateMismatch { .. })
+        ));
+
+        // Not ascending.
+        let bad: Vec<Vec<(TrajId, &Trajectory)>> = vec![vec![(2, &a), (0, &b)]];
+        let path = write_snapshot(dir.path(), 1, &bad, 3).expect("write");
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(PersistError::StateMismatch { .. })
+        ));
+
+        // At the watermark.
+        let bad: Vec<Vec<(TrajId, &Trajectory)>> = vec![vec![(5, &a)]];
+        let path = write_snapshot(dir.path(), 2, &bad, 5).expect("write");
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(PersistError::StateMismatch { .. })
+        ));
     }
 
     #[test]
@@ -378,15 +561,29 @@ mod tests {
             })
             .collect();
         let (s0, s1) = many.split_at(PARALLEL_DECODE_MIN / 2 + 7);
-        let path = write_snapshot(dir.path(), 0, &refs(&[s0, s1])).expect("write");
-        let sections = load_snapshot(&path).expect("load");
-        assert_eq!(sections, vec![s0.to_vec(), s1.to_vec()]);
+        // Residue-respecting but holey ids: section 0 even, section 1 odd.
+        let sections: Vec<Vec<(TrajId, &Trajectory)>> = vec![
+            s0.iter()
+                .enumerate()
+                .map(|(j, t)| (2 * j as TrajId, t))
+                .collect(),
+            s1.iter()
+                .enumerate()
+                .map(|(j, t)| (2 * j as TrajId + 1, t))
+                .collect(),
+        ];
+        let watermark = 2 * many.len() as u64;
+        let path = write_snapshot(dir.path(), 0, &sections, watermark).expect("write");
+        let loaded = load_snapshot(&path).expect("load");
+        assert_eq!(loaded.sections, owned(sections));
+        assert_eq!(loaded.next_id, watermark);
     }
 
     #[test]
     fn rejects_wrong_magic_and_future_version() {
         let dir = TempDir::new("snapshot-magic");
-        let path = write_snapshot(dir.path(), 0, &[vec![&traj(0.0)]]).expect("write");
+        let t = traj(0.0);
+        let path = write_snapshot(dir.path(), 0, &[vec![(0, &t)]], 1).expect("write");
         let mut bytes = fs::read(&path).unwrap();
         let good = bytes.clone();
 
@@ -418,9 +615,51 @@ mod tests {
     }
 
     #[test]
+    fn loads_version_1_snapshots_with_synthesized_ids() {
+        // Hand-craft a version-1 file: 36-byte header without the
+        // watermark, sections without per-entry ids.
+        let dir = TempDir::new("snapshot-v1");
+        let path = dir.path().join(snapshot_file_name(0));
+        let s0 = [traj(0.0), traj(2.0)];
+        let s1 = [traj(1.0)];
+        let mut body = Vec::new();
+        for section in [&s0[..], &s1[..]] {
+            put_u64(&mut body, section.len() as u64);
+            for t in section {
+                t.encode_into(&mut body);
+            }
+        }
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+        put_u32(&mut bytes, 1);
+        put_u32(&mut bytes, 2);
+        put_u64(&mut bytes, 3);
+        put_u64(&mut bytes, body.len() as u64);
+        let header_crc = crc32(&bytes);
+        put_u32(&mut bytes, header_crc);
+        assert_eq!(bytes.len(), V1_HEADER_LEN);
+        let body_crc = crc32(&body);
+        bytes.extend_from_slice(&body);
+        put_u32(&mut bytes, body_crc);
+        fs::write(&path, &bytes).unwrap();
+
+        let loaded = load_snapshot(&path).expect("load v1");
+        assert_eq!(loaded.version, 1);
+        assert_eq!(loaded.next_id, 3, "v1 watermark is the dense total");
+        assert_eq!(
+            loaded.sections,
+            vec![
+                vec![(0, s0[0].clone()), (2, s0[1].clone())],
+                vec![(1, s1[0].clone())],
+            ]
+        );
+    }
+
+    #[test]
     fn every_truncation_is_typed() {
         let dir = TempDir::new("snapshot-trunc");
-        let path = write_snapshot(dir.path(), 0, &[vec![&traj(0.0), &traj(1.0)]]).expect("write");
+        let (a, b) = (traj(0.0), traj(1.0));
+        let path = write_snapshot(dir.path(), 0, &[vec![(0, &a), (1, &b)]], 2).expect("write");
         let bytes = fs::read(&path).unwrap();
         for cut in 0..bytes.len() {
             fs::write(&path, &bytes[..cut]).unwrap();
@@ -438,7 +677,8 @@ mod tests {
     #[test]
     fn every_body_bit_flip_is_a_checksum_error() {
         let dir = TempDir::new("snapshot-flip");
-        let path = write_snapshot(dir.path(), 0, &[vec![&traj(0.0)]]).expect("write");
+        let t = traj(0.0);
+        let path = write_snapshot(dir.path(), 0, &[vec![(0, &t)]], 1).expect("write");
         let bytes = fs::read(&path).unwrap();
         for byte in SNAPSHOT_HEADER_LEN..bytes.len() - 4 {
             let mut flipped = bytes.clone();

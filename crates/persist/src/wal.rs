@@ -1,18 +1,26 @@
-//! The append-only write-ahead log: every [`crate::StorageEngine::append`]
-//! becomes one length- and checksum-framed record, so a crash can tear at
-//! most the final record — and recovery detects exactly where.
+//! The append-only write-ahead log: every durable mutation becomes one
+//! length- and checksum-framed record, so a crash can tear at most the
+//! final record — and recovery detects exactly where.
 //!
 //! # Layout (see `docs/FORMAT.md`)
 //!
 //! ```text
 //! offset  size  field
 //! 0       8     magic "TRJWAL01"
-//! 8       4     format version (u32 LE, currently 1)
-//! 12      8     base count (u64 LE): trajectories in the snapshot this
-//!               WAL extends; record i holds global id base + i
+//! 8       4     format version (u32 LE, currently 2)
+//! 12      8     base count (u64 LE): live trajectories in the snapshot
+//!               this WAL extends
 //! 20      4     CRC-32 over bytes 0..20 (u32 LE)
 //! 24      ...   records: [u32 payload len][u32 payload CRC-32][payload]
 //! ```
+//!
+//! Since format version 2 every payload starts with a **kind byte**:
+//! `0` = insert (an encoded `Trajectory`), `1` = tombstone (the `u32`
+//! global id being removed), `2` = reshard (the `u32` new shard count).
+//! Version-1 files carry bare trajectory payloads and replay as
+//! all-inserts — old logs stay readable forever; a kind byte this build
+//! does not know is a hard [`PersistError::UnknownRecordKind`], because
+//! new kinds only ship with a header-version bump.
 //!
 //! Replay walks records until the file ends or a frame fails to verify
 //! (short length field, payload shorter than declared, checksum mismatch)
@@ -27,7 +35,7 @@ use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::Path;
 use traj_core::codec::{put_u32, put_u64, ByteReader};
-use traj_core::Trajectory;
+use traj_core::{TrajId, Trajectory};
 
 /// First eight bytes of every WAL file.
 pub(crate) const WAL_MAGIC: [u8; 8] = *b"TRJWAL01";
@@ -35,6 +43,34 @@ pub(crate) const WAL_MAGIC: [u8; 8] = *b"TRJWAL01";
 pub const WAL_HEADER_LEN: usize = 8 + 4 + 8 + 4;
 /// Per-record framing overhead: payload length + payload CRC.
 pub const WAL_FRAME_LEN: usize = 4 + 4;
+
+/// Kind byte of an insert record (format version ≥ 2).
+pub(crate) const KIND_INSERT: u8 = 0;
+/// Kind byte of a tombstone record.
+pub(crate) const KIND_TOMBSTONE: u8 = 1;
+/// Kind byte of a reshard record.
+pub(crate) const KIND_RESHARD: u8 = 2;
+/// Largest kind byte this build understands.
+pub(crate) const KIND_MAX: u8 = KIND_RESHARD;
+
+/// One decoded WAL record — the typed mutation log that replay applies
+/// over the paired snapshot, in append order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A new trajectory. Its global id is implicit: the snapshot's id
+    /// watermark (`next_id`) plus the number of inserts replayed before
+    /// it — ids are issued by append order, never reused.
+    Insert(Trajectory),
+    /// Removal of the trajectory with this global id. Replaying a
+    /// tombstone for an id that is not live is a hard
+    /// [`PersistError::StateMismatch`]: the writer validates liveness
+    /// before logging, so a mismatch means the log and snapshot disagree.
+    Tombstone(TrajId),
+    /// The database re-dealt its live trajectories across this many
+    /// shards. Affects only the layout the *next* snapshot is written
+    /// in — the live set is unchanged.
+    Reshard(u32),
+}
 
 /// Canonical file name of the WAL for `generation`.
 pub fn wal_file_name(generation: u64) -> String {
@@ -61,7 +97,9 @@ pub enum FsyncPolicy {
     OsManaged,
 }
 
-/// An open WAL positioned for appending.
+/// An open WAL positioned for appending. Only ever writes the current
+/// format version: old-version files are upgraded (compacted into a new
+/// generation) before a writer touches them.
 #[derive(Debug)]
 pub(crate) struct WalWriter {
     file: File,
@@ -125,33 +163,15 @@ impl WalWriter {
         })
     }
 
-    /// Appends one framed record and applies the fsync policy. On `Err`
-    /// the file may hold a torn tail; the next replay truncates it, so a
-    /// failed append is never visible as data.
-    pub(crate) fn append(&mut self, t: &Trajectory) -> Result<(), PersistError> {
-        self.scratch.clear();
-        t.encode_into(&mut self.scratch);
-        let mut frame = Vec::with_capacity(WAL_FRAME_LEN);
-        put_u32(&mut frame, self.scratch.len() as u32);
-        put_u32(&mut frame, crc32(&self.scratch));
-        self.file.write_all(&frame)?;
-        self.file.write_all(&self.scratch)?;
-        self.records += 1;
-        match self.policy {
-            FsyncPolicy::Always => self.sync()?,
-            FsyncPolicy::EveryN(n) => {
-                self.unsynced += 1;
-                if self.unsynced >= n.max(1) {
-                    self.sync()?;
-                }
-            }
-            FsyncPolicy::OsManaged => {}
-        }
-        Ok(())
+    /// Appends one framed insert record and applies the fsync policy. On
+    /// `Err` the file may hold a torn tail; the next replay truncates it,
+    /// so a failed append is never visible as data.
+    pub(crate) fn append_insert(&mut self, t: &Trajectory) -> Result<(), PersistError> {
+        self.append_inserts(std::slice::from_ref(t))
     }
 
-    /// Appends a whole batch as one **group**: every record is framed
-    /// exactly as [`WalWriter::append`] frames it (the on-disk format is
+    /// Appends a whole batch of inserts as one **group**: every record is
+    /// framed exactly as a single append frames it (the on-disk format is
     /// unchanged — replay cannot tell a group from a run of singles), but
     /// the frames are built into one buffer, written with one `write_all`,
     /// and the fsync policy is applied once for the whole group — a single
@@ -162,25 +182,63 @@ impl WalWriter {
     /// single appends: a *prefix* of the group may survive (each record's
     /// framing verifies independently), and the next replay truncates at
     /// the first torn frame. On `Err` nothing is logically appended.
-    pub(crate) fn append_group(&mut self, batch: &[Trajectory]) -> Result<(), PersistError> {
+    pub(crate) fn append_inserts(&mut self, batch: &[Trajectory]) -> Result<(), PersistError> {
         if batch.is_empty() {
             return Ok(());
         }
         let mut group = Vec::new();
         for t in batch {
             self.scratch.clear();
+            self.scratch.push(KIND_INSERT);
             t.encode_into(&mut self.scratch);
             put_u32(&mut group, self.scratch.len() as u32);
             put_u32(&mut group, crc32(&self.scratch));
             group.extend_from_slice(&self.scratch);
         }
-        self.file.write_all(&group)?;
-        self.records += batch.len() as u64;
+        self.commit_group(&group, batch.len() as u64)
+    }
+
+    /// Appends one tombstone record per id as one group commit — deletes
+    /// batch exactly like inserts: one buffered write, one application of
+    /// the fsync policy.
+    pub(crate) fn append_tombstones(&mut self, ids: &[TrajId]) -> Result<(), PersistError> {
+        if ids.is_empty() {
+            return Ok(());
+        }
+        let mut group = Vec::with_capacity(ids.len() * (WAL_FRAME_LEN + 5));
+        for &id in ids {
+            let mut payload = [0u8; 5];
+            payload[0] = KIND_TOMBSTONE;
+            payload[1..].copy_from_slice(&id.to_le_bytes());
+            put_u32(&mut group, payload.len() as u32);
+            put_u32(&mut group, crc32(&payload));
+            group.extend_from_slice(&payload);
+        }
+        self.commit_group(&group, ids.len() as u64)
+    }
+
+    /// Appends one reshard record declaring the new shard count.
+    pub(crate) fn append_reshard(&mut self, shards: u32) -> Result<(), PersistError> {
+        let mut payload = [0u8; 5];
+        payload[0] = KIND_RESHARD;
+        payload[1..].copy_from_slice(&shards.to_le_bytes());
+        let mut group = Vec::with_capacity(WAL_FRAME_LEN + 5);
+        put_u32(&mut group, payload.len() as u32);
+        put_u32(&mut group, crc32(&payload));
+        group.extend_from_slice(&payload);
+        self.commit_group(&group, 1)
+    }
+
+    /// Writes an already-framed run of `n` records and applies the fsync
+    /// policy once.
+    fn commit_group(&mut self, group: &[u8], n: u64) -> Result<(), PersistError> {
+        self.file.write_all(group)?;
+        self.records += n;
         match self.policy {
             FsyncPolicy::Always => self.sync()?,
-            FsyncPolicy::EveryN(n) => {
-                self.unsynced = self.unsynced.saturating_add(batch.len() as u32);
-                if self.unsynced >= n.max(1) {
+            FsyncPolicy::EveryN(k) => {
+                self.unsynced = self.unsynced.saturating_add(n as u32);
+                if self.unsynced >= k.max(1) {
                     self.sync()?;
                 }
             }
@@ -207,10 +265,16 @@ impl WalWriter {
 /// reason.
 #[derive(Debug)]
 pub struct WalReplay {
-    /// Trajectories of every intact record, in append (= global id) order.
-    pub trajs: Vec<Trajectory>,
-    /// Base count from the header: record `i` holds global id `base + i`.
+    /// Every intact record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Base count from the header: live trajectories in the paired
+    /// snapshot.
     pub base_count: u64,
+    /// Format version stamped in the header. Version-1 logs replay fine
+    /// but cannot be appended to (their records carry no kind byte), so
+    /// the engine compacts them into a fresh current-version generation
+    /// on open.
+    pub version: u32,
     /// Byte offset of the end of the last intact record — what recovery
     /// truncates the file to.
     pub valid_len: u64,
@@ -222,11 +286,66 @@ pub struct WalReplay {
     pub tail_error: Option<PersistError>,
 }
 
+/// Decodes one checksum-verified payload under the header's format
+/// version. Any failure here is a hard error: the bytes are what the
+/// writer wrote, so they must decode.
+fn decode_record(payload: &[u8], version: u32, index: usize) -> Result<WalRecord, PersistError> {
+    if version <= 1 {
+        // Legacy framing: the whole payload is one encoded trajectory.
+        let mut pr = ByteReader::new(payload);
+        let t = Trajectory::decode(&mut pr)?;
+        expect_drained(&pr, index)?;
+        return Ok(WalRecord::Insert(t));
+    }
+    let Some((&kind, body)) = payload.split_first() else {
+        return Err(PersistError::StateMismatch {
+            detail: format!("wal record {index} has an empty payload"),
+        });
+    };
+    let mut pr = ByteReader::new(body);
+    let record = match kind {
+        KIND_INSERT => WalRecord::Insert(Trajectory::decode(&mut pr)?),
+        KIND_TOMBSTONE => WalRecord::Tombstone(pr.u32()?),
+        KIND_RESHARD => {
+            let shards = pr.u32()?;
+            if shards == 0 {
+                return Err(PersistError::StateMismatch {
+                    detail: format!("wal record {index} declares a reshard to 0 shards"),
+                });
+            }
+            WalRecord::Reshard(shards)
+        }
+        unknown => {
+            return Err(PersistError::UnknownRecordKind {
+                kind: unknown,
+                supported: KIND_MAX,
+            })
+        }
+    };
+    expect_drained(&pr, index)?;
+    Ok(record)
+}
+
+fn expect_drained(pr: &ByteReader<'_>, index: usize) -> Result<(), PersistError> {
+    if pr.is_empty() {
+        Ok(())
+    } else {
+        Err(PersistError::StateMismatch {
+            detail: format!(
+                "wal record {index} carries {} trailing bytes",
+                pr.remaining()
+            ),
+        })
+    }
+}
+
 /// Scans the WAL at `path`. Header problems (bad magic, future version,
 /// header checksum) are hard errors — the file as a whole is not a log
-/// this build can trust — while any problem *after* the header is reported
-/// as the `tail_error` of an otherwise successful replay, because the
-/// valid prefix is still good data.
+/// this build can trust — while torn frames *after* the header are
+/// reported as the `tail_error` of an otherwise successful replay,
+/// because the valid prefix is still good data. A checksum-valid payload
+/// that will not decode (or carries an unknown record kind) is a hard
+/// error: that is a writer bug, never a torn write.
 pub fn replay_wal(path: &Path) -> Result<WalReplay, PersistError> {
     let bytes = std::fs::read(path)?;
     if bytes.len() < WAL_HEADER_LEN {
@@ -266,7 +385,7 @@ pub fn replay_wal(path: &Path) -> Result<WalReplay, PersistError> {
         });
     }
 
-    let mut trajs = Vec::new();
+    let mut records = Vec::new();
     let mut offset = 0usize; // into `body`
     let mut tail_error = None;
     while offset < body.len() {
@@ -300,26 +419,13 @@ pub fn replay_wal(path: &Path) -> Result<WalReplay, PersistError> {
             });
             break;
         }
-        // The checksum verified, so these bytes are what the writer wrote;
-        // if they still fail to decode the format itself is broken — that
-        // is a hard error, not a torn tail to shrug off.
-        let mut pr = ByteReader::new(payload);
-        let t = Trajectory::decode(&mut pr)?;
-        if !pr.is_empty() {
-            return Err(PersistError::StateMismatch {
-                detail: format!(
-                    "wal record {} carries {} trailing bytes",
-                    trajs.len(),
-                    pr.remaining()
-                ),
-            });
-        }
-        trajs.push(t);
+        records.push(decode_record(payload, version, records.len())?);
         offset += WAL_FRAME_LEN + len;
     }
     Ok(WalReplay {
-        trajs,
+        records,
         base_count,
+        version,
         valid_len: (WAL_HEADER_LEN + offset) as u64,
         tail_error,
     })
@@ -334,22 +440,52 @@ mod tests {
         Trajectory::from_xy(&[(x, 0.0), (x + 1.0, 1.0), (x + 2.0, 0.5)])
     }
 
+    fn inserts(trajs: &[Trajectory]) -> Vec<WalRecord> {
+        trajs.iter().cloned().map(WalRecord::Insert).collect()
+    }
+
     #[test]
     fn append_then_replay_round_trips() {
         let dir = TempDir::new("wal-roundtrip");
         let mut w = WalWriter::create(dir.path(), 0, 5, FsyncPolicy::Always).expect("create");
         let trajs: Vec<Trajectory> = (0..4).map(|i| traj(i as f64)).collect();
         for t in &trajs {
-            w.append(t).expect("append");
+            w.append_insert(t).expect("append");
         }
         assert_eq!(w.records(), 4);
         let path = dir.path().join(wal_file_name(0));
         drop(w);
         let replay = replay_wal(&path).expect("replay");
-        assert_eq!(replay.trajs, trajs);
+        assert_eq!(replay.records, inserts(&trajs));
         assert_eq!(replay.base_count, 5);
+        assert_eq!(replay.version, FORMAT_VERSION);
         assert!(replay.tail_error.is_none());
         assert_eq!(replay.valid_len, std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn typed_records_round_trip_in_order() {
+        let dir = TempDir::new("wal-typed");
+        let mut w = WalWriter::create(dir.path(), 0, 3, FsyncPolicy::Always).expect("create");
+        w.append_insert(&traj(0.0)).expect("insert");
+        w.append_tombstones(&[1, 3]).expect("tombstones");
+        w.append_reshard(4).expect("reshard");
+        w.append_insert(&traj(1.0)).expect("insert");
+        assert_eq!(w.records(), 5);
+        let path = dir.path().join(wal_file_name(0));
+        drop(w);
+        let replay = replay_wal(&path).expect("replay");
+        assert_eq!(
+            replay.records,
+            vec![
+                WalRecord::Insert(traj(0.0)),
+                WalRecord::Tombstone(1),
+                WalRecord::Tombstone(3),
+                WalRecord::Reshard(4),
+                WalRecord::Insert(traj(1.0)),
+            ]
+        );
+        assert!(replay.tail_error.is_none());
     }
 
     #[test]
@@ -358,12 +494,12 @@ mod tests {
         let trajs: Vec<Trajectory> = (0..5).map(|i| traj(i as f64)).collect();
         let mut singles = WalWriter::create(dir.path(), 0, 0, FsyncPolicy::Always).expect("create");
         for t in &trajs {
-            singles.append(t).expect("append");
+            singles.append_insert(t).expect("append");
         }
         let mut grouped = WalWriter::create(dir.path(), 1, 0, FsyncPolicy::Always).expect("create");
-        grouped.append_group(&trajs).expect("group append");
+        grouped.append_inserts(&trajs).expect("group append");
         assert_eq!(grouped.records(), 5);
-        grouped.append_group(&[]).expect("empty group is a no-op");
+        grouped.append_inserts(&[]).expect("empty group is a no-op");
         assert_eq!(grouped.records(), 5);
         drop(singles);
         drop(grouped);
@@ -373,7 +509,7 @@ mod tests {
         // record stream is identical, so replay cannot tell them apart.
         assert_eq!(a[WAL_HEADER_LEN..], b[WAL_HEADER_LEN..]);
         let replay = replay_wal(&dir.path().join(wal_file_name(1))).expect("replay");
-        assert_eq!(replay.trajs, trajs);
+        assert_eq!(replay.records, inserts(&trajs));
         assert!(replay.tail_error.is_none());
     }
 
@@ -382,34 +518,47 @@ mod tests {
         let dir = TempDir::new("wal-group-everyn");
         let mut w = WalWriter::create(dir.path(), 0, 0, FsyncPolicy::EveryN(4)).expect("create");
         let trajs: Vec<Trajectory> = (0..3).map(|i| traj(i as f64)).collect();
-        w.append_group(&trajs).expect("group");
+        w.append_inserts(&trajs).expect("group");
         assert_eq!(w.unsynced, 3, "under the cadence: no sync yet");
-        w.append_group(&trajs).expect("group");
+        w.append_inserts(&trajs).expect("group");
         assert_eq!(w.unsynced, 0, "6 >= 4 crossed the cadence: synced");
+    }
+
+    #[test]
+    fn tombstone_group_counts_toward_every_n() {
+        let dir = TempDir::new("wal-tomb-everyn");
+        let mut w = WalWriter::create(dir.path(), 0, 0, FsyncPolicy::EveryN(4)).expect("create");
+        w.append_tombstones(&[0, 1, 2]).expect("group");
+        assert_eq!(w.unsynced, 3, "under the cadence: no sync yet");
+        w.append_tombstones(&[3]).expect("group");
+        assert_eq!(w.unsynced, 0, "4 >= 4 crossed the cadence: synced");
+        w.append_tombstones(&[]).expect("empty group is a no-op");
+        assert_eq!(w.records(), 4);
     }
 
     #[test]
     fn every_n_policy_clamps_zero() {
         let dir = TempDir::new("wal-everyn");
         let mut w = WalWriter::create(dir.path(), 0, 0, FsyncPolicy::EveryN(0)).expect("create");
-        w.append(&traj(0.0)).expect("append under EveryN(0)");
+        w.append_insert(&traj(0.0)).expect("append under EveryN(0)");
         let mut w2 = WalWriter::create(dir.path(), 1, 0, FsyncPolicy::OsManaged).expect("create");
-        w2.append(&traj(1.0)).expect("append under OsManaged");
+        w2.append_insert(&traj(1.0))
+            .expect("append under OsManaged");
     }
 
     #[test]
     fn reopen_truncates_and_continues() {
         let dir = TempDir::new("wal-reopen");
         let mut w = WalWriter::create(dir.path(), 0, 0, FsyncPolicy::Always).expect("create");
-        w.append(&traj(0.0)).expect("append");
-        w.append(&traj(1.0)).expect("append");
+        w.append_insert(&traj(0.0)).expect("append");
+        w.append_insert(&traj(1.0)).expect("append");
         let path = dir.path().join(wal_file_name(0));
         drop(w);
         // Tear the second record by lopping off its last byte.
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 1]).unwrap();
         let replay = replay_wal(&path).expect("replay");
-        assert_eq!(replay.trajs.len(), 1);
+        assert_eq!(replay.records.len(), 1);
         assert!(matches!(
             replay.tail_error,
             Some(PersistError::Truncated { .. })
@@ -417,16 +566,17 @@ mod tests {
         let mut w = WalWriter::reopen(
             &path,
             replay.valid_len,
-            replay.trajs.len() as u64,
+            replay.records.len() as u64,
             FsyncPolicy::Always,
         )
         .expect("reopen");
-        w.append(&traj(2.0)).expect("append after truncation");
+        w.append_insert(&traj(2.0))
+            .expect("append after truncation");
         assert_eq!(w.records(), 2);
         drop(w);
         let replay = replay_wal(&path).expect("replay");
         assert!(replay.tail_error.is_none());
-        assert_eq!(replay.trajs, vec![traj(0.0), traj(2.0)]);
+        assert_eq!(replay.records, inserts(&[traj(0.0), traj(2.0)]));
     }
 
     #[test]
@@ -464,5 +614,56 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn unknown_record_kind_is_a_hard_error() {
+        let dir = TempDir::new("wal-unknown-kind");
+        let w = WalWriter::create(dir.path(), 0, 0, FsyncPolicy::Always).expect("create");
+        let path = dir.path().join(wal_file_name(0));
+        drop(w);
+        // Append a checksum-valid record whose kind byte is from the
+        // future. The frame verifies, so this is not a torn tail: replay
+        // must refuse it outright rather than skip or misread it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let payload = [KIND_MAX + 1, 0xAA, 0xBB];
+        put_u32(&mut bytes, payload.len() as u32);
+        put_u32(&mut bytes, crc32(&payload));
+        bytes.extend_from_slice(&payload);
+        std::fs::write(&path, &bytes).unwrap();
+        match replay_wal(&path) {
+            Err(PersistError::UnknownRecordKind { kind, supported }) => {
+                assert_eq!(kind, KIND_MAX + 1);
+                assert_eq!(supported, KIND_MAX);
+            }
+            other => panic!("expected UnknownRecordKind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_1_files_replay_as_bare_inserts() {
+        let dir = TempDir::new("wal-v1");
+        let path = dir.path().join(wal_file_name(0));
+        let trajs: Vec<Trajectory> = (0..3).map(|i| traj(i as f64)).collect();
+        // Hand-craft a version-1 file: same header layout, bare
+        // trajectory payloads with no kind byte.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC);
+        put_u32(&mut bytes, 1);
+        put_u64(&mut bytes, 7);
+        let crc = crc32(&bytes);
+        put_u32(&mut bytes, crc);
+        for t in &trajs {
+            let payload = t.encode();
+            put_u32(&mut bytes, payload.len() as u32);
+            put_u32(&mut bytes, crc32(&payload));
+            bytes.extend_from_slice(&payload);
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let replay = replay_wal(&path).expect("replay v1");
+        assert_eq!(replay.version, 1);
+        assert_eq!(replay.base_count, 7);
+        assert_eq!(replay.records, inserts(&trajs));
+        assert!(replay.tail_error.is_none());
     }
 }

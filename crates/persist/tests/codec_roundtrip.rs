@@ -5,7 +5,7 @@
 //! finite float values).
 
 use proptest::prelude::*;
-use traj_core::{ByteReader, StPoint, Trajectory};
+use traj_core::{ByteReader, StPoint, TrajId, Trajectory};
 use traj_persist::tempdir::TempDir;
 use traj_persist::{load_snapshot, snapshot_file_name, write_snapshot};
 
@@ -66,17 +66,22 @@ proptest! {
         shards in 1usize..5,
         offset in 0usize..10,
     ) {
-        // Deal `total` trajectories round-robin, as a session stores them.
-        let mut sections: Vec<Vec<Trajectory>> = vec![Vec::new(); shards];
+        // Deal `total` trajectories by the id router, as a session stores
+        // them.
+        let mut sections: Vec<Vec<(TrajId, Trajectory)>> = vec![Vec::new(); shards];
         for g in 0..total {
-            sections[g % shards].push(edge_trajectory(2 + g % 7, offset + g));
+            sections[g % shards].push((g as TrajId, edge_trajectory(2 + g % 7, offset + g)));
         }
         let dir = TempDir::new("codec-snapshot");
-        let refs: Vec<Vec<&Trajectory>> = sections.iter().map(|s| s.iter().collect()).collect();
-        write_snapshot(dir.path(), 3, &refs).expect("write");
+        let refs: Vec<Vec<(TrajId, &Trajectory)>> = sections
+            .iter()
+            .map(|s| s.iter().map(|&(g, ref t)| (g, t)).collect())
+            .collect();
+        write_snapshot(dir.path(), 3, &refs, total as u64).expect("write");
         let back = load_snapshot(&dir.path().join(snapshot_file_name(3)))
             .expect("load");
-        prop_assert_eq!(back, sections);
+        prop_assert_eq!(back.sections, sections);
+        prop_assert_eq!(back.next_id, total as u64);
     }
 }
 
@@ -85,11 +90,12 @@ proptest! {
 #[test]
 fn empty_store_round_trips() {
     let dir = TempDir::new("codec-empty");
-    let empty: Vec<Vec<&Trajectory>> = vec![Vec::new(), Vec::new(), Vec::new()];
-    write_snapshot(dir.path(), 0, &empty).expect("write");
+    let empty: Vec<Vec<(TrajId, &Trajectory)>> = vec![Vec::new(), Vec::new(), Vec::new()];
+    write_snapshot(dir.path(), 0, &empty, 0).expect("write");
     let back = load_snapshot(&dir.path().join(snapshot_file_name(0))).expect("load");
-    assert_eq!(back.len(), 3);
-    assert!(back.iter().all(|s| s.is_empty()));
+    assert_eq!(back.sections.len(), 3);
+    assert!(back.sections.iter().all(|s| s.is_empty()));
+    assert_eq!(back.next_id, 0);
 }
 
 /// One very long trajectory — the per-record worst case for the length

@@ -2,20 +2,23 @@
 //!
 //! * **torn writes** — the WAL is truncated at *every* byte boundary and
 //!   the engine must recover exactly the records that fit, never panic,
-//!   and keep accepting appends;
+//!   and keep accepting appends; the matrix covers all record kinds
+//!   (insert, tombstone, reshard), including cuts inside a tombstone
+//!   group commit;
 //! * **bit rot** — every byte of the WAL body, the WAL header, and the
 //!   snapshot is flipped in turn; damage must surface as *typed* checksum
 //!   / magic / version errors (or a truncated-tail recovery), never as a
-//!   wrong trajectory;
+//!   wrong trajectory or a resurrected dead one;
 //! * **version skew** — files stamped with a future format version must be
-//!   refused with `UnsupportedVersion`.
+//!   refused with `UnsupportedVersion`, and a checksum-valid record whose
+//!   kind byte this build does not know with `UnknownRecordKind`.
 
 use std::fs;
-use traj_core::Trajectory;
+use traj_core::{TrajId, Trajectory};
 use traj_persist::tempdir::TempDir;
 use traj_persist::{
     crc32, replay_wal, snapshot_file_name, wal_file_name, DurabilityConfig, PersistError,
-    StorageEngine, WAL_FRAME_LEN, WAL_HEADER_LEN,
+    StorageEngine, SNAPSHOT_HEADER_LEN, WAL_FRAME_LEN, WAL_HEADER_LEN,
 };
 
 fn traj(i: usize) -> Trajectory {
@@ -27,8 +30,20 @@ fn cfg() -> DurabilityConfig {
     DurabilityConfig::default().compact_after(None)
 }
 
-/// A directory with `n` records appended to generation 0, plus the byte
-/// offsets at which each record's frame+payload ends in the WAL file.
+fn dense(n: usize) -> Vec<(TrajId, Trajectory)> {
+    (0..n).map(|i| (i as TrajId, traj(i))).collect()
+}
+
+/// On-disk length of one WAL record: frame + kind byte + body.
+fn insert_len(i: usize) -> u64 {
+    (WAL_FRAME_LEN + 1 + traj(i).encode().len()) as u64
+}
+
+/// Tombstone and reshard records both carry a kind byte plus one `u32`.
+const SMALL_RECORD_LEN: u64 = (WAL_FRAME_LEN + 1 + 4) as u64;
+
+/// A directory with `n` insert records appended to generation 0, plus the
+/// byte offsets at which each record's frame+payload ends in the WAL file.
 fn populated_dir(n: usize, label: &str) -> (TempDir, Vec<u64>) {
     let dir = TempDir::new(label);
     let (_, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
@@ -36,7 +51,7 @@ fn populated_dir(n: usize, label: &str) -> (TempDir, Vec<u64>) {
     let mut offset = WAL_HEADER_LEN as u64;
     for i in 0..n {
         engine.append(&traj(i)).expect("append");
-        offset += (WAL_FRAME_LEN + traj(i).encode().len()) as u64;
+        offset += insert_len(i);
         ends.push(offset);
     }
     drop(engine);
@@ -59,10 +74,9 @@ fn torn_wal_at_every_byte_boundary_recovers_the_clean_prefix() {
         // header is torn creation: the header is fsynced before any
         // append, so a file that short can hold no records.
         let expect = ends.iter().filter(|&&end| end <= cut as u64).count();
-        assert_eq!(rec.trajs.len(), expect, "cut at {cut}");
         assert_eq!(
             rec.trajs,
-            (0..expect).map(traj).collect::<Vec<_>>(),
+            dense(expect),
             "cut at {cut}: the surviving prefix must be byte-exact"
         );
         // Clean boundaries: anywhere up to and including the header end
@@ -75,13 +89,100 @@ fn torn_wal_at_every_byte_boundary_recovers_the_clean_prefix() {
         );
 
         // The reopened engine keeps working: the torn tail is gone, so a
-        // new append lands cleanly after the surviving prefix.
+        // new append lands cleanly after the surviving prefix. Its id is
+        // issued from the surviving watermark.
         engine.append(&traj(99)).expect("append after recovery");
         drop(engine);
         let (rec, _) = StorageEngine::open(dir.path(), cfg()).expect("reopen");
-        let mut want: Vec<Trajectory> = (0..expect).map(traj).collect();
-        want.push(traj(99));
+        let mut want = dense(expect);
+        want.push((expect as TrajId, traj(99)));
         assert_eq!(rec.trajs, want, "cut at {cut}: append after recovery");
+    }
+}
+
+/// The mixed-kind op log the lifecycle crash matrix runs over, mirroring
+/// what a session's remove/reshard calls write.
+#[derive(Clone, Copy)]
+enum Op {
+    Insert(usize),
+    Tombstone(TrajId),
+    Reshard(u32),
+}
+
+const LIFECYCLE_OPS: [Op; 8] = [
+    Op::Insert(0),
+    Op::Insert(1),
+    Op::Insert(2),
+    Op::Insert(3),
+    Op::Tombstone(1), // logged as one two-record group commit
+    Op::Tombstone(3),
+    Op::Reshard(3),
+    Op::Insert(4),
+];
+
+/// A directory whose generation-0 WAL holds `LIFECYCLE_OPS`, plus each
+/// record's end offset in the file.
+fn lifecycle_dir(label: &str) -> (TempDir, Vec<u64>) {
+    let dir = TempDir::new(label);
+    let (_, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
+    for i in 0..4 {
+        engine.append(&traj(i)).expect("append");
+    }
+    engine.append_tombstones(&[1, 3]).expect("tombstones");
+    engine.append_reshard(3).expect("reshard");
+    engine.append(&traj(4)).expect("append");
+    drop(engine);
+    let mut ends = Vec::with_capacity(LIFECYCLE_OPS.len());
+    let mut offset = WAL_HEADER_LEN as u64;
+    for op in LIFECYCLE_OPS {
+        offset += match op {
+            Op::Insert(i) => insert_len(i),
+            Op::Tombstone(_) | Op::Reshard(_) => SMALL_RECORD_LEN,
+        };
+        ends.push(offset);
+    }
+    (dir, ends)
+}
+
+/// The state a replay of the first `k` lifecycle records must recover.
+fn lifecycle_expect(k: usize) -> (Vec<(TrajId, Trajectory)>, usize, u64) {
+    let mut trajs: Vec<(TrajId, Trajectory)> = Vec::new();
+    let mut next_id: u64 = 0;
+    let mut shards = 1usize;
+    for op in &LIFECYCLE_OPS[..k] {
+        match *op {
+            Op::Insert(i) => {
+                trajs.push((next_id as TrajId, traj(i)));
+                next_id += 1;
+            }
+            Op::Tombstone(g) => {
+                let at = trajs.iter().position(|&(gid, _)| gid == g).expect("live");
+                trajs.remove(at);
+            }
+            Op::Reshard(n) => shards = n as usize,
+        }
+    }
+    (trajs, shards, next_id)
+}
+
+#[test]
+fn torn_lifecycle_wal_at_every_byte_boundary_recovers_the_op_prefix() {
+    let (dir, ends) = lifecycle_dir("torn-lifecycle");
+    let wal_path = dir.path().join(wal_file_name(0));
+    let full = fs::read(&wal_path).expect("read wal");
+    assert_eq!(full.len() as u64, *ends.last().unwrap());
+
+    for cut in 0..=full.len() {
+        fs::write(&wal_path, &full[..cut]).expect("tear");
+        let (rec, _engine) =
+            StorageEngine::open(dir.path(), cfg()).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+        let k = ends.iter().filter(|&&end| end <= cut as u64).count();
+        let (want, shards, next_id) = lifecycle_expect(k);
+        assert_eq!(rec.trajs, want, "cut at {cut}");
+        assert_eq!(rec.snapshot_shards, shards, "cut at {cut}: layout");
+        assert_eq!(rec.next_id, next_id, "cut at {cut}: watermark");
+        let at_boundary = cut <= WAL_HEADER_LEN || ends.contains(&(cut as u64));
+        assert_eq!(rec.wal_tail_error.is_none(), at_boundary, "cut at {cut}");
     }
 }
 
@@ -96,21 +197,46 @@ fn bit_flips_in_wal_records_are_caught_and_truncated() {
         bad[byte] ^= 0x10;
         fs::write(&wal_path, &bad).expect("corrupt");
 
-        let (rec, _engine) = StorageEngine::open(dir.path(), cfg())
-            .unwrap_or_else(|e| panic!("flip at {byte}: {e}"));
+        let open = StorageEngine::open(dir.path(), cfg());
+        // Flipping an insert's kind byte to a valid other kind yields a
+        // checksum failure (the CRC covers the kind byte), so every flip
+        // is either a truncated/checksum tail — never a misread record.
+        let (rec, _engine) = open.unwrap_or_else(|e| panic!("flip at {byte}: {e}"));
         // Records wholly before the flipped record survive; everything
         // from the flipped record on is dropped.
         let hit = ends.iter().position(|&end| (byte as u64) < end).unwrap();
-        assert_eq!(
-            rec.trajs,
-            (0..hit).map(traj).collect::<Vec<_>>(),
-            "flip at {byte}"
-        );
+        assert_eq!(rec.trajs, dense(hit), "flip at {byte}");
         match rec.wal_tail_error {
             Some(PersistError::Checksum { .. } | PersistError::Truncated { .. }) => {}
             ref other => panic!("flip at {byte}: expected a typed tail error, got {other:?}"),
         }
         // Restore for the next iteration's baseline.
+        fs::write(&wal_path, &good).expect("restore");
+    }
+}
+
+#[test]
+fn bit_flips_in_lifecycle_records_are_caught_and_truncated() {
+    let (dir, ends) = lifecycle_dir("flip-lifecycle");
+    let wal_path = dir.path().join(wal_file_name(0));
+    let good = fs::read(&wal_path).expect("read wal");
+
+    for byte in WAL_HEADER_LEN..good.len() {
+        let mut bad = good.clone();
+        bad[byte] ^= 0x10;
+        fs::write(&wal_path, &bad).expect("corrupt");
+
+        let (rec, _engine) = StorageEngine::open(dir.path(), cfg())
+            .unwrap_or_else(|e| panic!("flip at {byte}: {e}"));
+        let hit = ends.iter().position(|&end| (byte as u64) < end).unwrap();
+        let (want, shards, next_id) = lifecycle_expect(hit);
+        assert_eq!(rec.trajs, want, "flip at {byte}");
+        assert_eq!(rec.snapshot_shards, shards, "flip at {byte}: layout");
+        assert_eq!(rec.next_id, next_id, "flip at {byte}: watermark");
+        match rec.wal_tail_error {
+            Some(PersistError::Checksum { .. } | PersistError::Truncated { .. }) => {}
+            ref other => panic!("flip at {byte}: expected a typed tail error, got {other:?}"),
+        }
         fs::write(&wal_path, &good).expect("restore");
     }
 }
@@ -143,11 +269,14 @@ fn bit_flips_in_the_wal_header_are_hard_typed_errors() {
 #[test]
 fn bit_flips_in_the_snapshot_are_typed_refusals() {
     let (dir, _) = populated_dir(3, "flip-snapshot");
-    // Fold the records into generation 1's snapshot so the snapshot body
-    // is nontrivial.
+    // Fold the records (minus one tombstoned mid-stream, so the snapshot
+    // carries a real id hole) into generation 1's snapshot.
     let (rec, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
-    let all = rec.trajs;
-    engine.compact(&[all.iter().collect()]).expect("compact");
+    let mut all = rec.trajs;
+    engine.append_tombstones(&[1]).expect("tombstone");
+    all.retain(|&(gid, _)| gid != 1);
+    let section: Vec<(TrajId, &Trajectory)> = all.iter().map(|&(g, ref t)| (g, t)).collect();
+    engine.compact(&[section]).expect("compact");
     drop(engine);
 
     let snap_path = dir.path().join(snapshot_file_name(1));
@@ -193,12 +322,12 @@ fn future_format_versions_are_refused() {
     ));
 
     // Same for the snapshot: header is magic(8) + version(4) + shards(4)
-    // + total(8) + body_len(8) + crc(4).
+    // + total(8) + next_id(8) + body_len(8) + crc(4).
     let snap_path = dir.path().join(snapshot_file_name(0));
     let mut snap = fs::read(&snap_path).expect("read snapshot");
     snap[8..12].copy_from_slice(&future);
-    let crc = crc32(&snap[..32]).to_le_bytes();
-    snap[32..36].copy_from_slice(&crc);
+    let crc = crc32(&snap[..SNAPSHOT_HEADER_LEN - 4]).to_le_bytes();
+    snap[SNAPSHOT_HEADER_LEN - 4..SNAPSHOT_HEADER_LEN].copy_from_slice(&crc);
     fs::write(&snap_path, &snap).expect("write");
     match StorageEngine::open(dir.path(), cfg()) {
         Err(PersistError::NoUsableSnapshot { cause, .. }) => {
@@ -209,11 +338,32 @@ fn future_format_versions_are_refused() {
 }
 
 #[test]
+fn unknown_record_kinds_are_refused_not_truncated() {
+    let (dir, _) = populated_dir(2, "future-kind");
+    // Hand-append a checksum-valid record whose kind byte is from the
+    // future. New kinds only ship with a version bump, so inside a
+    // version-2 file this is a writer bug or tampering: recovery must
+    // refuse the log outright, not silently truncate the tail.
+    let wal_path = dir.path().join(wal_file_name(0));
+    let mut wal = fs::read(&wal_path).expect("read wal");
+    let payload = [0x7Fu8, 0xAA, 0xBB, 0xCC, 0xDD];
+    wal.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    wal.extend_from_slice(&crc32(&payload).to_le_bytes());
+    wal.extend_from_slice(&payload);
+    fs::write(&wal_path, &wal).expect("write");
+    match StorageEngine::open(dir.path(), cfg()) {
+        Err(PersistError::UnknownRecordKind { kind, .. }) => assert_eq!(kind, 0x7F),
+        other => panic!("expected UnknownRecordKind, got {other:?}"),
+    }
+}
+
+#[test]
 fn empty_wal_file_recreation_does_not_lose_the_snapshot() {
     let (dir, _) = populated_dir(2, "wal-zero-len");
     let (rec, mut engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
     let all = rec.trajs.clone();
-    engine.compact(&[all.iter().collect()]).expect("compact");
+    let section: Vec<(TrajId, &Trajectory)> = all.iter().map(|&(g, ref t)| (g, t)).collect();
+    engine.compact(&[section]).expect("compact");
     drop(engine);
     // Zero-length WAL: torn during creation, before the header landed.
     let wal_path = dir.path().join(wal_file_name(1));
@@ -221,5 +371,5 @@ fn empty_wal_file_recreation_does_not_lose_the_snapshot() {
     let (rec, engine) = StorageEngine::open(dir.path(), cfg()).expect("open");
     assert_eq!(rec.trajs, all);
     assert_eq!(rec.wal_records, 0);
-    assert_eq!(engine.total(), all.len() as u64);
+    assert_eq!(engine.live(), all.len() as u64);
 }

@@ -28,6 +28,12 @@
 //!   and `.collect_stats()` work counters, returning [`QueryResult`] /
 //!   [`BatchQueryResult`]. [`Session::insert`] streams new trajectories in
 //!   while concurrent readers keep a stable epoch ([`Snapshot`]);
+//! * lifecycle: [`Session::remove`] / [`Session::remove_batch`] tombstone
+//!   trajectories (immediately invisible, ids retired forever, space
+//!   reclaimed at the next fold/compaction) and [`Session::reshard`]
+//!   rebalances the database across a new shard count online — held
+//!   snapshots keep answering from their epoch, and both operations ride
+//!   the write-ahead log on durable sessions;
 //! * durability: open a crash-safe on-disk session with
 //!   [`SessionBuilder::open`] + [`SessionBuilder::durability`]
 //!   ([`DurabilityConfig`], [`FsyncPolicy`]) — versioned snapshots plus a
@@ -41,8 +47,10 @@
 //! See `examples/quickstart.rs` for the end-to-end flow: generate → index →
 //! query (k-NN and range, both metrics, sharded and not) → inspect pruning
 //! statistics, `examples/taxi_knn.rs` for the sharded fleet workload
-//! with streaming ingestion, and `examples/durability.rs` for the
-//! persist → crash → recover → verify loop.
+//! with streaming ingestion, `examples/durability.rs` for the
+//! persist → crash → recover → verify loop, and `examples/lifecycle.rs`
+//! for the full retire-and-rebalance walkthrough (fleet → remove →
+//! reshard → reopen).
 
 #![warn(missing_docs)]
 
